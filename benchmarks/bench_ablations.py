@@ -1,0 +1,24 @@
+"""Bench `ablations`: the DESIGN.md §7 mechanism ablations.
+
+Not a paper artifact — a reproduction artifact: each of the paper's
+anomalous findings is traced to one simulator mechanism by switching
+that mechanism off and re-measuring.
+"""
+
+from repro.experiments import ablation_report
+
+
+def test_ablations(report_benchmark):
+    report = report_benchmark(ablation_report)
+    on = report.series["mechanism on"]
+    off = report.series["mechanism off"]
+    # The p=2 inversion requires pack asymmetry.
+    assert on["pack asymmetry (p=2 Ts/Tf)"] < 1.0
+    assert off["pack asymmetry (p=2 Ts/Tf)"] >= 0.98
+    # NIC port contention is a real share of gather time.
+    assert (
+        on["NIC serialization (p=10 T_f seconds)"]
+        > off["NIC serialization (p=10 T_f seconds)"]
+    )
+    # Rank noise erodes/shifts the value of balancing.
+    assert on["rank noise (p=6 Tu/Tb)"] != off["rank noise (p=6 Tu/Tb)"]

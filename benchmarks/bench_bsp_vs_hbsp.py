@@ -1,0 +1,23 @@
+"""Bench `bsp-vs-hbsp`: Section 6's claim, quantified.
+
+Paper artifact: the conclusion — "Fundamental changes to the
+algorithms are not necessary ... modifications consist of selecting
+the root node and distributing the workload."  For every workload we
+run the identical algorithm under BSP habits (slow root, equal shares)
+and under the HBSP^k rules (fast root, proportional shares) and report
+T_bsp/T_hbsp.
+
+Shape assertions: every workload gains; the broadcast gains least; at
+least half the workloads gain >= 1.4x.
+"""
+
+from repro.experiments import bsp_vs_hbsp
+
+
+def test_bsp_vs_hbsp(report_benchmark):
+    report = report_benchmark(bsp_vs_hbsp)
+    factors = report.series["T_bsp/T_hbsp"]
+    assert all(factor > 1.0 for factor in factors.values())
+    assert factors["broadcast"] == min(factors.values())
+    big_wins = [name for name, factor in factors.items() if factor >= 1.4]
+    assert len(big_wins) >= len(factors) // 2

@@ -1,0 +1,28 @@
+"""Bench `fig3a`: Figure 3(a) — gather improvement T_s/T_f.
+
+Paper series: improvement factor vs number of processors (2-10), one
+series per problem size (100-1000 KB of uniformly distributed
+integers), equal workloads, slow vs fast root.
+
+Shape assertions (what "reproduced" means):
+* the factor grows with p and exceeds 1 for p >= 3;
+* the factor is roughly flat across problem sizes;
+* at p = 2 the factor dips below 1 (the paper's counterintuitive
+  inversion, Section 5.2).
+"""
+
+from repro.experiments import fig3a_gather_root
+from repro.experiments.fig3_gather import PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+
+
+def test_fig3a_gather_root(report_benchmark):
+    report = report_benchmark(fig3a_gather_root, PROBLEM_SIZES_KB, PROCESSOR_COUNTS)
+    for label, series in report.series.items():
+        assert series[2] < 1.0, f"{label}: expected the p=2 inversion"
+        for p in PROCESSOR_COUNTS[1:]:
+            assert series[p] > 1.05, f"{label}: fast root must win at p={p}"
+        assert series[10] > series[3], f"{label}: improvement must grow with p"
+    # Steady across problem sizes (same p, different size: within 20%).
+    for p in PROCESSOR_COUNTS[1:]:
+        values = [series[p] for series in report.series.values()]
+        assert max(values) / min(values) < 1.2

@@ -1,0 +1,24 @@
+"""Bench `fig3b`: Figure 3(b) — gather improvement T_u/T_b.
+
+Paper series: improvement of BYTEmark-balanced workloads over equal
+workloads, fast root, vs number of processors, one series per problem
+size.
+
+Shape assertions:
+* a clear benefit at p = 2 (the fast root keeps most items local);
+* the benefit shrinks toward ~1 as p grows ("virtually no benefit"),
+  eroded by the noisy c_j estimates the paper blames.
+"""
+
+from repro.experiments import fig3b_gather_balance
+from repro.experiments.fig3_gather import PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+
+
+def test_fig3b_gather_balance(report_benchmark):
+    report = report_benchmark(
+        fig3b_gather_balance, PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+    )
+    for label, series in report.series.items():
+        assert series[2] > 1.5, f"{label}: balancing must pay off at p=2"
+        assert series[10] < 1.35, f"{label}: near-1 at large p"
+        assert series[2] > series[6], f"{label}: benefit must decay with p"

@@ -1,0 +1,32 @@
+"""Bench `fig4a`: Figure 4(a) — broadcast improvement T_s/T_f.
+
+Paper series: improvement of rooting the two-phase broadcast on the
+fastest processor, vs number of processors, one series per problem
+size.
+
+Shape assertions: the factor stays near 1 ("neglible improvement") —
+the broadcast cannot exploit heterogeneity because the slowest machine
+must receive all n items; the residual improvement (P_f scattering the
+first-phase shares) is positive but small, and smaller than the
+gather's improvement at every p.
+"""
+
+from repro.experiments import fig3a_gather_root, fig4a_broadcast_root
+from repro.experiments.fig3_gather import PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+
+
+def test_fig4a_broadcast_root(report_benchmark):
+    report = report_benchmark(
+        fig4a_broadcast_root, PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+    )
+    for label, series in report.series.items():
+        for p, factor in series.items():
+            assert 0.9 < factor < 1.35, f"{label} p={p}: not negligible: {factor}"
+        for p in PROCESSOR_COUNTS[1:]:
+            assert series[p] > 1.0, f"{label}: residual benefit at p={p}"
+    # The paper's core contrast: gather exploits heterogeneity, broadcast
+    # does not.  Compare at the largest sweep point.
+    gather = fig3a_gather_root((PROBLEM_SIZES_KB[0],), (10,))
+    assert gather.series[f"{PROBLEM_SIZES_KB[0]} KB"][10] > max(
+        series[10] for series in report.series.values()
+    )

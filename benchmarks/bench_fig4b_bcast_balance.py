@@ -1,0 +1,25 @@
+"""Bench `fig4b`: Figure 4(b) — broadcast improvement T_u/T_b.
+
+Paper series: improvement of c_j-proportional first-phase shares over
+equal shares in the two-phase broadcast, fast root, vs number of
+processors, one series per problem size.
+
+Shape assertion: "there is no benefit to balanced workloads since each
+processor must receive all of the items" — the factor hugs 1 and can
+dip below it.
+"""
+
+from repro.experiments import fig4b_broadcast_balance
+from repro.experiments.fig3_gather import PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+
+
+def test_fig4b_broadcast_balance(report_benchmark):
+    report = report_benchmark(
+        fig4b_broadcast_balance, PROBLEM_SIZES_KB, PROCESSOR_COUNTS
+    )
+    for label, series in report.series.items():
+        for p, factor in series.items():
+            assert 0.75 < factor < 1.25, (
+                f"{label} p={p}: balancing changed broadcast time by "
+                f"{factor} — it must not"
+            )

@@ -1,0 +1,24 @@
+"""Bench `model-vs-sim`: Section 3.4's predictability claim.
+
+Paper artifact: the HBSP model family "attempts to provide the
+developer with predictable algorithmic performance" (Section 2).  We
+run every collective on an HBSP^1 and an HBSP^2 machine and compare
+simulated to predicted times.
+
+Shape assertions: high rank correlation between predictions and
+simulations, and bounded simulated/predicted ratios (the model omits
+pack/unpack CPU costs, so simulation is slower, but never wildly so).
+"""
+
+from repro.experiments import model_fidelity
+
+
+def test_model_fidelity(report_benchmark):
+    report = report_benchmark(model_fidelity)
+    for note in report.notes:
+        if "Spearman" in note:
+            rho = float(note.rsplit("=", 1)[1])
+            assert rho > 0.7, note
+    for label, series in report.series.items():
+        for collective, ratio in series.items():
+            assert 0.9 < ratio < 10.0, f"{label}/{collective}: ratio {ratio}"

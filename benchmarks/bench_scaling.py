@@ -1,0 +1,23 @@
+"""Bench `scaling`: heterogeneous application speedup curves.
+
+Paper artifact by reference: the dissertation [20] the paper cites
+evaluates applications over growing machine subsets; this bench
+regenerates the analogous curves for the four bundled applications.
+
+Shape assertions: speedup grows with p for every application once past
+p = 2, stays below the heterogeneous capacity bound, and the
+compute-heavy applications (histogram, jacobi) outscale the
+communication-bound ones at p = 10.
+"""
+
+from repro.experiments import app_scaling
+
+
+def test_app_scaling(report_benchmark):
+    report = report_benchmark(app_scaling)
+    for app, series in report.series.items():
+        assert series[1] == 1.0, app
+        assert series[10] > series[2], f"{app}: must scale beyond p=2"
+        assert series[10] < 5.2, f"{app}: cannot beat the capacity bound"
+    assert report.series["histogram"][10] > report.series["sample_sort"][10]
+    assert report.series["jacobi"][10] > report.series["matvec"][10]

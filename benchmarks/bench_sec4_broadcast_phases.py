@@ -1,0 +1,32 @@
+"""Bench `sec4-bcast-phases`: the Section 4.4 phase analysis.
+
+Paper artifact: the analytic comparison of the one-phase and two-phase
+broadcast on HBSP^1 machines (``g·n·m + L`` vs ``g·n(1+r_s) + 2L``) and
+the HBSP^2 super²-step regime split (``r_{1,s}`` vs ``m_{2,0}``),
+validated against simulation.
+
+Shape assertions:
+* two-phase wins for p past a small threshold and keeps winning more;
+* the crossover arrives later for larger r_s;
+* the analytic HBSP^2 table shows one-phase winning in the
+  ``r_{1,s} > m_{2,0}`` regime and two-phase winning for wide fan-out.
+"""
+
+from repro.experiments import sec4_broadcast_phases
+
+
+def test_sec4_broadcast_phases(report_benchmark):
+    report = report_benchmark(sec4_broadcast_phases)
+    mild = report.series["sim r_s=1.25"]
+    mid = report.series["sim r_s=4"]
+    harsh = report.series["sim r_s=12"]
+    # Two-phase wins from small p under mild heterogeneity...
+    assert mild[3] > 1.0
+    assert mild[10] > 2.5
+    # ...the crossover arrives later as r_s grows...
+    assert mild[4] > mid[4] > harsh[4]
+    # ...but two-phase always wins eventually.
+    assert harsh[10] > 1.0
+    # Regime table is present and shows both outcomes.
+    assert "r_1s > m" in report.extra
+    assert "r_1s <= m" in report.extra

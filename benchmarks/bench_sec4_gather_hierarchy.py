@@ -1,0 +1,27 @@
+"""Bench `sec4-gather-hierarchy`: Sections 4.2-4.3 analysis.
+
+Paper artifacts:
+* §4.3 — "the size of the problem must outweigh the cost of performing
+  the extra level of communication and synchronization": the HBSP^2
+  gather's overhead relative to a flat HBSP^1 gather of the same
+  machines amortises as n grows;
+* §4.2 — "If r_{0,j} c_{0,j} > 1, M_{0,j} has a problem size that is
+  too large.  Its communication time will dominate": an oversized share
+  on the slowest machine dominates the h-relation.
+"""
+
+from repro.experiments import sec4_gather_hierarchy
+
+
+def test_sec4_gather_hierarchy(report_benchmark):
+    report = report_benchmark(sec4_gather_hierarchy)
+    hier = report.series["hier/flat"]
+    sizes = sorted(hier)
+    # Monotone amortisation of the hierarchy penalty.
+    for small, large in zip(sizes, sizes[1:]):
+        assert hier[small] >= hier[large], "penalty must amortise with n"
+    assert hier[sizes[0]] > 2 * hier[sizes[-1]]
+    # The oversized-share pathology hurts and grows with n.
+    oversized = report.series["oversized/balanced"]
+    assert all(factor > 1.0 for factor in oversized.values())
+    assert oversized[sizes[-1]] > 1.4

@@ -1,0 +1,24 @@
+"""Bench `sensitivity`: robustness of the findings to calibration.
+
+Not a paper artifact — a reproduction-quality check: the simulated
+testbed's knobs (CPU spread, NIC spread, pack cost) are our
+calibration, so the headline findings must survive sweeping them.
+
+Shape assertions: under every calibration the gather's root-choice
+factor exceeds the broadcast's (the paper's core contrast), and the
+p = 2 inversion appears exactly when packing is asymmetric.
+"""
+
+from repro.experiments import calibration_sensitivity
+
+
+def test_calibration_sensitivity(report_benchmark):
+    report = report_benchmark(calibration_sensitivity)
+    for label, findings in report.series.items():
+        assert findings["gather@p"] > 1.1, label
+        assert findings["gather@p"] > findings["bcast@p"], label
+        assert 0.9 < findings["bcast@p"] < 1.45, label
+        if label == "pack = unpack":
+            assert findings["gather@2"] > 0.95, "inversion must vanish"
+        else:
+            assert findings["gather@2"] < 1.0, f"{label}: inversion expected"

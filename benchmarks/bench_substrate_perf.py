@@ -1,0 +1,86 @@
+"""Substrate performance benchmarks (not a paper artifact).
+
+Real pytest-benchmark micro-benchmarks of the layers the reproduction
+is built on: event throughput of the DES engine, message throughput of
+the PVM layer, and wall-clock cost of one full collective simulation.
+These guard against performance regressions that would make the
+full-sweep experiment benches unbearably slow.
+"""
+
+import numpy as np
+
+from repro.cluster import ucf_testbed
+from repro.collectives import run_gather
+from repro.pvm import VirtualMachine
+from repro.sim import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Pure event-queue throughput: 10k timers."""
+
+    def run():
+        engine = Engine()
+        for i in range(10_000):
+            engine.timeout(i * 1e-6)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_engine_process_switching(benchmark):
+    """Generator-process context switches: 100 processes x 50 yields."""
+
+    def run():
+        engine = Engine()
+
+        def worker():
+            for _ in range(50):
+                yield engine.timeout(1e-6)
+
+        for _ in range(100):
+            engine.process(worker())
+        engine.run()
+        return engine.events_processed
+
+    assert benchmark(run) > 5000
+
+
+def test_pvm_message_throughput(benchmark):
+    """PVM send/recv round: 200 messages through one receiver."""
+
+    topology = ucf_testbed(4)
+
+    def run():
+        vm = VirtualMachine(topology)
+
+        def sender(task, dst, count):
+            for i in range(count):
+                yield from task.send(dst, np.zeros(64, dtype=np.int32), tag=i)
+
+        def receiver(task, count):
+            for _ in range(count):
+                yield from task.recv()
+            return task.received_messages
+
+        recv_task = vm.spawn(receiver, 0, 200)
+        for host in (1, 2, 3):
+            vm.spawn(sender, host, recv_task.tid, 67 if host == 1 else 66 + (host == 2))
+        vm.run()
+        return recv_task.received_messages
+
+    # 67 + 67 + 66 = 200
+    assert benchmark(run) == 200
+
+
+def test_full_gather_simulation(benchmark):
+    """One complete gather simulation on the 10-machine testbed."""
+
+    topology = ucf_testbed(10)
+
+    def run():
+        return run_gather(topology, 25_600).time
+
+    time = benchmark(run)
+    assert time > 0

@@ -1,0 +1,20 @@
+"""Bench `table1`: regenerate the Table-1 parameter inventory.
+
+Paper artifact: Table 1 (the HBSP^k parameter definitions), here
+instantiated with the calibrated values of the two machines the paper
+discusses (the ten-workstation testbed and the Figure-1 HBSP^2
+cluster).
+"""
+
+import pytest
+
+from repro.experiments import table1_parameters
+
+
+def test_table1_parameters(report_benchmark):
+    report = report_benchmark(table1_parameters)
+    # The fastest machine's r is exactly 1 (Section 3.3's normalisation)
+    r_values = report.series["r_0j (testbed)"]
+    assert min(r_values.values()) == pytest.approx(1.0)
+    # and c is a unit partition.
+    assert sum(report.series["c_0j (testbed)"].values()) == pytest.approx(1.0)

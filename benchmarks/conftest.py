@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+convention: the benchmarked callable runs the full experiment sweep,
+the report is printed once (so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the paper's rows/series verbatim), and the qualitative shape
+is asserted so a regression in the reproduction fails the bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.improvement import ExperimentReport
+
+
+def run_report_benchmark(benchmark, factory, *args, **kwargs) -> ExperimentReport:
+    """Benchmark an experiment factory and print its report once."""
+    report = benchmark.pedantic(
+        lambda: factory(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(report.render())
+    return report
+
+
+@pytest.fixture
+def report_benchmark(benchmark):
+    """Fixture wrapping :func:`run_report_benchmark`."""
+
+    def runner(factory, *args, **kwargs):
+        return run_report_benchmark(benchmark, factory, *args, **kwargs)
+
+    return runner

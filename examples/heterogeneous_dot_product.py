@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A heterogeneous application built on the public API: dot product.
+
+Demonstrates the paper's two design rules end-to-end on a user
+program (not just a collective): a large dot product is scattered
+across the testbed, computed locally, and reduced onto the fastest
+machine.  We compare:
+
+* equal workloads (the homogeneous-BSP habit), vs
+* balanced workloads (``c_j`` proportional to BYTEmark scores).
+
+Unlike the pure gather/broadcast experiments, an application with real
+local *computation* benefits sharply from balancing — the slowest
+machine no longer holds everyone at the superstep barrier.
+
+Run:  python examples/heterogeneous_dot_product.py
+"""
+
+import numpy as np
+
+from repro import HbspRuntime, ucf_testbed
+from repro.hbsplib import equal_partition
+from repro.util.units import format_time
+
+N = 2_000_000  # elements per input vector
+OPS_PER_ELEMENT = 2.0  # one multiply + one add
+
+
+def dot_product_program(ctx, counts):
+    """Superstep program: local partial dot product, then reduction."""
+    mine = counts[ctx.pid]
+    # Local data generation stands in for reading a shard; the compute
+    # charge is what matters for the schedule.
+    rng = np.random.default_rng(ctx.pid)
+    x = rng.random(mine)
+    y = rng.random(mine)
+    yield from ctx.compute(mine * OPS_PER_ELEMENT)
+    partial = float(x @ y)
+    root = ctx.fastest_pid
+    if ctx.pid != root:
+        yield from ctx.send(root, partial)
+    yield from ctx.sync()
+    if ctx.pid == root:
+        total = partial + sum(m.payload for m in ctx.messages())
+        return total
+    return None
+
+
+def run(workload: str) -> float:
+    topology = ucf_testbed(10)
+    runtime = HbspRuntime(topology)
+    if workload == "equal":
+        counts = equal_partition(N, runtime.nprocs)
+    else:
+        counts = runtime.partition(N, balanced=True)
+    result = runtime.run(dot_product_program, counts)
+    root = runtime.fastest_pid
+    print(
+        f"{workload:9s} workload: {format_time(result.time)}  "
+        f"(root pid {root} got {result.values[root]:.1f}; "
+        f"shares {min(counts)}..{max(counts)})"
+    )
+    return result.time
+
+
+def main() -> None:
+    t_equal = run("equal")
+    t_balanced = run("balanced")
+    print(f"improvement T_u/T_b: {t_equal / t_balanced:.3f}")
+    print()
+    print("The gather experiments (Fig. 3b) show balancing barely helps a")
+    print("pure communication pattern; with real computation in the")
+    print("superstep, balanced workloads pay off exactly as Section 4.1's")
+    print("design rules predict.")
+
+
+if __name__ == "__main__":
+    main()

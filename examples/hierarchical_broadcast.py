@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Broadcasting on the paper's Figure-1 machine (an HBSP^2 cluster).
+
+The machine: a four-processor SMP, a lone SGI workstation, and a LAN of
+four workstations, joined by a campus network.  We compare the paper's
+one-phase and two-phase broadcast variants at the campus level (the
+super²-step), with the two-phase HBSP^1 broadcast inside each cluster,
+and show the per-level cost ledger — including the hierarchy penalty
+the model exposes (Section 3.4).
+
+Run:  python examples/hierarchical_broadcast.py
+"""
+
+from repro import run_broadcast, smp_sgi_lan
+from repro.util.units import format_time
+
+N_ITEMS = 128_000  # 500 KB
+
+
+def main() -> None:
+    topology = smp_sgi_lan()
+    print(topology.describe())
+    print()
+
+    for label, phases in (
+        ("one-phase at campus level ", {2: "one", 1: "two"}),
+        ("two-phase at campus level ", {2: "two", 1: "two"}),
+        ("one-phase everywhere      ", "one"),
+    ):
+        outcome = run_broadcast(topology, N_ITEMS, phases=phases)
+        sizes = {v[0] for v in outcome.values.values()}
+        assert sizes == {N_ITEMS}, "every processor must receive all items"
+        print(
+            f"{label} simulated {format_time(outcome.time)}   "
+            f"predicted {format_time(outcome.predicted_time)}   "
+            f"supersteps {outcome.supersteps}"
+        )
+        print(outcome.predicted.describe())
+        penalty = outcome.predicted.hierarchy_penalty()
+        print(
+            f"hierarchy penalty (level >= 2 costs): {format_time(penalty)} "
+            f"({100 * penalty / outcome.predicted.total:.1f}% of predicted total)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a reproduction of the HBSP^k model and its collectives.
+
+Paper: Tiffani Williams and Rebecca Parsons, *Exploiting Hierarchy in
+Heterogeneous Environments*, IPPS/IPDPS 2001.
+
+Layered architecture (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation engine;
+* :mod:`repro.cluster` — heterogeneous k-level cluster descriptions;
+* :mod:`repro.bytemark` — BYTEmark-style machine ranking;
+* :mod:`repro.pvm` — PVM-like message-passing runtime on the simulator;
+* :mod:`repro.model` — the HBSP^k machine tree, parameters, and cost model;
+* :mod:`repro.hbsplib` — the BSPlib-style programming library;
+* :mod:`repro.collectives` — gather, broadcast, and the extended toolkit;
+* :mod:`repro.experiments` — the harness regenerating every figure/table.
+
+Quickstart::
+
+    from repro import ucf_testbed, run_gather, RootPolicy
+    outcome = run_gather(ucf_testbed(8), 25600, root=RootPolicy.FASTEST)
+    print(outcome.time, outcome.predicted_time)
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterTopology,
+    MachineSpec,
+    NetworkSpec,
+    flat_cluster,
+    grid_three_level,
+    smp_sgi_lan,
+    two_lans,
+    ucf_testbed,
+)
+from repro.collectives import (
+    CollectiveOutcome,
+    RootPolicy,
+    WorkloadPolicy,
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_broadcast,
+    run_gather,
+    run_reduce,
+    run_scan,
+    run_scatter,
+)
+from repro.hbsplib import HbspContext, HbspResult, HbspRuntime
+from repro.model import HBSPParams, HBSPTree, CostLedger, calibrate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterTopology",
+    "MachineSpec",
+    "NetworkSpec",
+    "flat_cluster",
+    "grid_three_level",
+    "smp_sgi_lan",
+    "two_lans",
+    "ucf_testbed",
+    "CollectiveOutcome",
+    "RootPolicy",
+    "WorkloadPolicy",
+    "run_allgather",
+    "run_allreduce",
+    "run_alltoall",
+    "run_broadcast",
+    "run_gather",
+    "run_reduce",
+    "run_scan",
+    "run_scatter",
+    "HbspContext",
+    "HbspResult",
+    "HbspRuntime",
+    "HBSPParams",
+    "HBSPTree",
+    "CostLedger",
+    "calibrate",
+    "__version__",
+]

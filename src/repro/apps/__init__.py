@@ -1,0 +1,36 @@
+"""Heterogeneous applications built on the HBSP^k collectives.
+
+The paper's stated future work: "designing HBSP^k applications that
+can take advantage of our efficient heterogeneous communication
+algorithms" (Section 6).  This package provides three such
+applications, each written as an HBSP superstep program against the
+public library API:
+
+* :mod:`repro.apps.sample_sort` — parallel sample sort (the classic
+  BSP benchmark): scatter, local sort, splitter selection by gather +
+  broadcast, bucket exchange by total exchange, local merge;
+* :mod:`repro.apps.matvec` — distributed matrix-vector multiplication
+  with row blocks proportional to machine speed;
+* :mod:`repro.apps.histogram` — a map/reduce-shaped histogram.
+
+Each application runs under either workload policy, so the benchmarks
+can quantify how much the paper's balanced-workload rule is worth once
+a program has real local *computation* (unlike the pure-communication
+collectives of Figures 3 and 4, where balancing barely helps).
+"""
+
+from repro.apps.sample_sort import run_sample_sort, sample_sort_program
+from repro.apps.matvec import run_matvec, matvec_program
+from repro.apps.histogram import histogram_program, run_histogram
+from repro.apps.jacobi import jacobi_program, run_jacobi
+
+__all__ = [
+    "run_sample_sort",
+    "sample_sort_program",
+    "run_matvec",
+    "matvec_program",
+    "run_histogram",
+    "histogram_program",
+    "run_jacobi",
+    "jacobi_program",
+]

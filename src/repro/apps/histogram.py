@@ -1,0 +1,120 @@
+"""A map/reduce-shaped distributed histogram on an HBSP^k machine.
+
+Each processor holds ``counts[pid]`` data items (balanced: ``c_j·n``),
+bins them locally (compute ∝ items), and the per-bin counts are
+combined up the machine tree with the hierarchical reduction — so only
+``bins`` integers ever cross each network level, regardless of ``n``.
+
+This is the smallest interesting HBSP^k application: map work is
+heterogeneity-sensitive (rule 2: balanced workloads), reduce traffic
+is hierarchy-sensitive (coordinators combine before forwarding).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.apps.base import CPU_OPS, AppOutcome
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.base import make_items, make_runtime
+from repro.collectives.schedules import (
+    RootPolicy,
+    WorkloadPolicy,
+    effective_coordinator,
+    resolve_root,
+    split_counts,
+)
+from repro.hbsplib.context import HbspContext
+
+__all__ = ["histogram_program", "run_histogram", "predict_histogram_cost"]
+
+
+def predict_histogram_cost(params, counts, bins, *, cpu_rates, root):
+    """Closed-form histogram cost: the map step's ``w`` (slowest
+    machine's binning work) plus the hierarchical reduction of the bin
+    vectors."""
+    from repro.collectives.reduce import predict_reduce_cost
+    from repro.model.cost import CostLedger
+
+    ledger = CostLedger(f"histogram(n={sum(counts)}, bins={bins})")
+    w = max(
+        CPU_OPS["count"] * counts[j] / cpu_rates[j] for j in range(params.p)
+    )
+    ledger.charge("map: local binning", level=1, w=w)
+    ledger.extend(
+        predict_reduce_cost(
+            params, bins, root=root, cpu_rates=cpu_rates, item_bytes=8
+        ),
+        "reduce/",
+    )
+    return ledger
+
+
+def histogram_program(
+    ctx: HbspContext,
+    counts: t.Sequence[int],
+    root: int,
+    bins: int = 64,
+    seed: int = 0,
+) -> t.Generator:
+    """Per-process histogram program.
+
+    Returns ``(items_binned, total_in_histogram)``; the root's total
+    equals ``sum(counts)``.
+    """
+    mine = make_items(seed, ctx.pid, counts[ctx.pid])
+    yield from ctx.compute(CPU_OPS["count"] * mine.size)
+    local = np.bincount(
+        (mine.astype(np.int64) % bins).astype(np.int64), minlength=bins
+    ).astype(np.int64)
+
+    # Hierarchical reduction of the bin vectors (cf. collectives.reduce).
+    acc = local
+    k = ctx.runtime.tree.k
+    for level in range(1, k + 1):
+        sender = effective_coordinator(ctx, level - 1, root)
+        receiver = effective_coordinator(ctx, level, root)
+        if ctx.pid == sender and ctx.pid != receiver:
+            yield from ctx.send(receiver, acc, tag=level)
+        yield from ctx.sync(level)
+        if ctx.pid == receiver:
+            for message in ctx.messages(tag=level):
+                yield from ctx.compute(CPU_OPS["count"] * bins)
+                acc = acc + message.payload
+
+    if ctx.pid == effective_coordinator(ctx, k, root):
+        return (int(mine.size), int(acc.sum()))
+    return (int(mine.size), 0)
+
+
+def run_histogram(
+    topology: ClusterTopology,
+    n: int,
+    *,
+    bins: int = 64,
+    root: int | RootPolicy | None = None,
+    workload: WorkloadPolicy | t.Sequence[int] = WorkloadPolicy.BALANCED,
+    scores: t.Mapping[str, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> AppOutcome:
+    """Histogram ``n`` items into ``bins`` buckets at the root."""
+    runtime = make_runtime(topology, scores=scores, trace=trace)
+    root_pid = resolve_root(runtime, root)
+    counts = split_counts(runtime, n, workload)
+    result = runtime.run(histogram_program, counts, root_pid, bins, seed)
+    cpu_rates = [m.cpu_rate for m in runtime.topology.machines]
+    predicted = predict_histogram_cost(
+        runtime.params, counts, bins, cpu_rates=cpu_rates, root=root_pid
+    )
+    return AppOutcome(
+        name=f"histogram(n={n}, bins={bins})",
+        time=result.time,
+        supersteps=result.supersteps,
+        values=result.values,
+        result=result,
+        runtime=runtime,
+        predicted=predicted,
+    )

@@ -1,0 +1,44 @@
+"""A BYTEmark-style benchmark suite and machine ranking.
+
+The paper (Section 5.1) ranks testbed processors with the BYTEmark
+benchmark — "tests such as sorting, floating-point manipulation, and
+numerical analysis" — and derives the workload fractions ``c_j`` from
+the resulting scores.
+
+This package provides:
+
+* :mod:`repro.bytemark.kernels` — real, runnable implementations of
+  BYTEmark-style kernels (numeric sort, string sort, bitfield ops,
+  FP kernel, Fourier coefficients, assignment problem, Huffman coding,
+  LU decomposition, neural-net epoch, IDEA-style cipher);
+* :mod:`repro.bytemark.suite` — run the suite on the real host, or
+  *simulate* per-machine scores from a :class:`~repro.cluster.MachineSpec`
+  with a measurement-noise model (the testbed was non-dedicated);
+* :mod:`repro.bytemark.ranking` — scores → speed ranking, ``c_j``
+  fractions, and integer workload partitions.
+"""
+
+from repro.bytemark.kernels import KERNELS, Kernel
+from repro.bytemark.suite import (
+    BytemarkResult,
+    measure_host,
+    simulate_scores,
+    true_scores,
+)
+from repro.bytemark.ranking import (
+    fractions_from_scores,
+    partition_items,
+    ranking_from_scores,
+)
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "BytemarkResult",
+    "measure_host",
+    "simulate_scores",
+    "true_scores",
+    "ranking_from_scores",
+    "fractions_from_scores",
+    "partition_items",
+]

@@ -1,0 +1,246 @@
+"""BYTEmark-style benchmark kernels.
+
+Each kernel is a small, self-checking numerical workload in the spirit
+of the original BYTE Magazine suite [16].  Kernels are pure functions of
+a seeded generator, so results are reproducible; each returns a checksum
+that tests can assert on.
+
+The ``work`` attribute is the kernel's nominal cost in abstract CPU work
+units at ``scale=1`` — the unit :class:`~repro.cluster.MachineSpec.cpu_rate`
+is expressed in.  Simulated BYTEmark scores are derived from these
+nominal costs; host measurement (``repro.bytemark.suite.measure_host``)
+times the real implementations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing as t
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["Kernel", "KERNELS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel.
+
+    Attributes
+    ----------
+    name:
+        BYTEmark-style kernel name.
+    category:
+        ``"integer"`` or ``"float"`` (BYTEmark reports separate integer
+        and floating-point indices).
+    work:
+        Nominal CPU work units consumed at ``scale = 1``.
+    func:
+        ``func(rng, scale) -> float`` running the kernel and returning a
+        checksum.
+    """
+
+    name: str
+    category: str
+    work: float
+    func: t.Callable[[np.random.Generator, int], float]
+
+    def run(self, rng: np.random.Generator, scale: int = 1) -> float:
+        """Execute the kernel at ``scale`` and return its checksum."""
+        scale = check_positive_int("scale", scale)
+        return float(self.func(rng, scale))
+
+
+# ---------------------------------------------------------------------------
+# Integer kernels
+# ---------------------------------------------------------------------------
+
+def numeric_sort(rng: np.random.Generator, scale: int) -> float:
+    """Sort arrays of signed integers (BYTEmark 'Numeric sort')."""
+    total = 0
+    for _ in range(scale):
+        data = rng.integers(-(2**31), 2**31 - 1, size=2048, dtype=np.int64)
+        data = np.sort(data)
+        # Self-check: sortedness + stable checksum.
+        assert bool(np.all(data[1:] >= data[:-1]))
+        total += int(data[::256].sum())
+    return float(total % (2**31))
+
+
+def string_sort(rng: np.random.Generator, scale: int) -> float:
+    """Sort arrays of variable-length byte strings (BYTEmark 'String sort')."""
+    checksum = 0
+    for _ in range(scale):
+        lengths = rng.integers(4, 30, size=512)
+        raw = rng.integers(ord("a"), ord("z") + 1, size=int(lengths.sum()), dtype=np.uint8)
+        strings, pos = [], 0
+        for ln in lengths:
+            strings.append(raw[pos : pos + int(ln)].tobytes())
+            pos += int(ln)
+        strings.sort()
+        checksum += len(strings[0]) + len(strings[-1]) + strings[len(strings) // 2][0]
+    return float(checksum)
+
+
+def bitfield(rng: np.random.Generator, scale: int) -> float:
+    """Bit-twiddling over a large bitmap (BYTEmark 'Bitfield')."""
+    bits = np.zeros(scale * 8192, dtype=np.uint8)
+    ops = rng.integers(0, len(bits), size=scale * 2048)
+    kinds = rng.integers(0, 3, size=ops.shape[0])
+    for op, kind in zip(ops, kinds):
+        span = slice(int(op), min(len(bits), int(op) + 17))
+        if kind == 0:
+            bits[span] = 1
+        elif kind == 1:
+            bits[span] = 0
+        else:
+            bits[span] ^= 1
+    return float(int(bits.sum()))
+
+
+def huffman(rng: np.random.Generator, scale: int) -> float:
+    """Build a Huffman code and round-trip a message (BYTEmark 'Huffman')."""
+    text = rng.integers(0, 64, size=scale * 1024, dtype=np.uint8)
+    counts = np.bincount(text, minlength=64)
+    heap: list[tuple[int, int, t.Any]] = []
+    uid = 0
+    for symbol, count in enumerate(counts):
+        if count:
+            heap.append((int(count), uid, symbol))
+            uid += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (c1 + c2, uid, (n1, n2)))
+        uid += 1
+    codes: dict[int, str] = {}
+
+    def assign(node: t.Any, prefix: str) -> None:
+        if isinstance(node, tuple):
+            assign(node[0], prefix + "0")
+            assign(node[1], prefix + "1")
+        else:
+            codes[node] = prefix or "0"
+
+    assign(heap[0][2], "")
+    encoded_length = sum(len(codes[int(s)]) for s in text)
+    # Kraft inequality is a genuine invariant of a prefix code.
+    kraft = sum(2.0 ** -len(c) for c in codes.values())
+    assert kraft <= 1.0 + 1e-9
+    return float(encoded_length)
+
+
+def idea_cipher(rng: np.random.Generator, scale: int) -> float:
+    """An IDEA-style mix of xors/adds/modular multiplies (BYTEmark 'IDEA')."""
+    data = rng.integers(0, 2**16, size=scale * 4096, dtype=np.int64)
+    key = rng.integers(1, 2**16, size=8, dtype=np.int64)
+    state = data.copy()
+    for k in key:
+        state = (state * int(k)) % 65537
+        state ^= (state >> 4)
+        state = (state + int(k)) % 65536
+    return float(int(state.sum()) % (2**31))
+
+
+def assignment(rng: np.random.Generator, scale: int) -> float:
+    """Task-assignment cost minimisation (BYTEmark 'Assignment').
+
+    Uses the Jonker-Volgenant solver from SciPy on random cost
+    matrices; the checksum is the total optimal cost, which tests can
+    verify is no worse than the greedy solution.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    total = 0.0
+    for _ in range(scale):
+        costs = rng.integers(0, 1000, size=(64, 64)).astype(float)
+        rows, cols = linear_sum_assignment(costs)
+        optimal = float(costs[rows, cols].sum())
+        total += optimal
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Floating-point kernels
+# ---------------------------------------------------------------------------
+
+def fp_kernel(rng: np.random.Generator, scale: int) -> float:
+    """Mixed FP arithmetic loops (BYTEmark 'FP emulation' stand-in)."""
+    x = rng.random(scale * 8192)
+    y = x.copy()
+    for _ in range(6):
+        y = y * 1.000001 + np.sin(y) * 0.25
+        y = np.sqrt(np.abs(y) + 1e-9)
+    return float(np.abs(y).sum())
+
+
+def fourier(rng: np.random.Generator, scale: int) -> float:
+    """Fourier coefficients by numerical integration (BYTEmark 'Fourier')."""
+    n_coeffs = 24 * scale
+    ts = np.linspace(0.0, 2.0, 512)
+    f = ts**3 - 2 * ts  # the waveform BYTEmark integrates is similar
+    total = 0.0
+    for k in range(1, n_coeffs + 1):
+        a_k = np.trapezoid(f * np.cos(np.pi * k * ts), ts)
+        b_k = np.trapezoid(f * np.sin(np.pi * k * ts), ts)
+        total += a_k * a_k + b_k * b_k
+    return float(total)
+
+
+def neural_net(rng: np.random.Generator, scale: int) -> float:
+    """A tiny back-propagation epoch (BYTEmark 'Neural net')."""
+    inputs = rng.random((32, 8))
+    targets = (inputs.sum(axis=1, keepdims=True) > 4.0).astype(float)
+    w1 = rng.normal(scale=0.5, size=(8, 8))
+    w2 = rng.normal(scale=0.5, size=(8, 1))
+
+    def sigmoid(v: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-v))
+
+    loss = 0.0
+    for _ in range(scale * 40):
+        hidden = sigmoid(inputs @ w1)
+        out = sigmoid(hidden @ w2)
+        err = out - targets
+        loss = float((err * err).mean())
+        grad_out = err * out * (1 - out)
+        grad_hidden = (grad_out @ w2.T) * hidden * (1 - hidden)
+        w2 -= 0.5 * hidden.T @ grad_out / len(inputs)
+        w1 -= 0.5 * inputs.T @ grad_hidden / len(inputs)
+    return loss
+
+
+def lu_decomposition(rng: np.random.Generator, scale: int) -> float:
+    """LU decomposition of dense systems (BYTEmark 'LU decomposition')."""
+    import scipy.linalg
+
+    residual = 0.0
+    for _ in range(scale):
+        a = rng.random((48, 48)) + np.eye(48) * 48  # diagonally dominant
+        b = rng.random(48)
+        lu, piv = scipy.linalg.lu_factor(a)
+        x = scipy.linalg.lu_solve((lu, piv), b)
+        residual += float(np.abs(a @ x - b).max())
+    assert residual < 1e-6 * scale
+    return residual
+
+
+#: The suite, in BYTEmark's traditional order.  ``work`` values are the
+#: nominal cost ratios between kernels (measured once on the reference
+#: host and frozen so simulated scores are stable).
+KERNELS: tuple[Kernel, ...] = (
+    Kernel("numeric sort", "integer", 6.0e5, numeric_sort),
+    Kernel("string sort", "integer", 7.5e5, string_sort),
+    Kernel("bitfield", "integer", 5.0e5, bitfield),
+    Kernel("fp emulation", "float", 9.0e5, fp_kernel),
+    Kernel("fourier", "float", 8.0e5, fourier),
+    Kernel("assignment", "integer", 1.1e6, assignment),
+    Kernel("idea", "integer", 4.5e5, idea_cipher),
+    Kernel("huffman", "integer", 9.5e5, huffman),
+    Kernel("neural net", "float", 1.2e6, neural_net),
+    Kernel("lu decomposition", "float", 1.0e6, lu_decomposition),
+)

@@ -1,0 +1,80 @@
+"""From benchmark scores to rankings, fractions, and partitions.
+
+The paper's balanced-workload experiments compute each machine's
+fraction ``c_j`` "using the BYTEmark results" (Section 5.1).  This
+module implements that derivation plus the integer partitioning needed
+to hand out whole data items.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+from repro.errors import PartitionError, ValidationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["ranking_from_scores", "fractions_from_scores", "partition_items"]
+
+
+def ranking_from_scores(scores: t.Mapping[str, float]) -> list[str]:
+    """Machine names sorted fastest-first by score (ties by name)."""
+    if not scores:
+        raise ValidationError("scores must be non-empty")
+    for name, score in scores.items():
+        if not (score > 0 and math.isfinite(score)):
+            raise ValidationError(f"score for {name!r} must be positive, got {score!r}")
+    return sorted(scores, key=lambda name: (-scores[name], name))
+
+
+def fractions_from_scores(scores: t.Mapping[str, float]) -> dict[str, float]:
+    """The model's ``c_j``: workload fractions proportional to speed.
+
+    ``c_j = score_j / sum(scores)`` — a machine twice as fast receives
+    twice the data, Section 3.3's load-balancing rule.  The largest
+    fraction absorbs the division residue, so the fractions sum to 1 to
+    within one float ulp (an *exact* unit sum is not representable for
+    arbitrary score vectors); :func:`partition_items` tolerates this.
+    """
+    ranking_from_scores(scores)  # validation
+    total = math.fsum(scores.values())
+    fractions = {name: score / total for name, score in scores.items()}
+    residue = 1.0 - math.fsum(fractions.values())
+    top = max(fractions, key=lambda name: (fractions[name], name))
+    fractions[top] += residue
+    return fractions
+
+
+def partition_items(
+    n: int, fractions: t.Mapping[str, float]
+) -> dict[str, int]:
+    """Split ``n`` whole items proportionally to ``fractions``.
+
+    Uses the largest-remainder method so the result is deterministic,
+    conserves ``n`` exactly, and is within one item of the ideal share
+    for every machine.  Raises :class:`PartitionError` if the fractions
+    do not sum to 1.
+    """
+    n = check_positive_int("n", max(1, n)) if n != 0 else 0
+    if not fractions:
+        raise PartitionError("fractions must be non-empty")
+    total = math.fsum(fractions.values())
+    if abs(total - 1.0) > 1e-9:
+        raise PartitionError(f"fractions must sum to 1, got {total!r}")
+    for name, fraction in fractions.items():
+        if fraction < 0:
+            raise PartitionError(f"fraction for {name!r} is negative: {fraction!r}")
+
+    floors = {name: int(math.floor(n * f)) for name, f in fractions.items()}
+    remainder = n - sum(floors.values())
+    # Hand leftover items to the largest fractional parts; break ties
+    # by name so the partition is deterministic.
+    order = sorted(
+        fractions,
+        key=lambda name: (-(n * fractions[name] - floors[name]), name),
+    )
+    out = dict(floors)
+    for name in order[:remainder]:
+        out[name] += 1
+    assert sum(out.values()) == n
+    return out

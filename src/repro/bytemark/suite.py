@@ -1,0 +1,131 @@
+"""Running the BYTEmark suite — for real, or simulated per machine.
+
+Two modes:
+
+``measure_host()``
+    Times the real kernel implementations on the machine running this
+    Python process.  Used by the ``bytemark_ranking`` example and by
+    tests that check the kernels actually run.
+
+``simulate_scores(topology, ...)``
+    Produces a BYTEmark-style index per *simulated* machine from its
+    :class:`~repro.cluster.MachineSpec.cpu_rate`, optionally perturbed
+    by log-normal measurement noise.  The noise models the paper's
+    non-dedicated testbed and is what produces the Figure 3(b) finding
+    (the second-fastest machine's ``c_j`` is over-estimated, so it
+    "sends too many elements to the root node").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing as t
+
+import numpy as np
+
+from repro.bytemark.kernels import KERNELS, Kernel
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import ClusterTopology
+
+__all__ = ["BytemarkResult", "measure_host", "simulate_scores", "true_scores"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BytemarkResult:
+    """Outcome of one suite run.
+
+    Attributes
+    ----------
+    scores:
+        Per-kernel score (work per second — higher is faster).
+    integer_index / float_index:
+        Geometric means over the integer / floating-point kernels,
+        matching how BYTEmark aggregates.
+    index:
+        Geometric mean over all kernels — the machine's overall score.
+    """
+
+    scores: t.Mapping[str, float]
+    integer_index: float
+    float_index: float
+    index: float
+
+    @staticmethod
+    def from_scores(scores: t.Mapping[str, float]) -> "BytemarkResult":
+        """Aggregate per-kernel scores into BYTEmark-style indices."""
+        by_category: dict[str, list[float]] = {"integer": [], "float": []}
+        for kernel in KERNELS:
+            if kernel.name in scores:
+                by_category[kernel.category].append(scores[kernel.name])
+        all_scores = [s for group in by_category.values() for s in group]
+        if not all_scores:
+            raise ValueError("no kernel scores supplied")
+
+        def gmean(values: list[float]) -> float:
+            if not values:
+                return float("nan")
+            return float(np.exp(np.mean(np.log(values))))
+
+        return BytemarkResult(
+            scores=dict(scores),
+            integer_index=gmean(by_category["integer"]),
+            float_index=gmean(by_category["float"]),
+            index=gmean(all_scores),
+        )
+
+
+def measure_host(
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    kernels: t.Sequence[Kernel] = KERNELS,
+    repeats: int = 1,
+) -> BytemarkResult:
+    """Time the real kernels on the host running this process.
+
+    Returns per-kernel scores of ``kernel.work * scale / elapsed``
+    (work units per wall second), aggregated BYTEmark-style.
+    """
+    scores: dict[str, float] = {}
+    for kernel in kernels:
+        rng = np.random.default_rng(seed)
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            kernel.run(rng, scale)
+            best = min(best, time.perf_counter() - start)
+        scores[kernel.name] = kernel.work * scale / max(best, 1e-9)
+    return BytemarkResult.from_scores(scores)
+
+
+def true_scores(topology: "ClusterTopology") -> dict[str, float]:
+    """Noise-free BYTEmark indices: exactly each machine's ``cpu_rate``."""
+    return {m.name: float(m.cpu_rate) for m in topology.machines}
+
+
+def simulate_scores(
+    topology: "ClusterTopology",
+    *,
+    noise_sigma: float = 0.08,
+    seed: int = 2001,
+) -> dict[str, float]:
+    """Simulated BYTEmark indices for every machine of ``topology``.
+
+    Each machine's index is its true ``cpu_rate`` scaled by a log-normal
+    measurement-noise factor (median 1.0, shape ``noise_sigma``).  The
+    per-machine noise stream is derived from the machine *name*, so the
+    score of a given machine is independent of which other machines are
+    in the topology — exactly like benchmarking real hosts one by one.
+
+    ``noise_sigma = 0`` returns the true scores.
+    """
+    check_non_negative("noise_sigma", noise_sigma)
+    out: dict[str, float] = {}
+    for machine in topology.machines:
+        stream = RngStream(seed, "bytemark", machine.name)
+        out[machine.name] = float(machine.cpu_rate) * stream.lognormal_factor(noise_sigma)
+    return out

@@ -1,0 +1,238 @@
+"""The ``python -m repro`` command line.
+
+Subcommands:
+
+``list``
+    Available machine presets and experiment ids.
+``describe PRESET``
+    Print a preset topology's tree.
+``calibrate PRESET``
+    Print the calibrated HBSP^k parameters (Table-1 style).
+``probe PRESET``
+    Measure parameters empirically and compare to calibration.
+``run COLLECTIVE PRESET``
+    Simulate one collective (gather/broadcast/scatter/reduce/
+    allgather/alltoall/allreduce/scan) and print times, the predicted
+    cost ledger, and optionally a Gantt chart.
+``experiment ID``
+    Regenerate a paper artifact (same ids as ``python -m
+    repro.experiments``).
+
+Presets take an optional ``:p`` size suffix where it makes sense,
+e.g. ``testbed:6`` or ``flat:8``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import typing as t
+
+from repro.cluster import (
+    ClusterTopology,
+    deep_hierarchy,
+    flat_cluster,
+    grid_three_level,
+    multi_lan,
+    smp_sgi_lan,
+    two_lans,
+    ucf_testbed,
+)
+from repro.errors import ReproError
+
+__all__ = ["PRESETS", "build_preset", "main"]
+
+#: Preset name -> (factory taking an optional size, description).
+PRESETS: dict[str, tuple[t.Callable[[int | None], ClusterTopology], str]] = {
+    "testbed": (
+        lambda p: ucf_testbed(p if p is not None else 10),
+        "the paper's SUN/SGI testbed (k=1, p<=10; default 10)",
+    ),
+    "flat": (
+        lambda p: flat_cluster(p if p is not None else 8),
+        "parametric heterogeneous Ethernet LAN (k=1; default p=8)",
+    ),
+    "fig1": (
+        lambda p: smp_sgi_lan(),
+        "the paper's Figure-1 machine: SMP + SGI + LAN (k=2, p=9)",
+    ),
+    "two-lans": (
+        lambda p: two_lans(p if p is not None else 4),
+        "two LANs on a campus backbone (k=2; default 4 per LAN)",
+    ),
+    "multi-lan": (
+        lambda p: multi_lan(p if p is not None else 3),
+        "N LANs on a campus backbone (k=2; default 3 LANs)",
+    ),
+    "grid": (
+        lambda p: grid_three_level(),
+        "two-site computational grid over a WAN (k=3, p=12)",
+    ),
+    "deep": (
+        lambda p: deep_hierarchy(p if p is not None else 4),
+        "complete binary hierarchy of depth k (default k=4)",
+    ),
+}
+
+_COLLECTIVES = (
+    "gather",
+    "broadcast",
+    "scatter",
+    "reduce",
+    "allgather",
+    "alltoall",
+    "allreduce",
+    "scan",
+)
+
+
+def build_preset(spec: str) -> ClusterTopology:
+    """Build a preset from ``name`` or ``name:size``."""
+    name, _, size_text = spec.partition(":")
+    if name not in PRESETS:
+        known = ", ".join(sorted(PRESETS))
+        raise ReproError(f"unknown preset {name!r}; known: {known}")
+    size = int(size_text) if size_text else None
+    return PRESETS[name][0](size)
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("presets (use with describe/calibrate/probe/run):")
+    for name, (_factory, description) in sorted(PRESETS.items()):
+        print(f"  {name:10s} {description}")
+    print()
+    print("collectives (use with run):")
+    print("  " + ", ".join(_COLLECTIVES))
+    print()
+    print("experiments (use with experiment):")
+    print("  " + ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _cmd_describe(preset: str) -> int:
+    print(build_preset(preset).describe())
+    return 0
+
+
+def _cmd_calibrate(preset: str) -> int:
+    from repro.model import calibrate
+
+    print(calibrate(build_preset(preset)).describe())
+    return 0
+
+
+def _cmd_probe(preset: str) -> int:
+    from repro.model import calibrate, probe_params
+    from repro.util.tables import AsciiTable
+
+    topology = build_preset(preset)
+    params = calibrate(topology)
+    report = probe_params(topology)
+    table = AsciiTable(
+        f"calibrated vs probed parameters for {preset}",
+        ["machine", "r (calibrated)", "r (probed, effective)"],
+    )
+    for j, machine in enumerate(topology.normalized().machines):
+        table.add_row([machine.name, params.r_of(0, j), report.r[j]])
+    print(table.render())
+    print(f"g: calibrated {params.g:.3g} s/B, probed {report.g:.3g} s/B")
+    return 0
+
+
+def _cmd_run(
+    collective: str,
+    preset: str,
+    n: int,
+    root: str,
+    workload: str,
+    gantt: bool,
+) -> int:
+    from repro import collectives as coll
+    from repro.collectives import RootPolicy, WorkloadPolicy
+    from repro.util.units import format_time
+
+    if collective not in _COLLECTIVES:
+        raise ReproError(
+            f"unknown collective {collective!r}; known: {', '.join(_COLLECTIVES)}"
+        )
+    topology = build_preset(preset)
+    runner = getattr(coll, f"run_{collective}")
+    kwargs: dict[str, t.Any] = {"trace": gantt}
+    if collective in ("gather", "broadcast", "scatter", "reduce", "allreduce"):
+        kwargs["root"] = (
+            RootPolicy.SLOWEST if root == "slowest"
+            else RootPolicy.FASTEST if root == "fastest"
+            else int(root)
+        )
+    if collective in ("gather", "scatter", "allgather", "alltoall"):
+        kwargs["workload"] = (
+            WorkloadPolicy.EQUAL if workload == "equal" else WorkloadPolicy.BALANCED
+        )
+    outcome = runner(topology, n, **kwargs)
+    print(f"{outcome.name} on {preset}")
+    print(f"simulated: {format_time(outcome.time)}   "
+          f"predicted: {format_time(outcome.predicted_time)}   "
+          f"supersteps: {outcome.supersteps}")
+    print()
+    print(outcome.predicted.describe())
+    if gantt:
+        print()
+        print(outcome.result.trace.gantt())
+    return 0
+
+
+def _cmd_experiment(experiment_id: str, plot: bool = False) -> int:
+    from repro.experiments import run_experiment
+
+    print(run_experiment(experiment_id).render(plot=plot))
+    return 0
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HBSP^k reproduction: simulate heterogeneous collectives.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list presets, collectives, experiments")
+    for name in ("describe", "calibrate", "probe"):
+        command = sub.add_parser(name, help=f"{name} a preset machine")
+        command.add_argument("preset")
+    run_parser = sub.add_parser("run", help="simulate one collective")
+    run_parser.add_argument("collective")
+    run_parser.add_argument("preset")
+    run_parser.add_argument("--n", type=int, default=25_600,
+                            help="problem size in items (default 25600 = 100 KB)")
+    run_parser.add_argument("--root", default="fastest",
+                            help="fastest | slowest | explicit pid")
+    run_parser.add_argument("--workload", default="balanced",
+                            choices=["balanced", "equal"])
+    run_parser.add_argument("--gantt", action="store_true",
+                            help="print an ASCII Gantt chart of the run")
+    experiment_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment_parser.add_argument("id")
+    experiment_parser.add_argument("--plot", action="store_true",
+                                   help="render as an ASCII line plot")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "describe":
+            return _cmd_describe(args.preset)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args.preset)
+        if args.command == "probe":
+            return _cmd_probe(args.preset)
+        if args.command == "run":
+            return _cmd_run(
+                args.collective, args.preset, args.n, args.root,
+                args.workload, args.gantt,
+            )
+        if args.command == "experiment":
+            return _cmd_experiment(args.id, plot=args.plot)
+    except ReproError as error:
+        parser.exit(2, f"error: {error}\n")
+    return 0  # pragma: no cover - argparse guarantees a command

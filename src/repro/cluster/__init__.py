@@ -1,0 +1,50 @@
+"""Declarative descriptions of heterogeneous, hierarchical clusters.
+
+A cluster is a *k*-level tree (the paper's Figure 1/2): leaves are
+machines (:class:`MachineSpec`), internal nodes are clusters joined by a
+communication network (:class:`NetworkSpec`).  :class:`ClusterTopology`
+adds indexing, routing (which network two machines cross), and
+coordinator selection (the fastest machine of each subtree, per
+Section 3.1).
+
+These specs are *physical-ish* absolute rates; the HBSP^k model
+parameters (``g``, ``r``, ``L``) are derived from them by
+:func:`repro.model.params.calibrate`.
+"""
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import Cluster, ClusterTopology
+from repro.cluster.serialization import (
+    dumps,
+    loads,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.cluster.presets import (
+    deep_hierarchy,
+    ucf_testbed,
+    smp_sgi_lan,
+    flat_cluster,
+    grid_three_level,
+    multi_lan,
+    two_lans,
+)
+
+__all__ = [
+    "MachineSpec",
+    "NetworkSpec",
+    "Cluster",
+    "ClusterTopology",
+    "deep_hierarchy",
+    "ucf_testbed",
+    "smp_sgi_lan",
+    "flat_cluster",
+    "grid_three_level",
+    "multi_lan",
+    "two_lans",
+    "dumps",
+    "loads",
+    "topology_from_dict",
+    "topology_to_dict",
+]

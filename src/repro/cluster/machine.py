@@ -1,0 +1,97 @@
+"""Machine specifications.
+
+A :class:`MachineSpec` captures everything the simulator charges time
+for on a single workstation:
+
+* computation (``cpu_rate`` work units per virtual second),
+* message packing/unpacking on the CPU (PVM's ``pvm_pkint``/
+  ``pvm_upkint`` cost, paid by the *endpoint's* CPU — the asymmetry
+  behind the paper's p = 2 gather inversion),
+* NIC injection/drain speed (``nic_gap`` seconds per byte; the model's
+  ``g * r`` product for this machine).
+
+All rates are absolute; the HBSP^k relative parameters are derived at
+calibration time by normalising against the fastest machine, exactly as
+the paper normalises ``r`` of the fastest machine to 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["MachineSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Immutable description of one workstation.
+
+    Parameters
+    ----------
+    name:
+        Unique human-readable machine name (e.g. ``"sgi-0"``).
+    cpu_rate:
+        Compute speed in work units per virtual second.  Higher is
+        faster.  BYTEmark-style indices map onto this directly.
+    nic_gap:
+        Seconds per byte for this machine's NIC to inject into (or
+        drain from) the network.  The fastest machine's ``nic_gap``
+        becomes the model's ``g``; this machine's ``r`` is
+        ``nic_gap / g_fastest``.
+    pack_cost:
+        CPU work units per byte to pack a message for sending.
+    unpack_cost:
+        CPU work units per byte to unpack a received message.
+    msg_overhead:
+        Fixed CPU work units charged per message on the sending side
+        (syscall + PVM header cost).
+    """
+
+    name: str
+    cpu_rate: float = 1e8
+    nic_gap: float = 8e-8
+    pack_cost: float = 2.0
+    unpack_cost: float = 0.8
+    msg_overhead: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise_from = None
+            from repro.errors import ValidationError
+
+            raise ValidationError("MachineSpec.name must be non-empty") from raise_from
+        check_positive("cpu_rate", self.cpu_rate)
+        check_positive("nic_gap", self.nic_gap)
+        check_non_negative("pack_cost", self.pack_cost)
+        check_non_negative("unpack_cost", self.unpack_cost)
+        check_non_negative("msg_overhead", self.msg_overhead)
+
+    # -- derived timings ------------------------------------------------------
+    def compute_time(self, work: float) -> float:
+        """Virtual seconds to perform ``work`` CPU work units."""
+        return check_non_negative("work", work) / self.cpu_rate
+
+    def pack_time(self, nbytes: int) -> float:
+        """Virtual seconds of CPU time to pack an ``nbytes`` message."""
+        return (self.msg_overhead + self.pack_cost * max(0, int(nbytes))) / self.cpu_rate
+
+    def unpack_time(self, nbytes: int) -> float:
+        """Virtual seconds of CPU time to unpack an ``nbytes`` message."""
+        return (self.unpack_cost * max(0, int(nbytes))) / self.cpu_rate
+
+    def scaled(self, factor: float, name: str | None = None) -> "MachineSpec":
+        """A copy of this machine ``factor`` times faster (CPU and NIC)."""
+        check_positive("factor", factor)
+        return dataclasses.replace(
+            self,
+            name=name if name is not None else f"{self.name}x{factor:g}",
+            cpu_rate=self.cpu_rate * factor,
+            nic_gap=self.nic_gap / factor,
+        )
+
+    def slowness_vs(self, fastest_nic_gap: float) -> float:
+        """The model's ``r`` for this machine given the fastest NIC gap."""
+        check_positive("fastest_nic_gap", fastest_nic_gap)
+        return self.nic_gap / fastest_nic_gap

@@ -1,0 +1,84 @@
+"""Network specifications.
+
+A :class:`NetworkSpec` describes the communication medium joining the
+children of one cluster node: per-byte gap on the wire, per-message
+latency, and the cost structure of a barrier synchronisation over the
+cluster (the model's ``L_{i,j}``).
+
+Hierarchy enters through these specs: a campus backbone has a larger
+gap/latency/sync cost than a machine-room LAN, which in turn is slower
+than an SMP bus.  In multi-level heterogeneous environments these costs
+"can differ by an order of magnitude or more" (Section 1) — the presets
+in :mod:`repro.cluster.presets` follow that guidance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.util.validation import check_non_negative, check_positive_int
+
+__all__ = ["NetworkSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """Immutable description of one communication network.
+
+    Parameters
+    ----------
+    name:
+        Label (e.g. ``"ethernet-100"``, ``"campus-atm"``).
+    gap:
+        Seconds per byte the medium itself needs.  The effective
+        per-byte time at an endpoint is ``max(machine.nic_gap, gap)`` —
+        a slow wire caps a fast NIC and vice versa.
+    latency:
+        One-way message latency in seconds (propagation + switching).
+    sync_base:
+        Fixed virtual seconds per barrier over this network.
+    sync_per_member:
+        Additional virtual seconds per barrier participant; barrier
+        cost for an ``m``-member cluster is
+        ``sync_base + sync_per_member * m``.
+    """
+
+    name: str
+    gap: float = 0.0
+    latency: float = 1e-4
+    sync_base: float = 1e-3
+    sync_per_member: float = 2e-4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            from repro.errors import ValidationError
+
+            raise ValidationError("NetworkSpec.name must be non-empty")
+        check_non_negative("gap", self.gap)
+        check_non_negative("latency", self.latency)
+        check_non_negative("sync_base", self.sync_base)
+        check_non_negative("sync_per_member", self.sync_per_member)
+
+    def sync_cost(self, members: int) -> float:
+        """Barrier cost ``L`` for a cluster of ``members`` machines."""
+        members = check_positive_int("members", members)
+        return self.sync_base + self.sync_per_member * members
+
+    def effective_gap(self, nic_gap: float) -> float:
+        """Per-byte time at an endpoint with the given NIC gap."""
+        return max(self.gap, nic_gap)
+
+    def scaled(self, factor: float, name: str | None = None) -> "NetworkSpec":
+        """A copy of this network ``factor`` times faster."""
+        if factor <= 0:
+            from repro.errors import ValidationError
+
+            raise ValidationError(f"factor must be > 0, got {factor!r}")
+        return dataclasses.replace(
+            self,
+            name=name if name is not None else f"{self.name}x{factor:g}",
+            gap=self.gap / factor,
+            latency=self.latency / factor,
+            sync_base=self.sync_base / factor,
+            sync_per_member=self.sync_per_member / factor,
+        )

@@ -1,0 +1,95 @@
+"""Save and load cluster topologies as plain dictionaries / JSON.
+
+A calibrated machine description is an asset worth versioning (the
+paper's experiments are only meaningful relative to a fixed testbed).
+This module round-trips :class:`~repro.cluster.ClusterTopology` through
+JSON-compatible dictionaries, preserving machine/network parameters and
+the pair-multiplier extension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as t
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import Cluster, ClusterTopology
+from repro.errors import TopologyError
+
+__all__ = ["topology_to_dict", "topology_from_dict", "dumps", "loads"]
+
+_SCHEMA = "repro.cluster/1"
+
+
+def _machine_to_dict(spec: MachineSpec) -> dict:
+    return {"kind": "machine", **dataclasses.asdict(spec)}
+
+
+def _network_to_dict(spec: NetworkSpec) -> dict:
+    return dataclasses.asdict(spec)
+
+
+def _node_to_dict(node: Cluster | MachineSpec) -> dict:
+    if isinstance(node, MachineSpec):
+        return _machine_to_dict(node)
+    return {
+        "kind": "cluster",
+        "name": node.name,
+        "network": _network_to_dict(node.network),
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def topology_to_dict(topology: ClusterTopology) -> dict:
+    """Serialise a topology (structure, specs, pair multipliers)."""
+    return {
+        "schema": _SCHEMA,
+        "root": _node_to_dict(topology.root),
+        "pair_multipliers": [
+            {"a": topology.machines[a].name, "b": topology.machines[b].name, "factor": f}
+            for (a, b), f in sorted(topology._pair_multipliers.items())
+        ],
+    }
+
+
+def _node_from_dict(data: dict) -> Cluster | MachineSpec:
+    kind = data.get("kind")
+    if kind == "machine":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        return MachineSpec(**fields)
+    if kind == "cluster":
+        return Cluster(
+            data["name"],
+            NetworkSpec(**data["network"]),
+            [_node_from_dict(child) for child in data["children"]],
+        )
+    raise TopologyError(f"unknown node kind {kind!r}")
+
+
+def topology_from_dict(data: dict) -> ClusterTopology:
+    """Rebuild a topology serialised by :func:`topology_to_dict`."""
+    if data.get("schema") != _SCHEMA:
+        raise TopologyError(
+            f"unsupported schema {data.get('schema')!r} (expected {_SCHEMA!r})"
+        )
+    root = _node_from_dict(data["root"])
+    topology = ClusterTopology(root)
+    for entry in data.get("pair_multipliers", ()):
+        topology.set_pair_multiplier(
+            topology.machine_id(entry["a"]),
+            topology.machine_id(entry["b"]),
+            entry["factor"],
+        )
+    return topology
+
+
+def dumps(topology: ClusterTopology, *, indent: int | None = 2) -> str:
+    """Serialise a topology to a JSON string."""
+    return json.dumps(topology_to_dict(topology), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> ClusterTopology:
+    """Rebuild a topology from :func:`dumps` output."""
+    return topology_from_dict(json.loads(text))

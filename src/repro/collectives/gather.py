@@ -1,0 +1,113 @@
+"""The HBSP^k gather (Sections 4.2–4.3).
+
+"The gather operation uses a single node to collect a unique message
+from each of the other nodes."
+
+Algorithm (generalised from the paper's HBSP^1/HBSP^2 descriptions):
+level by level, every level-(ℓ-1) coordinator sends its accumulated
+items to its level-ℓ coordinator, followed by a cluster-scoped
+super^ℓ-step synchronisation; after level ``k`` the root holds all
+``n`` items.  A processor never sends to itself, so the root's own
+items stay put.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.base import (
+    CollectiveOutcome,
+    concat_payloads,
+    make_items,
+    make_runtime,
+)
+from repro.collectives.schedules import (
+    RootPolicy,
+    WorkloadPolicy,
+    effective_coordinator,
+    resolve_root,
+    split_counts,
+)
+from repro.hbsplib.context import HbspContext
+from repro.model.cost import CostLedger
+from repro.model.params import HBSPParams
+from repro.model.predict import predict_gather
+
+__all__ = ["gather_program", "run_gather", "predict_gather_cost"]
+
+
+def gather_program(
+    ctx: HbspContext,
+    counts: t.Sequence[int],
+    root: int,
+    seed: int = 0,
+) -> t.Generator:
+    """Per-process gather program.
+
+    ``counts[pid]`` items are generated locally; the program returns
+    ``(held_items, checksum)`` — the root ends with ``sum(counts)``
+    items, everyone else with 0.
+    """
+    data = make_items(seed, ctx.pid, counts[ctx.pid])
+    buffer: list[np.ndarray] = [data]
+    k = ctx.runtime.tree.k
+    for level in range(1, k + 1):
+        sender = effective_coordinator(ctx, level - 1, root)
+        receiver = effective_coordinator(ctx, level, root)
+        if ctx.pid == sender and ctx.pid != receiver:
+            payload = concat_payloads(buffer)
+            buffer = []
+            yield from ctx.send(receiver, payload, tag=level)
+        yield from ctx.sync(level)
+        if ctx.pid == receiver:
+            buffer.extend(m.payload for m in ctx.messages(tag=level))
+    held = concat_payloads(buffer)
+    checksum = int(held.astype(np.int64).sum()) if held.size else 0
+    return (int(held.size), checksum)
+
+
+def run_gather(
+    topology: ClusterTopology,
+    n: int,
+    *,
+    root: int | RootPolicy | None = None,
+    workload: WorkloadPolicy | t.Sequence[int] = WorkloadPolicy.BALANCED,
+    scores: t.Mapping[str, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> CollectiveOutcome:
+    """Run the gather on the simulated machine and predict its cost.
+
+    Parameters mirror the paper's experimental knobs: ``root`` (fastest
+    / slowest / explicit pid) and ``workload`` (equal / balanced /
+    explicit per-pid counts).
+    """
+    runtime = make_runtime(topology, scores=scores, trace=trace)
+    root_pid = resolve_root(runtime, root)
+    counts = split_counts(runtime, n, workload)
+    result = runtime.run(gather_program, counts, root_pid, seed)
+    predicted = predict_gather(runtime.params, n, root=root_pid, counts=counts)
+    return CollectiveOutcome(
+        name=f"gather(n={n}, root=pid{root_pid})",
+        time=result.time,
+        supersteps=result.supersteps,
+        values=result.values,
+        predicted=predicted,
+        result=result,
+        runtime=runtime,
+    )
+
+
+def predict_gather_cost(
+    params: HBSPParams,
+    n: int,
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+) -> CostLedger:
+    """Closed-form gather cost (re-export of
+    :func:`repro.model.predict.predict_gather` for API symmetry)."""
+    return predict_gather(params, n, root=root, counts=counts)

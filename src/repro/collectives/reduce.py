@@ -1,0 +1,143 @@
+"""The HBSP^k all-to-one reduction.
+
+Every processor holds a vector of ``width`` items; the root must end
+with the element-wise combination (sum by default) of all ``p``
+vectors.  Hierarchical algorithm (dissertation [20] toolkit): like the
+gather, but each coordinator *combines* arriving vectors with its own
+before forwarding, so only ``width`` items ever cross each link — the
+communication saving over gather is exactly what the hierarchy buys.
+
+Combination work is charged to the coordinator's CPU (``width`` work
+units per arriving vector, scaled by ``ops_per_item``).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.base import CollectiveOutcome, make_items, make_runtime
+from repro.collectives.schedules import (
+    RootPolicy,
+    effective_coordinator,
+    resolve_root,
+)
+from repro.hbsplib.context import HbspContext
+from repro.model.cost import CostLedger, h_relation
+from repro.model.params import HBSPParams
+from repro.util.units import BYTES_PER_INT
+
+__all__ = ["reduce_program", "run_reduce", "predict_reduce_cost"]
+
+#: CPU work units charged per combined item.
+OPS_PER_ITEM = 1.0
+
+
+def reduce_program(
+    ctx: HbspContext,
+    width: int,
+    root: int,
+    seed: int = 0,
+) -> t.Generator:
+    """Per-process reduction program (element-wise sum).
+
+    Returns ``(items, checksum)``; the root's checksum equals the sum
+    over all processors' vectors.
+    """
+    acc = make_items(seed, ctx.pid, width).astype(np.int64)
+    k = ctx.runtime.tree.k
+    for level in range(1, k + 1):
+        sender = effective_coordinator(ctx, level - 1, root)
+        receiver = effective_coordinator(ctx, level, root)
+        if ctx.pid == sender and ctx.pid != receiver:
+            yield from ctx.send(receiver, acc, tag=level)
+        yield from ctx.sync(level)
+        if ctx.pid == receiver:
+            for message in ctx.messages(tag=level):
+                yield from ctx.compute(width * OPS_PER_ITEM)
+                acc = acc + message.payload
+    if ctx.pid != effective_coordinator(ctx, k, root):
+        return (0, 0)
+    return (int(acc.size), int(acc.sum()))
+
+
+def run_reduce(
+    topology: ClusterTopology,
+    width: int,
+    *,
+    root: int | RootPolicy | None = None,
+    scores: t.Mapping[str, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> CollectiveOutcome:
+    """Run the reduction on the simulated machine and predict its cost."""
+    runtime = make_runtime(topology, scores=scores, trace=trace)
+    root_pid = resolve_root(runtime, root)
+    result = runtime.run(reduce_program, width, root_pid, seed)
+    cpu_rates = [m.cpu_rate for m in runtime.topology.machines]
+    predicted = predict_reduce_cost(
+        runtime.params, width, root=root_pid, cpu_rates=cpu_rates
+    )
+    return CollectiveOutcome(
+        name=f"reduce(width={width}, root=pid{root_pid})",
+        time=result.time,
+        supersteps=result.supersteps,
+        values=result.values,
+        predicted=predicted,
+        result=result,
+        runtime=runtime,
+    )
+
+
+def predict_reduce_cost(
+    params: HBSPParams,
+    width: int,
+    *,
+    root: int | None = None,
+    cpu_rates: t.Sequence[float] | None = None,
+    item_bytes: int = 8,  # vectors travel as int64 accumulators
+) -> CostLedger:
+    """Closed-form reduction cost.
+
+    At each level every sender moves ``width`` items; the receiving
+    coordinator takes ``(children - 1) · width`` and combines them at
+    ``OPS_PER_ITEM`` work per item (``w`` term, needing ``cpu_rates``
+    in level-0 order; combination time is 0 when omitted).
+    """
+    from repro.model.predict import _check_inputs, _coordinator_leaf
+
+    root = _check_inputs(params, max(width, 0), root)
+    ledger = CostLedger(f"reduce(k={params.k}, width={width})")
+    if params.k == 0 or params.p == 1:
+        return ledger
+    for level in range(1, params.k + 1):
+        worst: tuple[float, float, float, float, str] | None = None
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            if len(children) <= 1:
+                continue
+            coord = _coordinator_leaf(params, key, root)
+            arriving = sum(
+                1
+                for child in children
+                if _coordinator_leaf(params, child, root) != coord
+            )
+            loads = [(params.r_of(0, coord), arriving * width * item_bytes)]
+            for child in children:
+                sender = _coordinator_leaf(params, child, root)
+                if sender != coord:
+                    loads.append((params.r_of(0, sender), width * item_bytes))
+            gh = params.g * h_relation(loads)
+            w = 0.0
+            if cpu_rates is not None:
+                w = arriving * width * OPS_PER_ITEM / cpu_rates[coord]
+            L = params.L_of(level, j)
+            total = w + gh + L
+            if worst is None or total > worst[0]:
+                worst = (total, w, gh, L, f"super{level}: reduce into {key}")
+        if worst is not None:
+            ledger.charge(worst[4], level=level, w=worst[1], gh=worst[2], L=worst[3])
+    return ledger

@@ -1,0 +1,112 @@
+"""Parallel prefix sums (scan) over per-processor vectors.
+
+Processor ``j`` holds a vector ``v_j``; after the scan it holds the
+inclusive prefix ``v_0 + v_1 + ... + v_j`` (element-wise).  We use the
+classic one-superstep BSP algorithm from the communication-primitives
+literature the paper builds on [11]: every processor sends its vector
+to all higher-numbered processors, then locally combines what arrived.
+
+The combine work is proportional to the processor's *position*, so the
+scan is an interesting case for the model: the highest-numbered
+processor does the most computation, and placing slow machines at high
+positions is visibly penalised — the ``order`` knob and its benchmark
+demonstrate the effect.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.base import CollectiveOutcome, make_items, make_runtime
+from repro.hbsplib.context import HbspContext
+from repro.model.cost import CostLedger, h_relation
+from repro.model.params import HBSPParams
+from repro.util.units import BYTES_PER_INT
+
+__all__ = ["scan_program", "run_scan", "predict_scan_cost"]
+
+#: CPU work units charged per combined item.
+OPS_PER_ITEM = 1.0
+
+
+def scan_program(
+    ctx: HbspContext,
+    width: int,
+    seed: int = 0,
+) -> t.Generator:
+    """Per-process inclusive-scan program.
+
+    Returns ``(items, checksum)`` of the local prefix result.
+    """
+    mine = make_items(seed, ctx.pid, width).astype(np.int64)
+    for peer in range(ctx.pid + 1, ctx.nprocs):
+        yield from ctx.send(peer, mine, tag=ctx.pid)
+    yield from ctx.sync()
+    acc = mine.copy()
+    for message in ctx.messages():
+        yield from ctx.compute(width * OPS_PER_ITEM)
+        acc += message.payload
+    return (int(acc.size), int(acc.sum()))
+
+
+def run_scan(
+    topology: ClusterTopology,
+    width: int,
+    *,
+    scores: t.Mapping[str, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> CollectiveOutcome:
+    """Run the prefix-sum scan and predict its cost."""
+    runtime = make_runtime(topology, scores=scores, trace=trace)
+    result = runtime.run(scan_program, width, seed)
+    cpu_rates = [m.cpu_rate for m in runtime.topology.machines]
+    predicted = predict_scan_cost(runtime.params, width, cpu_rates=cpu_rates)
+    return CollectiveOutcome(
+        name=f"scan(width={width})",
+        time=result.time,
+        supersteps=result.supersteps,
+        values=result.values,
+        predicted=predicted,
+        result=result,
+        runtime=runtime,
+    )
+
+
+def predict_scan_cost(
+    params: HBSPParams,
+    width: int,
+    *,
+    cpu_rates: t.Sequence[float] | None = None,
+    item_bytes: int = 8,  # vectors travel as int64 accumulators
+) -> CostLedger:
+    """Closed-form scan cost (one superstep).
+
+    ``h_{0,j} = width · max(p - 1 - j, j)`` (sends to higher pids,
+    receives from lower pids); combine work at pid ``j`` is
+    ``j · width`` items, so ``w`` is the slowest such combination when
+    ``cpu_rates`` are supplied.
+    """
+    ledger = CostLedger(f"scan(width={width})")
+    p = params.p
+    if p == 1:
+        return ledger
+    loads = []
+    w = 0.0
+    for j in range(p):
+        volume = width * max(p - 1 - j, j)
+        loads.append((params.r_of(0, j), volume * item_bytes))
+        if cpu_rates is not None:
+            w = max(w, j * width * OPS_PER_ITEM / cpu_rates[j])
+    ledger.charge_step(
+        "super1: scan exchange + combine",
+        level=1,
+        g=params.g,
+        loads=loads,
+        w=w,
+        L=params.L_of(params.k, 0),
+    )
+    return ledger

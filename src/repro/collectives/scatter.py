@@ -1,0 +1,171 @@
+"""The HBSP^k scatter (one-to-all personalized communication).
+
+The inverse of the gather: the root holds ``n`` items partitioned per
+processor (``counts``), and each processor must end with exactly its
+own chunk.  Hierarchical algorithm (one of the dissertation's [20]
+additional collectives, built on the paper's design rules): top-down,
+each level's coordinator sends every child-subtree coordinator the
+chunks belonging to that subtree, until level-1 coordinators deliver
+individual chunks.  The root's own chunk never leaves its machine.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.base import CollectiveOutcome, make_items, make_runtime
+from repro.collectives.schedules import (
+    RootPolicy,
+    WorkloadPolicy,
+    effective_coordinator,
+    level_participants,
+    resolve_root,
+    split_counts,
+)
+from repro.hbsplib.context import HbspContext
+from repro.model.cost import CostLedger, h_relation
+from repro.model.params import HBSPParams
+from repro.model.predict import default_counts
+from repro.util.units import BYTES_PER_INT
+
+__all__ = ["scatter_program", "run_scatter", "predict_scatter_cost"]
+
+
+def scatter_program(
+    ctx: HbspContext,
+    counts: t.Sequence[int],
+    root: int,
+    seed: int = 0,
+) -> t.Generator:
+    """Per-process scatter program.
+
+    The root generates ``sum(counts)`` items laid out pid-major; pid
+    ``j`` ends holding the slice of length ``counts[j]`` that starts at
+    ``sum(counts[:j])``.  Returns ``(items, checksum)``.
+    """
+    n = int(sum(counts))
+    holdings: dict[int, np.ndarray] | None = None
+    if ctx.pid == root:
+        everything = make_items(seed, root, n)
+        offsets = np.cumsum([0] + [int(c) for c in counts])
+        holdings = {
+            pid: everything[offsets[pid] : offsets[pid + 1]]
+            for pid in range(ctx.nprocs)
+        }
+
+    k = ctx.runtime.tree.k
+    for level in range(k, 0, -1):
+        participants = level_participants(ctx, level, root)
+        coordinator = effective_coordinator(ctx, level, root)
+        if ctx.pid == coordinator and holdings is not None:
+            node = ctx.runtime._ancestor(ctx.pid, level)
+            for i, peer in enumerate(participants):
+                if peer == ctx.pid:
+                    continue
+                subset = {
+                    member: holdings.pop(member)
+                    for member in node.children[i].members
+                    if member in holdings
+                }
+                if subset:
+                    yield from ctx.send(peer, subset, tag=level)
+        yield from ctx.sync(level)
+        arrived = ctx.messages(tag=level)
+        if arrived:
+            holdings = dict(arrived[0].payload)
+
+    chunk = holdings.get(ctx.pid) if holdings else None
+    if chunk is None:
+        chunk = np.empty(0, dtype=np.int32)
+    return (int(chunk.size), int(chunk.astype(np.int64).sum()))
+
+
+def run_scatter(
+    topology: ClusterTopology,
+    n: int,
+    *,
+    root: int | RootPolicy | None = None,
+    workload: WorkloadPolicy | t.Sequence[int] = WorkloadPolicy.BALANCED,
+    scores: t.Mapping[str, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+) -> CollectiveOutcome:
+    """Run the scatter on the simulated machine and predict its cost."""
+    runtime = make_runtime(topology, scores=scores, trace=trace)
+    root_pid = resolve_root(runtime, root)
+    counts = split_counts(runtime, n, workload)
+    result = runtime.run(scatter_program, counts, root_pid, seed)
+    predicted = predict_scatter_cost(runtime.params, n, root=root_pid, counts=counts)
+    return CollectiveOutcome(
+        name=f"scatter(n={n}, root=pid{root_pid})",
+        time=result.time,
+        supersteps=result.supersteps,
+        values=result.values,
+        predicted=predicted,
+        result=result,
+        runtime=runtime,
+    )
+
+
+def predict_scatter_cost(
+    params: HBSPParams,
+    n: int,
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+    item_bytes: int = BYTES_PER_INT,
+) -> CostLedger:
+    """Closed-form scatter cost: the gather's h-relations, reversed.
+
+    At each level the coordinator sends each child-subtree coordinator
+    that subtree's total volume; the h-relation mirrors the gather's
+    with the sender/receiver roles exchanged.
+    """
+    from repro.model.predict import _check_inputs, _coordinator_leaf
+
+    root = _check_inputs(params, n, root)
+    if counts is None:
+        counts = default_counts(params, n)
+    ledger = CostLedger(f"scatter(k={params.k}, n={n})")
+    if params.k == 0 or params.p == 1:
+        return ledger
+    subtree_total: dict[tuple[int, int], int] = {
+        (0, j): int(counts[j]) for j in range(params.p)
+    }
+    for level in range(1, params.k + 1):
+        for j in range(params.m[level]):
+            subtree_total[(level, j)] = sum(
+                subtree_total[c] for c in params.children_of(level, j)
+            )
+    for level in range(params.k, 0, -1):
+        worst: tuple[float, float, float, str] | None = None
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            if len(children) <= 1:
+                continue
+            coord = _coordinator_leaf(params, key, root)
+            own = next(
+                (c for c in children if _coordinator_leaf(params, c, root) == coord),
+                None,
+            )
+            sent = subtree_total[key] - (subtree_total[own] if own is not None else 0)
+            loads = [(params.r_of(0, coord), sent * item_bytes)]
+            for child in children:
+                if child == own:
+                    continue
+                receiver = _coordinator_leaf(params, child, root)
+                loads.append(
+                    (params.r_of(0, receiver), subtree_total[child] * item_bytes)
+                )
+            gh = params.g * h_relation(loads)
+            L = params.L_of(level, j)
+            total = gh + L
+            if worst is None or total > worst[0]:
+                worst = (total, gh, L, f"super{level}: scatter from {key}")
+        if worst is not None:
+            ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+    return ledger

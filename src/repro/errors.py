@@ -1,0 +1,111 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SimulationError",
+    "DeadlockError",
+    "TopologyError",
+    "RoutingError",
+    "PvmError",
+    "TaskNotFound",
+    "MailboxClosed",
+    "HbspError",
+    "SuperstepError",
+    "PartitionError",
+    "ModelError",
+    "CalibrationError",
+    "CollectiveError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied parameter failed validation.
+
+    Also derives from :class:`ValueError` so idiomatic call sites that
+    expect ``ValueError`` for bad arguments keep working.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine entered an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Raised by :meth:`repro.sim.Engine.run` when at least one live process
+    is waiting on an event that can never be triggered — typically a
+    receive without a matching send, or a barrier that a member never
+    reached.
+    """
+
+    def __init__(self, message: str, blocked: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        #: Human-readable descriptions of the blocked processes.
+        self.blocked = blocked
+
+
+class TopologyError(ReproError):
+    """A cluster topology is structurally invalid."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between two machines of a topology."""
+
+
+class PvmError(ReproError):
+    """Base class for errors from the PVM-like runtime."""
+
+
+class TaskNotFound(PvmError, KeyError):
+    """A task id (tid) does not name a live task in the virtual machine."""
+
+
+class MailboxClosed(PvmError):
+    """A receive was attempted on a task whose mailbox has been closed."""
+
+
+class HbspError(ReproError):
+    """Base class for errors from the HBSPlib programming layer."""
+
+
+class SuperstepError(HbspError):
+    """A program violated superstep semantics.
+
+    Examples: sending to a pid outside the process group, calling a
+    context method after the program finished, or reading messages that
+    belong to a future superstep.
+    """
+
+
+class PartitionError(HbspError, ValueError):
+    """A workload partition does not conserve the problem size."""
+
+
+class ModelError(ReproError):
+    """Base class for errors from the HBSP^k cost model."""
+
+
+class CalibrationError(ModelError):
+    """Model parameters could not be derived from a cluster topology."""
+
+
+class CollectiveError(ReproError):
+    """A collective operation was invoked with inconsistent arguments."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was configured inconsistently."""

@@ -1,0 +1,305 @@
+"""Section 3/4 analysis experiments: Table 1, phase comparisons,
+hierarchy penalties, and model fidelity.
+
+These regenerate the paper's *analytic* artifacts (the Table 1
+parameter inventory and the Section-4 cost comparisons) and validate
+the Section 3.4 claim that the cost model predicts program behaviour.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.presets import (
+    ETHERNET_100,
+    flat_cluster,
+    multi_lan,
+    smp_sgi_lan,
+    two_lans,
+    ucf_testbed,
+)
+from repro.collectives import (
+    run_allgather,
+    run_alltoall,
+    run_broadcast,
+    run_gather,
+    run_reduce,
+    run_scan,
+    run_scatter,
+)
+from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.model.params import calibrate
+from repro.model.predict import (
+    paper_broadcast_hbsp1_one_phase,
+    paper_broadcast_hbsp1_two_phase,
+    paper_broadcast_hbsp2_super2_one_phase,
+    paper_broadcast_hbsp2_super2_two_phase,
+    predict_broadcast,
+    predict_gather,
+)
+from repro.util.tables import AsciiTable
+from repro.util.units import BYTES_PER_INT, kb
+
+__all__ = [
+    "table1_parameters",
+    "sec4_broadcast_phases",
+    "sec4_gather_hierarchy",
+    "model_fidelity",
+]
+
+
+def _items(size_kb: float) -> int:
+    return int(kb(size_kb)) // BYTES_PER_INT
+
+
+def table1_parameters() -> ExperimentReport:
+    """Table 1: the model parameters of the calibrated machines.
+
+    Renders the full ``(m, g, r, L, c)`` inventory for the HBSP^1
+    testbed and the Figure-1 HBSP^2 machine.
+    """
+    testbed = ucf_testbed(10)
+    fig1 = smp_sgi_lan()
+    p_testbed = calibrate(testbed)
+    p_fig1 = calibrate(fig1)
+    series = {
+        "r_0j (testbed)": {
+            m.name: p_testbed.r_of(0, j) for j, m in enumerate(testbed.machines)
+        },
+        "c_0j (testbed)": {
+            m.name: p_testbed.c_of(0, j) for j, m in enumerate(testbed.machines)
+        },
+    }
+    extra = "\n\n".join([p_testbed.describe(), p_fig1.describe()])
+    return ExperimentReport(
+        experiment_id="table1",
+        title="Model parameters (g, r, L, c) of the calibrated machines",
+        x_name="machine",
+        series=series,
+        notes=[
+            "r is normalised so the fastest machine has r = 1 (Section 3.3)",
+            "c is proportional to machine speed and sums to 1 on level 0",
+        ],
+        extra=extra,
+    )
+
+
+def sec4_broadcast_phases(
+    processor_counts: t.Sequence[int] = tuple(range(2, 11)),
+    size_kb: int = 500,
+    *,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Section 4.4: one-phase vs two-phase broadcast, analysis + simulation.
+
+    Reports the improvement factor ``T_one/T_two`` per ``p`` for three
+    NIC-slowness regimes of an HBSP^1 cluster, plus the HBSP^2
+    super²-step regime split (``r_{1,s}`` vs ``m_{2,0}``) as an
+    analytic appendix.
+    """
+    n = _items(size_kb)
+    series: dict[str, dict[int, float]] = {}
+    for label, nic_slowdown in (("r_s=1.25", 1.25), ("r_s=4", 4.0), ("r_s=12", 12.0)):
+        sim_points: dict[int, float] = {}
+        for p in processor_counts:
+            topology = flat_cluster(p, nic_slowdown=nic_slowdown)
+            t_one = run_broadcast(topology, n, phases="one", seed=seed).time
+            t_two = run_broadcast(topology, n, phases="two", seed=seed).time
+            sim_points[p] = improvement_factor(t_one, t_two)
+        series[f"sim {label}"] = sim_points
+
+    # Analytic appendix: the paper's simplified HBSP^1 formulas and the
+    # HBSP^2 super2-step comparison in both regimes.
+    table = AsciiTable(
+        "analytic one- vs two-phase (paper formulas, 500 KB)",
+        ["machine", "p", "one-phase", "two-phase", "one/two"],
+    )
+    for p in processor_counts:
+        params = calibrate(flat_cluster(p, nic_slowdown=4.0))
+        one = paper_broadcast_hbsp1_one_phase(params, n)
+        two = paper_broadcast_hbsp1_two_phase(params, n)
+        table.add_row([f"HBSP^1 r_s=4 p={p}", p, one, two, one / two])
+    table2 = AsciiTable(
+        "analytic HBSP^2 super2-step (regimes of Section 4.4)",
+        ["r_1s", "m_20", "regime", "one-phase", "two-phase", "one/two"],
+    )
+    # The paper's case split: if r_{1,s} > m_{2,0} the one-phase step
+    # costs g·r_{1,s}·n (sender-bound disappears) and two-phase loses;
+    # otherwise one-phase pays g·n·m and two-phase wins for m > r_1s+1.
+    # r_{1,s} is the slowest *coordinator*, so the slow LANs must be
+    # uniformly slow (a slow LAN with one fast machine has a fast
+    # coordinator) — hence the per-LAN slowdown construction here.
+    from repro.cluster.machine import MachineSpec
+    from repro.cluster.topology import Cluster, ClusterTopology
+
+    def _campus_with_slow_lans(lan_count: int, worst_r: float) -> ClusterTopology:
+        lans = []
+        for i in range(lan_count):
+            factor = worst_r ** (i / max(1, lan_count - 1))
+            machines = [
+                MachineSpec(
+                    f"lan{i}-m{j}",
+                    cpu_rate=1e8 / factor,
+                    nic_gap=8e-8 * factor,
+                )
+                for j in range(3)
+            ]
+            lans.append(Cluster(f"lan{i}", ETHERNET_100, machines))
+        from repro.cluster.presets import CAMPUS_ATM
+
+        return ClusterTopology(Cluster("campus", CAMPUS_ATM, lans))
+
+    for lan_count in (2, 4, 8):
+        for worst_r in (1.25, 6.0, 20.0):
+            topo2 = _campus_with_slow_lans(lan_count, worst_r)
+            params2 = calibrate(topo2)
+            one2 = paper_broadcast_hbsp2_super2_one_phase(params2, n)
+            two2 = paper_broadcast_hbsp2_super2_two_phase(params2, n)
+            r_1s = params2.slowest_r(1)
+            m_20 = params2.m_of(2, 0)
+            table2.add_row(
+                [
+                    r_1s,
+                    m_20,
+                    "r_1s > m" if r_1s > m_20 else "r_1s <= m",
+                    one2,
+                    two2,
+                    one2 / two2,
+                ]
+            )
+    return ExperimentReport(
+        experiment_id="sec4-bcast-phases",
+        title="One-phase vs two-phase broadcast, T_one/T_two",
+        x_name="p",
+        series=series,
+        notes=[
+            "expected: two-phase wins (factor > 1) once p exceeds a small "
+            "threshold, and the win grows with p (one-phase costs ~g*n*p)",
+            "expected: the crossover arrives later for larger r_s, per the "
+            "paper's r_{1,s} vs m regime analysis",
+        ],
+        extra="\n\n".join([table.render(), table2.render()]),
+    )
+
+
+def sec4_gather_hierarchy(
+    sizes_kb: t.Sequence[float] = (10, 50, 100, 250, 500, 1000),
+    *,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Sections 4.2–4.3: h-relation balance and the hierarchy penalty.
+
+    Series 1 — ``T_hbsp2 / T_hbsp1``: the same ten machines as one flat
+    Ethernet vs two LANs behind a campus backbone; the ratio shrinks as
+    ``n`` grows ("the problem size must outweigh the cost of performing
+    the extra level of communication and synchronization").
+
+    Series 2 — ``T_oversized / T_balanced``: the Section 4.2 pathology
+    where a slow machine's ``c_j`` is too large (``r_j·c_j > 1``), so
+    its send dominates the h-relation.
+    """
+    from repro.cluster.network import NetworkSpec
+
+    flat = flat_cluster(10)
+    # Same wire bandwidth as the flat Ethernet, but an order of
+    # magnitude more latency and synchronisation overhead: the penalty
+    # is pure hierarchy cost, so the ratio falls toward 1-ish as the
+    # problem grows and the fixed costs amortise (Section 4.3).
+    slow_sync_backbone = NetworkSpec(
+        "campus-sync", gap=8e-8, latency=5e-3, sync_base=2e-2, sync_per_member=2e-3
+    )
+    hier = two_lans(5, backbone=slow_sync_backbone)
+    series: dict[str, dict[float, float]] = {"hier/flat": {}, "oversized/balanced": {}}
+    for size_kb in sizes_kb:
+        n = _items(size_kb)
+        t_flat = run_gather(flat, n, seed=seed).time
+        t_hier = run_gather(hier, n, seed=seed).time
+        series["hier/flat"][size_kb] = t_hier / t_flat
+
+        # Oversized share: give the slowest machine 50% of the items.
+        topology = ucf_testbed(6)
+        balanced = run_gather(topology, n, seed=seed)
+        p = topology.num_machines
+        slow = balanced.runtime.slowest_pid
+        counts = [0] * p
+        counts[slow] = n // 2
+        rest, extra = divmod(n - counts[slow], p - 1)
+        others = [j for j in range(p) if j != slow]
+        for idx, j in enumerate(others):
+            counts[j] = rest + (1 if idx < extra else 0)
+        oversized = run_gather(topology, n, workload=counts, seed=seed)
+        series["oversized/balanced"][size_kb] = oversized.time / balanced.time
+
+    # Analytic appendix: per-level ledger of the hierarchical gather.
+    params = calibrate(hier)
+    ledger = predict_gather(params, _items(500))
+    return ExperimentReport(
+        experiment_id="sec4-gather-hierarchy",
+        title="Gather: hierarchy penalty and unbalanced h-relations",
+        x_name="KB",
+        series=series,
+        notes=[
+            "expected: hier/flat falls as n grows (the extra level's L and "
+            "latency overheads amortise; same wire bandwidth both ways)",
+            "expected: oversized/balanced > 1 (the overloaded slow sender "
+            "dominates the heterogeneous h-relation, Section 4.2)",
+        ],
+        extra=ledger.describe(),
+    )
+
+
+def model_fidelity(
+    size_kb: int = 250,
+    *,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Section 3.4: does the cost model predict simulated behaviour?
+
+    Runs every collective on three machines (HBSP^1/HBSP^2/varied) and
+    reports the simulated/predicted time ratio per case plus the
+    Spearman rank correlation between the two across cases (the
+    'predictability' the HBSP model family aims for).
+    """
+    from scipy import stats
+
+    n = _items(size_kb)
+    cases: list[tuple[str, t.Callable[..., t.Any], tuple, dict]] = [
+        ("gather", run_gather, (n,), {}),
+        ("broadcast-1p", run_broadcast, (n,), {"phases": "one"}),
+        ("broadcast-2p", run_broadcast, (n,), {"phases": "two"}),
+        ("scatter", run_scatter, (n,), {}),
+        ("reduce", run_reduce, (n // 10,), {}),
+        ("allgather", run_allgather, (n,), {"strategy": "direct"}),
+        ("alltoall", run_alltoall, (n,), {}),
+        ("scan", run_scan, (n // 10,), {}),
+    ]
+    series: dict[str, dict[str, float]] = {}
+    notes: list[str] = []
+    for topo_label, topology in (
+        ("HBSP^1 testbed", ucf_testbed(8)),
+        ("HBSP^2 fig1", smp_sgi_lan()),
+    ):
+        simulated: list[float] = []
+        predicted: list[float] = []
+        points: dict[str, float] = {}
+        for name, runner, args, kwargs in cases:
+            outcome = runner(topology, *args, seed=seed, **kwargs)
+            simulated.append(outcome.time)
+            predicted.append(outcome.predicted_time)
+            points[name] = outcome.time / outcome.predicted_time
+        series[topo_label] = points
+        rho = float(stats.spearmanr(simulated, predicted).statistic)
+        notes.append(f"{topo_label}: Spearman rank correlation sim~pred = {rho:.3f}")
+    notes.append(
+        "ratios > 1 are expected: the model omits pack/unpack CPU time and "
+        "per-message overheads; what matters is stable ordering (rank corr.)"
+    )
+    return ExperimentReport(
+        experiment_id="model-vs-sim",
+        title="Cost-model fidelity: simulated time / predicted time",
+        x_name="collective",
+        series=series,
+        notes=notes,
+    )

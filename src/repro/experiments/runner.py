@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import typing as t
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import ablation_report
+from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
+from repro.experiments.scaling import app_scaling
+from repro.experiments.sensitivity import calibration_sensitivity
+from repro.experiments.analysis import (
+    model_fidelity,
+    sec4_broadcast_phases,
+    sec4_gather_hierarchy,
+    table1_parameters,
+)
+from repro.experiments.fig3_gather import fig3a_gather_root, fig3b_gather_balance
+from repro.experiments.fig4_broadcast import (
+    fig4a_broadcast_root,
+    fig4b_broadcast_balance,
+)
+from repro.experiments.improvement import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Experiment id -> zero-config callable (matches DESIGN.md's index).
+EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
+    "table1": table1_parameters,
+    "fig3a": fig3a_gather_root,
+    "fig3b": fig3b_gather_balance,
+    "fig4a": fig4a_broadcast_root,
+    "fig4b": fig4b_broadcast_balance,
+    "sec4-bcast-phases": sec4_broadcast_phases,
+    "sec4-gather-hierarchy": sec4_gather_hierarchy,
+    "model-vs-sim": model_fidelity,
+    "ablations": ablation_report,
+    "scaling": app_scaling,
+    "bsp-vs-hbsp": bsp_vs_hbsp,
+    "sensitivity": calibration_sensitivity,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id; raises for unknown ids."""
+    try:
+        factory = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """CLI: run one or all experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="*",
+        default=["all"],
+        help=f"experiment id(s) or 'all'; known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    args = parser.parse_args(argv)
+    wanted = list(args.experiment)
+    if wanted == ["all"]:
+        wanted = list(EXPERIMENTS)
+    for experiment_id in wanted:
+        report = run_experiment(experiment_id)
+        print(report.render())
+        print()
+    return 0

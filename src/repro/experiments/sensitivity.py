@@ -1,0 +1,112 @@
+"""Calibration sensitivity: do the conclusions survive other testbeds?
+
+The simulated testbed's knobs (CPU spread, NIC spread, pack cost) are
+*our* calibration, not the paper's measurements.  A reproduction is
+only trustworthy if the qualitative findings hold across reasonable
+settings of those knobs.  This experiment re-measures the three
+headline findings under swept calibrations:
+
+* ``gather@p``   — Fig. 3(a)'s T_s/T_f at p = 8 (should stay > 1);
+* ``gather@2``   — the p = 2 inversion (should stay < 1 while packing
+  is asymmetric, vanish as pack cost → unpack cost);
+* ``bcast@p``    — Fig. 4(a)'s T_s/T_f at p = 8 (should stay near 1,
+  below the gather's factor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.presets import ETHERNET_100
+from repro.cluster.topology import Cluster, ClusterTopology
+from repro.collectives import (
+    RootPolicy,
+    WorkloadPolicy,
+    run_broadcast,
+    run_gather,
+)
+from repro.experiments.improvement import ExperimentReport, improvement_factor
+
+__all__ = ["calibration_sensitivity"]
+
+
+def _cluster(
+    p: int,
+    *,
+    cpu_spread: float = 4.0,
+    nic_spread: float = 1.25,
+    pack_cost: float = 2.0,
+    unpack_cost: float = 0.8,
+) -> ClusterTopology:
+    machines = []
+    for j in range(p):
+        frac = j / (p - 1) if p > 1 else 0.0
+        machines.append(
+            MachineSpec(
+                f"m{j}",
+                cpu_rate=1e8 / cpu_spread**frac,
+                nic_gap=8e-8 * nic_spread**frac,
+                pack_cost=pack_cost,
+                unpack_cost=unpack_cost,
+                msg_overhead=5000.0,
+            )
+        )
+    return ClusterTopology(Cluster("lan", ETHERNET_100, machines))
+
+
+def _findings(topology_large: ClusterTopology, topology_p2: ClusterTopology) -> dict[str, float]:
+    n = 128_000
+    g_s = run_gather(
+        topology_large, n, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
+    ).time
+    g_f = run_gather(
+        topology_large, n, root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL
+    ).time
+    g2_s = run_gather(
+        topology_p2, n, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
+    ).time
+    g2_f = run_gather(
+        topology_p2, n, root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL
+    ).time
+    b_s = run_broadcast(topology_large, n, root=RootPolicy.SLOWEST).time
+    b_f = run_broadcast(topology_large, n, root=RootPolicy.FASTEST).time
+    return {
+        "gather@p": improvement_factor(g_s, g_f),
+        "gather@2": improvement_factor(g2_s, g2_f),
+        "bcast@p": improvement_factor(b_s, b_f),
+    }
+
+
+def calibration_sensitivity(p: int = 8) -> ExperimentReport:
+    """Headline findings under swept calibration knobs."""
+    sweeps: dict[str, dict] = {
+        "baseline": {},
+        "cpu spread 2x": {"cpu_spread": 2.0},
+        "cpu spread 8x": {"cpu_spread": 8.0},
+        "nic spread 1x": {"nic_spread": 1.0},
+        "nic spread 2x": {"nic_spread": 2.0},
+        "pack 2x costlier": {"pack_cost": 4.0},
+        "pack = unpack": {"pack_cost": 1.4, "unpack_cost": 1.4},
+    }
+    series: dict[str, dict[str, float]] = {}
+    for label, overrides in sweeps.items():
+        findings = _findings(
+            _cluster(p, **overrides), _cluster(2, **overrides)
+        )
+        series[label] = findings
+    return ExperimentReport(
+        experiment_id="sensitivity",
+        title=f"Headline findings vs calibration knobs (p={p})",
+        x_name="finding",
+        series=series,
+        notes=[
+            "gather@p stays > 1 and bcast@p stays below it under every "
+            "calibration: the paper's core contrast is robust",
+            "gather@2 < 1 (the inversion) requires pack asymmetry and "
+            "vanishes in the 'pack = unpack' row — matching the ablation",
+            "both factors grow with either spread (more heterogeneity, "
+            "more to exploit) but their ordering never flips",
+        ],
+    )

@@ -1,0 +1,363 @@
+"""The per-process HBSPlib API.
+
+An HBSP program is a generator function ``program(ctx, *args)`` run
+once per level-0 processor.  Communication follows BSP semantics: a
+message sent during a superstep is available to the destination only
+after the next synchronisation (Section 3.2: "A message sent in one
+super^i-step is guaranteed to be available to the destination machine
+at the beginning of the next super^i-step").
+
+All time-consuming calls are generators — use ``yield from``::
+
+    def program(ctx):
+        yield from ctx.compute(1000)
+        yield from ctx.send(ctx.fastest_pid, data)
+        yield from ctx.sync()
+        for msg in ctx.messages():
+            ...
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SuperstepError
+from repro.hbsplib.drma import GetRequest, PutRecord, apply_put, read_register
+from repro.pvm.message import Message
+from repro.sim.events import AllOf, Event
+
+#: Reserved tag namespace for one-sided (DRMA) traffic; user tags must
+#: stay below this.
+_DRMA_BASE = 1 << 30
+_TAG_PUT = _DRMA_BASE
+_TAG_GET_REQUEST = _DRMA_BASE + 1
+_TAG_GET_REPLY = _DRMA_BASE + 2
+
+
+class GetHandle:
+    """The pending result of a one-sided :meth:`HbspContext.get`.
+
+    ``handle.value`` becomes available after the synchronisation that
+    serviced the get (``ctx.sync(drma=True)``).
+    """
+
+    __slots__ = ("_value", "_ready")
+
+    def __init__(self) -> None:
+        self._value = None
+        self._ready = False
+
+    def _fulfill(self, value) -> None:
+        self._value = value
+        self._ready = True
+
+    @property
+    def ready(self) -> bool:
+        """True once the servicing sync has completed."""
+        return self._ready
+
+    @property
+    def value(self):
+        """The fetched value (raises until the servicing sync ran)."""
+        if not self._ready:
+            raise SuperstepError(
+                "get result read before the servicing sync(drma=True)"
+            )
+        return self._value
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.hbsplib.runtime import HbspRuntime
+    from repro.pvm.task import Task
+
+__all__ = ["HbspContext"]
+
+
+class HbspContext:
+    """The state and API of one HBSP process.
+
+    Attributes
+    ----------
+    pid:
+        This process's id — the global index of its machine (level-0
+        ``j``, so pid ``j`` runs on ``M_{0,j}``).
+    nprocs:
+        Total number of processes (the paper's ``p`` = ``m_0``).
+    """
+
+    def __init__(self, runtime: "HbspRuntime", task: "Task", pid: int) -> None:
+        self.runtime = runtime
+        self.task = task
+        self.pid = pid
+        self.nprocs = runtime.nprocs
+        self.superstep = 0
+        self._available: list[Message] = []
+        self._pending: list[Event] = []
+        self._finished = False
+        self._registers: dict[str, t.Any] = {}
+        self._get_handles: dict[int, GetHandle] = {}
+        self._next_get_id = 0
+
+    # -- enquiry (BSPlib: bsp_pid / bsp_nprocs / bsp_time) ---------------------
+    @property
+    def time(self) -> float:
+        """Current virtual time (``bsp_time``)."""
+        return self.task.now
+
+    @property
+    def machine_name(self) -> str:
+        """Name of the machine this process runs on."""
+        return self.task.host.spec.name
+
+    # -- heterogeneity primitives ----------------------------------------------
+    @property
+    def fastest_pid(self) -> int:
+        """Pid of the fastest processor (``P_f``; the default root)."""
+        return self.runtime.fastest_pid
+
+    @property
+    def slowest_pid(self) -> int:
+        """Pid of the slowest processor (``P_s``)."""
+        return self.runtime.slowest_pid
+
+    def rank_of(self, pid: int | None = None) -> int:
+        """Speed rank of ``pid`` (0 = fastest), from benchmark scores."""
+        return self.runtime.rank_of(self.pid if pid is None else pid)
+
+    def fraction_of(self, pid: int | None = None) -> float:
+        """The model's ``c_{0,pid}`` workload fraction."""
+        return self.runtime.fraction_of(self.pid if pid is None else pid)
+
+    def partition(self, n: int, *, balanced: bool = True) -> list[int]:
+        """Per-pid item counts for ``n`` items (balanced or equal)."""
+        return self.runtime.partition(n, balanced=balanced)
+
+    def coordinator_pid(self, level: int) -> int:
+        """Pid coordinating this process's level-``level`` ancestor cluster."""
+        return self.runtime.coordinator_pid(self.pid, level)
+
+    def cluster_members(self, level: int) -> tuple[int, ...]:
+        """Pids in this process's level-``level`` ancestor cluster."""
+        return self.runtime.cluster_members(self.pid, level)
+
+    def is_coordinator(self, level: int) -> bool:
+        """True if this process coordinates its level-``level`` cluster."""
+        return self.coordinator_pid(level) == self.pid
+
+    # -- communication -------------------------------------------------------------
+    def send(
+        self,
+        pid: int,
+        payload: t.Any,
+        *,
+        tag: int = 0,
+        nbytes: int | None = None,
+    ) -> t.Generator[Event, t.Any, None]:
+        """Buffered send (``bsp_send``); available to ``pid`` after sync.
+
+        A generator: charges pack + injection time on this machine.
+        """
+        self._check_live()
+        if not 0 <= pid < self.nprocs:
+            raise SuperstepError(
+                f"send to pid {pid} outside process group [0, {self.nprocs})"
+            )
+        delivery = yield from self.task.send(
+            self.runtime.tid_of(pid), payload, tag=tag, nbytes=nbytes
+        )
+        self._pending.append(delivery)
+
+    def sync(
+        self, level: int | None = None, *, drma: bool = False
+    ) -> t.Generator[Event, t.Any, None]:
+        """Barrier synchronisation ending the current superstep.
+
+        ``level=None`` (or ``k``) synchronises the whole machine,
+        charging the root's ``L``; ``level=i`` synchronises only this
+        process's level-``i`` ancestor cluster, charging that cluster's
+        ``L_{i,j}`` — the cluster-scoped barrier of a super^i-step.
+
+        On return, every message sent to this process before its
+        sender entered the same barrier is available via
+        :meth:`messages`, and one-sided puts have been applied to the
+        destination registers.
+
+        ``drma=True`` additionally services outstanding :meth:`get`
+        requests: an internal reply round runs inside the sync, which
+        charges one extra barrier ``L`` — every process of the barrier
+        group must pass the same flag (the usual uniform-schedule
+        rule).
+        """
+        self._check_live()
+        yield from self._barrier_round(level)
+        if drma:
+            # Serve get requests captured by the first round: read the
+            # end-of-superstep register values and reply.
+            for message in self._take_drma(_TAG_GET_REQUEST):
+                get_id, request = message.payload
+                value = read_register(self._registers, request)
+                yield from self.send(
+                    request.requester, (get_id, value), tag=_TAG_GET_REPLY
+                )
+            yield from self._barrier_round(level)
+            for message in self._take_drma(_TAG_GET_REPLY):
+                get_id, value = message.payload
+                self._get_handles.pop(get_id)._fulfill(value)
+        self.superstep += 1
+
+    def _barrier_round(self, level: int | None) -> t.Generator[Event, t.Any, None]:
+        """One flush + barrier + collect round (internal)."""
+        # 1. Superstep communication must complete before the barrier
+        #    can release: wait for our own sends to be delivered.
+        if self._pending:
+            pending, self._pending = self._pending, []
+            yield AllOf(self.runtime.engine, pending, name=f"pid{self.pid}.flush")
+        # 2. Cluster-scoped barrier (charges L).
+        barrier = self.runtime.barrier_for(self.pid, level)
+        start = self.task.now
+        yield barrier.wait()
+        self.runtime.vm.trace.emit(
+            self.task.now, "sync", f"pid{self.pid}",
+            self.task.now - start, level=level, superstep=self.superstep,
+        )
+        # 3. BSP delivery: everything in the mailbox becomes available;
+        #    one-sided puts are applied instead of queued.
+        yield from self._collect()
+        for message in self._take_drma(_TAG_PUT):
+            apply_put(self._registers, message.payload)
+
+    def _take_drma(self, tag: int) -> list[Message]:
+        """Remove and return collected DRMA messages with ``tag``."""
+        taken = [m for m in self._available if m.tag == tag]
+        self._available = [m for m in self._available if m.tag != tag]
+        return taken
+
+    def _collect(self) -> t.Generator[Event, t.Any, None]:
+        while True:
+            message = self.task.try_recv()
+            if message is None:
+                break
+            unpack = self.task.host.spec.unpack_time(message.nbytes)
+            if unpack > 0:
+                start = self.task.now
+                yield from self.task.host.cpu.occupy(unpack)
+                self.runtime.vm.trace.emit(
+                    self.task.now, "unpack", self.task.name,
+                    self.task.now - start, nbytes=message.nbytes, src=message.src,
+                )
+            self._available.append(message)
+
+    def messages(
+        self,
+        source: int | None = None,
+        tag: int | None = None,
+    ) -> list[Message]:
+        """Take delivered messages (``bsp_move``), oldest first.
+
+        ``source`` filters by sender *pid*.  Taken messages are removed
+        from the queue.
+        """
+        src_tid = None if source is None else self.runtime.tid_of(source)
+        taken = [
+            m for m in self._available if m.matches(src_tid, tag)
+        ]
+        self._available = [m for m in self._available if m not in taken]
+        return taken
+
+    def peek_messages(self) -> tuple[Message, ...]:
+        """Delivered-but-untaken messages (non-destructive)."""
+        return tuple(self._available)
+
+    def pid_of_message(self, message: Message) -> int:
+        """Sender pid of a delivered message."""
+        return self.runtime.pid_of(message.src)
+
+    # -- one-sided operations (BSPlib DRMA: bsp_push_reg / bsp_put / bsp_get)
+    def register(self, name: str, value: t.Any) -> None:
+        """Register a variable for one-sided access (``bsp_push_reg``).
+
+        All processes that will be targeted must register the same
+        name; registration is local and free.
+        """
+        self._check_live()
+        self._registers[name] = value
+
+    def deregister(self, name: str) -> None:
+        """Remove a registered variable (``bsp_pop_reg``)."""
+        if name not in self._registers:
+            raise SuperstepError(f"{name!r} is not registered on pid {self.pid}")
+        del self._registers[name]
+
+    def register_value(self, name: str) -> t.Any:
+        """Read the local copy of a registered variable."""
+        if name not in self._registers:
+            raise SuperstepError(f"{name!r} is not registered on pid {self.pid}")
+        return self._registers[name]
+
+    def put(
+        self,
+        pid: int,
+        name: str,
+        value: t.Any,
+        *,
+        offset: int | None = None,
+    ) -> t.Generator[Event, t.Any, None]:
+        """One-sided write (``bsp_put``): after the next sync, ``pid``'s
+        register ``name`` holds ``value`` (or, with ``offset``, has the
+        array slice starting there overwritten).
+
+        Buffered-on-source semantics: the value is captured now; the
+        destination observes it only after the barrier.
+        """
+        self._check_live()
+        import numpy as np
+
+        captured = value.copy() if isinstance(value, np.ndarray) else value
+        record = PutRecord(src_pid=self.pid, name=name, value=captured, offset=offset)
+        # PutRecord is opaque to the payload sizer; charge the value's
+        # wire size (plus a small header) explicitly.
+        from repro.pvm.message import payload_nbytes
+
+        yield from self.send(
+            pid, record, tag=_TAG_PUT, nbytes=payload_nbytes(captured) + 16
+        )
+
+    def get(
+        self,
+        pid: int,
+        name: str,
+        *,
+        offset: int | None = None,
+        length: int | None = None,
+    ) -> t.Generator[Event, t.Any, GetHandle]:
+        """One-sided read (``bsp_get``): returns a :class:`GetHandle`
+        whose ``.value`` is ``pid``'s register ``name`` as of the end
+        of this superstep.  The handle is fulfilled by the next
+        ``sync(drma=True)``.
+        """
+        self._check_live()
+        get_id = self._next_get_id
+        self._next_get_id += 1
+        handle = GetHandle()
+        self._get_handles[get_id] = handle
+        request = (get_id, GetRequest(self.pid, name, offset, length))
+        yield from self.send(pid, request, tag=_TAG_GET_REQUEST)
+        return handle
+
+    # -- computation -------------------------------------------------------------------
+    def compute(self, work: float) -> t.Generator[Event, t.Any, None]:
+        """Perform ``work`` CPU work units of local computation."""
+        self._check_live()
+        yield from self.task.compute(work)
+
+    # -- internal ----------------------------------------------------------------------
+    def _check_live(self) -> None:
+        if self._finished:
+            raise SuperstepError(
+                f"pid {self.pid} used its context after the program finished"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<HbspContext pid={self.pid}/{self.nprocs} on {self.machine_name} "
+            f"superstep={self.superstep}>"
+        )

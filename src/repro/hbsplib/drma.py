@@ -1,0 +1,109 @@
+"""One-sided (DRMA) operations: BSPlib-style ``put`` and ``get``.
+
+BSPlib programs use *registered variables* for direct remote memory
+access: ``bsp_put`` writes into a peer's registered variable at the
+end of the superstep; ``bsp_get`` reads a peer's variable as it was at
+the end of the superstep, delivering before the next one starts.
+
+Semantics implemented here (matching BSPlib's):
+
+* ``put`` is buffered on the source: the value captured at call time
+  is written into the destination's register *after* the barrier, so
+  no process observes a torn superstep.  Concurrent puts to the same
+  register are applied in (sender pid, call order) — deterministic.
+* ``get`` captures the remote value as of the end of the superstep.
+  It is implemented with an internal request/reply round *inside* the
+  synchronisation, which charges one extra barrier ``L`` when any
+  process issued a get — the real cost one-sided reads have on a
+  message-passing substrate.
+
+Registers hold whole Python values (commonly numpy arrays); partial
+writes use the ``offset``/``length`` arguments for array registers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import SuperstepError
+
+__all__ = ["PutRecord", "GetRequest"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PutRecord:
+    """One buffered remote write (internal)."""
+
+    src_pid: int
+    name: str
+    value: t.Any
+    offset: int | None
+
+
+@dataclasses.dataclass(frozen=True)
+class GetRequest:
+    """One pending remote read (internal)."""
+
+    requester: int
+    name: str
+    offset: int | None
+    length: int | None
+
+
+def apply_put(registers: dict[str, t.Any], record: PutRecord) -> None:
+    """Apply a buffered put to a register table."""
+    if record.name not in registers:
+        raise SuperstepError(
+            f"put into unregistered variable {record.name!r} "
+            f"(from pid {record.src_pid})"
+        )
+    if record.offset is None:
+        registers[record.name] = record.value
+        return
+    target = registers[record.name]
+    if not isinstance(target, np.ndarray):
+        raise SuperstepError(
+            f"offset put needs an array register, {record.name!r} is "
+            f"{type(target).__name__}"
+        )
+    value = np.asarray(record.value)
+    end = record.offset + value.size
+    if record.offset < 0 or end > target.size:
+        raise SuperstepError(
+            f"put of {value.size} items at offset {record.offset} overflows "
+            f"register {record.name!r} (size {target.size})"
+        )
+    target[record.offset : end] = value
+
+
+def read_register(
+    registers: dict[str, t.Any],
+    request: GetRequest,
+) -> t.Any:
+    """Serve a get request against a register table."""
+    if request.name not in registers:
+        raise SuperstepError(
+            f"get of unregistered variable {request.name!r} "
+            f"(for pid {request.requester})"
+        )
+    value = registers[request.name]
+    if request.offset is None:
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        return value
+    if not isinstance(value, np.ndarray):
+        raise SuperstepError(
+            f"offset get needs an array register, {request.name!r} is "
+            f"{type(value).__name__}"
+        )
+    length = request.length if request.length is not None else value.size - request.offset
+    end = request.offset + length
+    if request.offset < 0 or end > value.size:
+        raise SuperstepError(
+            f"get of {length} items at offset {request.offset} overflows "
+            f"register {request.name!r} (size {value.size})"
+        )
+    return value[request.offset : end].copy()

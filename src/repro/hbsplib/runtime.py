@@ -1,0 +1,251 @@
+"""The HBSPlib runtime: program execution over the PVM substrate.
+
+:class:`HbspRuntime` owns the simulated machine (a
+:class:`~repro.pvm.VirtualMachine` over the cluster topology), one
+barrier per cluster node of the HBSP tree (charging that cluster's
+``L_{i,j}``), and the speed/fraction tables derived from benchmark
+scores.  :meth:`HbspRuntime.run` spawns one process per level-0
+machine and returns an :class:`HbspResult` with per-pid return values
+and the simulated makespan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.bytemark.ranking import fractions_from_scores, ranking_from_scores
+from repro.bytemark.suite import true_scores
+from repro.cluster.topology import ClusterTopology
+from repro.errors import HbspError
+from repro.hbsplib.context import HbspContext
+from repro.hbsplib.hetero import equal_partition, proportional_partition
+from repro.model.params import HBSPParams, calibrate
+from repro.model.tree import HBSPNode, HBSPTree
+from repro.pvm.vm import VirtualMachine
+from repro.sim.barrier import Barrier
+from repro.sim.trace import Trace
+
+__all__ = ["HbspResult", "HbspRuntime"]
+
+#: An HBSP program: a generator function of (ctx, *args, **kwargs).
+Program = t.Callable[..., t.Generator]
+
+
+@dataclasses.dataclass
+class HbspResult:
+    """Outcome of one HBSP program execution.
+
+    Attributes
+    ----------
+    values:
+        Per-pid return values of the program.
+    time:
+        Simulated makespan in virtual seconds (the experiment metric —
+        the paper's ``T_A``/``T_B``).
+    supersteps:
+        Largest number of synchronisations performed by any process.
+    trace:
+        Structured trace (enabled via ``HbspRuntime(trace=True)``).
+    """
+
+    values: dict[int, t.Any]
+    time: float
+    supersteps: int
+    trace: Trace
+
+    def __repr__(self) -> str:
+        return (
+            f"HbspResult(time={self.time:.6g}, supersteps={self.supersteps}, "
+            f"pids={len(self.values)})"
+        )
+
+
+class HbspRuntime:
+    """Executes HBSP programs on a simulated heterogeneous machine.
+
+    Parameters
+    ----------
+    topology:
+        The cluster to run on (normalised internally; pids are the
+        machine indices of the normalised topology, which preserve the
+        original declaration order).
+    scores:
+        Benchmark scores per machine name, used for ranks and the
+        ``c_j`` fractions.  Defaults to the machines' true speeds;
+        pass :func:`repro.bytemark.simulate_scores` output for the
+        paper's noisy-measurement setting.
+    trace:
+        Enable structured tracing (costs simulation speed).
+
+    A fresh runtime (with a fresh virtual clock) should be used per
+    measured program run; :meth:`run` enforces this.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        scores: t.Mapping[str, float] | None = None,
+        trace: bool = False,
+        serialize_nic: bool = True,
+    ) -> None:
+        self.tree = HBSPTree(topology)
+        self.topology = self.tree.topology  # normalised
+        self.vm = VirtualMachine(
+            self.topology, trace=trace, serialize_nic=serialize_nic
+        )
+        self.engine = self.vm.engine
+        self.scores = dict(scores) if scores is not None else true_scores(self.topology)
+        missing = [m.name for m in self.topology.machines if m.name not in self.scores]
+        if missing:
+            raise HbspError(f"scores missing for machines: {missing}")
+        self.params: HBSPParams = calibrate(
+            self.tree.source, scores=self.scores, tree=self.tree
+        )
+        self.nprocs = self.topology.num_machines
+
+        name_ranking = ranking_from_scores(self.scores)
+        self._rank = {
+            self.topology.machine_id(name): rank
+            for rank, name in enumerate(name_ranking)
+        }
+        fractions = fractions_from_scores(self.scores)
+        self._fractions = [
+            fractions[m.name] for m in self.topology.machines
+        ]
+
+        # One barrier per cluster node; parties = processors in the
+        # subtree (every member arrives, the cost charged is L_{i,j}).
+        self._barriers: dict[tuple[int, int], Barrier] = {}
+        self._node_of_barrier: dict[tuple[int, int], HBSPNode] = {}
+        for node in self.tree.walk():
+            if node.level >= 1:
+                key = (node.level, node.index)
+                self._barriers[key] = Barrier(
+                    self.engine,
+                    parties=len(node.members),
+                    cost=self.params.L_of(*key),
+                    name=f"L{key}",
+                )
+                self._node_of_barrier[key] = node
+
+        self._contexts: list[HbspContext] = []
+        self._ran = False
+
+    # -- lookup tables used by contexts -------------------------------------------
+    @property
+    def fastest_pid(self) -> int:
+        """Pid with speed rank 0 (``P_f``)."""
+        return min(self._rank, key=lambda pid: self._rank[pid])
+
+    @property
+    def slowest_pid(self) -> int:
+        """Pid with the worst speed rank (``P_s``)."""
+        return max(self._rank, key=lambda pid: self._rank[pid])
+
+    def rank_of(self, pid: int) -> int:
+        """Speed rank of ``pid`` (0 = fastest)."""
+        return self._rank[pid]
+
+    def fraction_of(self, pid: int) -> float:
+        """Workload fraction ``c_{0,pid}``."""
+        return self._fractions[pid]
+
+    def partition(self, n: int, *, balanced: bool = True) -> list[int]:
+        """Item counts per pid: proportional (balanced) or equal."""
+        if balanced:
+            return proportional_partition(n, self._fractions)
+        return equal_partition(n, self.nprocs)
+
+    def tid_of(self, pid: int) -> int:
+        """PVM task id of process ``pid``."""
+        return self._contexts[pid].task.tid
+
+    def pid_of(self, tid: int) -> int:
+        """Process id of PVM task ``tid``."""
+        for ctx in self._contexts:
+            if ctx.task.tid == tid:
+                return ctx.pid
+        raise HbspError(f"no process with tid {tid}")
+
+    def barrier_for(self, pid: int, level: int | None) -> Barrier:
+        """The barrier of ``pid``'s ancestor cluster at ``level``.
+
+        ``level=None`` means the root (a global synchronisation).
+        """
+        if level is None:
+            level = self.tree.k
+        if not 1 <= level <= self.tree.k:
+            raise HbspError(f"sync level must be in [1, {self.tree.k}], got {level}")
+        for key, node in self._node_of_barrier.items():
+            if key[0] == level and pid in node.members:
+                return self._barriers[key]
+        raise HbspError(f"pid {pid} has no level-{level} ancestor cluster")
+
+    def coordinator_pid(self, pid: int, level: int) -> int:
+        """Coordinator of ``pid``'s ancestor cluster at ``level``."""
+        if level == 0:
+            return pid
+        node = self._ancestor(pid, level)
+        return node.coordinator
+
+    def cluster_members(self, pid: int, level: int) -> tuple[int, ...]:
+        """Members of ``pid``'s ancestor cluster at ``level``."""
+        if level == 0:
+            return (pid,)
+        return self._ancestor(pid, level).members
+
+    def _ancestor(self, pid: int, level: int) -> HBSPNode:
+        for node in self.tree.level_nodes(level):
+            if pid in node.members:
+                return node
+        raise HbspError(f"pid {pid} has no level-{level} ancestor")
+
+    # -- execution ---------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        *args: t.Any,
+        per_pid_args: t.Sequence[tuple] | None = None,
+        **kwargs: t.Any,
+    ) -> HbspResult:
+        """Execute ``program`` on every processor and simulate to completion.
+
+        ``program(ctx, *args, **kwargs)`` runs once per pid; with
+        ``per_pid_args``, process ``j`` instead receives
+        ``program(ctx, *per_pid_args[j], **kwargs)``.
+        """
+        if self._ran:
+            raise HbspError(
+                "this runtime already executed a program; create a fresh "
+                "HbspRuntime per measured run (the virtual clock is not reset)"
+            )
+        self._ran = True
+        if per_pid_args is not None and len(per_pid_args) != self.nprocs:
+            raise HbspError(
+                f"per_pid_args must have {self.nprocs} entries, got {len(per_pid_args)}"
+            )
+
+        def wrapper(task, pid: int):  # generator function for the PVM task
+            ctx = self._contexts[pid]
+            call_args = per_pid_args[pid] if per_pid_args is not None else args
+            value = yield from program(ctx, *call_args, **kwargs)
+            ctx._finished = True
+            return value
+
+        # Create contexts first (tid_of needs them all before any send).
+        for pid in range(self.nprocs):
+            task = self.vm.spawn(
+                wrapper, pid, pid, name=f"pid{pid}@{self.topology.machines[pid].name}"
+            )
+            self._contexts.append(HbspContext(self, task, pid))
+
+        time = self.vm.run()
+        values = {
+            pid: ctx.task.process.value for pid, ctx in enumerate(self._contexts)
+        }
+        supersteps = max((ctx.superstep for ctx in self._contexts), default=0)
+        return HbspResult(
+            values=values, time=time, supersteps=supersteps, trace=self.vm.trace
+        )

@@ -1,0 +1,174 @@
+"""The HBSP^k cost model (Section 3.4).
+
+The execution time of super^i-step ``λ`` is::
+
+    T_i(λ) = w_i + g·h + L_{i,j}
+
+where ``w_i`` is the largest local computation performed by a level-i
+node in the step, and the *heterogeneous h-relation* is
+``h = max_j { r_{i,j} · h_{i,j} }`` with ``h_{i,j}`` the largest number
+of message units sent or received by ``M_{i,j}``.  The overall cost of
+a program is the sum of its super^i-step times.
+
+:class:`CostLedger` accumulates super-step costs with labels so that
+predictions stay inspectable (which step dominates, what the hierarchy
+penalty is — Section 3.4's "penalty associated with using a particular
+heterogeneous environment").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.errors import ModelError
+from repro.util.validation import check_non_negative
+
+__all__ = ["h_relation", "superstep_cost", "SuperstepCost", "CostLedger"]
+
+
+def h_relation(loads: t.Iterable[tuple[float, float]]) -> float:
+    """Size of a heterogeneous h-relation.
+
+    ``loads`` yields ``(r, h)`` pairs: each participating machine's
+    slowness and its largest send-or-receive volume.  Returns
+    ``max(r · h)`` (0.0 for no participants — an empty step).
+    """
+    best = 0.0
+    for r, h in loads:
+        if r < 1.0 - 1e-12:
+            raise ModelError(f"r must be >= 1, got {r!r}")
+        check_non_negative("h", h)
+        best = max(best, r * h)
+    return best
+
+
+def superstep_cost(w: float, g: float, h: float, L: float) -> float:
+    """Equation (1): ``T_i = w_i + g·h + L_{i,j}``."""
+    return (
+        check_non_negative("w", w)
+        + check_non_negative("g", g) * check_non_negative("h", h)
+        + check_non_negative("L", L)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SuperstepCost:
+    """One itemised super^i-step cost.
+
+    Attributes
+    ----------
+    label:
+        Human-readable step name (e.g. ``"super1: leaves -> coordinators"``).
+    level:
+        The step's ``i`` (1 for superstep of an HBSP^1 cluster...).
+    w:
+        Largest local computation in the step.
+    gh:
+        Communication term ``g·h``.
+    L:
+        Synchronisation overhead charged by the step.
+    """
+
+    label: str
+    level: int
+    w: float
+    gh: float
+    L: float
+
+    @property
+    def total(self) -> float:
+        """``w + g·h + L``."""
+        return self.w + self.gh + self.L
+
+
+class CostLedger:
+    """An ordered record of super-step costs for one program/algorithm."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.steps: list[SuperstepCost] = []
+
+    def charge(
+        self,
+        label: str,
+        *,
+        level: int,
+        w: float = 0.0,
+        gh: float = 0.0,
+        L: float = 0.0,
+    ) -> SuperstepCost:
+        """Append one super^level-step with the given components."""
+        if level < 0:
+            raise ModelError(f"level must be >= 0, got {level}")
+        step = SuperstepCost(
+            label,
+            level,
+            check_non_negative("w", w),
+            check_non_negative("gh", gh),
+            check_non_negative("L", L),
+        )
+        self.steps.append(step)
+        return step
+
+    def charge_step(
+        self,
+        label: str,
+        *,
+        level: int,
+        g: float,
+        loads: t.Iterable[tuple[float, float]],
+        w: float = 0.0,
+        L: float = 0.0,
+    ) -> SuperstepCost:
+        """Charge a step whose communication is a heterogeneous h-relation."""
+        return self.charge(label, level=level, w=w, gh=g * h_relation(loads), L=L)
+
+    def extend(self, other: "CostLedger", prefix: str = "") -> None:
+        """Append all of ``other``'s steps (optionally label-prefixed)."""
+        for step in other.steps:
+            self.steps.append(
+                dataclasses.replace(step, label=f"{prefix}{step.label}")
+            )
+
+    @property
+    def total(self) -> float:
+        """Sum of all super-step times (the overall cost, Section 3.4)."""
+        return math.fsum(step.total for step in self.steps)
+
+    def component(self, which: str) -> float:
+        """Total of one component across steps: ``"w"``, ``"gh"`` or ``"L"``."""
+        if which not in ("w", "gh", "L"):
+            raise ModelError(f"unknown component {which!r}")
+        return math.fsum(getattr(step, which) for step in self.steps)
+
+    def hierarchy_penalty(self) -> float:
+        """Overheads attributable to levels above 1 (sync + comm there).
+
+        Section 3.4: hierarchical platforms add synchronisation and
+        communication costs at each level; this reports the part of the
+        total charged by super^i-steps with ``i >= 2``.
+        """
+        return math.fsum(step.total for step in self.steps if step.level >= 2)
+
+    def num_supersteps(self, level: int | None = None) -> int:
+        """Count of charged steps (optionally at one level)."""
+        if level is None:
+            return len(self.steps)
+        return sum(1 for step in self.steps if step.level == level)
+
+    def describe(self) -> str:
+        """Render the ledger as a table."""
+        from repro.util.tables import AsciiTable
+
+        table = AsciiTable(
+            f"cost ledger: {self.name}", ["step", "level", "w", "g*h", "L", "total"]
+        )
+        for step in self.steps:
+            table.add_row([step.label, step.level, step.w, step.gh, step.L, step.total])
+        table.add_row(["TOTAL", "", self.component("w"), self.component("gh"), self.component("L"), self.total])
+        return table.render()
+
+    def __repr__(self) -> str:
+        return f"CostLedger({self.name!r}, {len(self.steps)} steps, total={self.total:.6g})"

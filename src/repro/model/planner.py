@@ -1,0 +1,107 @@
+"""Cost-model-driven planning of collective configurations.
+
+Section 3.4: "The HBSP^k model provides the user with ways to
+manipulate these costs" — this module turns that claim into an API.
+Given calibrated parameters and a problem size, the planner enumerates
+the algorithm's discrete choices (which phase scheme per level, which
+root) and returns the configuration the cost model predicts to be the
+cheapest.  The benchmarks validate the plans against simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+from repro.errors import ModelError
+from repro.model.cost import CostLedger
+from repro.model.params import HBSPParams
+from repro.model.predict import predict_broadcast, predict_gather
+
+__all__ = ["best_broadcast_phases", "best_root", "hierarchy_penalty"]
+
+
+def best_broadcast_phases(
+    params: HBSPParams,
+    n: int,
+    *,
+    root: int | None = None,
+) -> tuple[dict[int, str], CostLedger]:
+    """The per-level one-/two-phase choice with the lowest predicted cost.
+
+    Enumerates all ``2^k`` combinations (k is small by construction)
+    and returns ``(phases, predicted_ledger)``.  The choice captures
+    both Section-4.4 regimes: one-phase for tiny fan-outs or when
+    ``r_{i,s} > m``, two-phase otherwise.
+    """
+    if params.k < 1:
+        raise ModelError("broadcast planning needs k >= 1")
+    best: tuple[dict[int, str], CostLedger] | None = None
+    for combo in itertools.product(("one", "two"), repeat=params.k):
+        phases = {level: combo[level - 1] for level in range(1, params.k + 1)}
+        ledger = predict_broadcast(params, n, root=root, phases=phases)
+        if best is None or ledger.total < best[1].total:
+            best = (phases, ledger)
+    assert best is not None
+    return best
+
+
+def best_root(
+    params: HBSPParams,
+    n: int,
+    *,
+    collective: str = "gather",
+    counts: t.Sequence[int] | None = None,
+) -> tuple[int, CostLedger]:
+    """The root pid with the lowest predicted cost for a collective.
+
+    Supports ``"gather"`` and ``"broadcast"``.  For the gather the
+    model recommends the fastest processor (its drain rate dominates
+    the h-relation); for the broadcast, the choice barely matters —
+    which is itself the paper's finding, visible in the near-tie this
+    returns.
+    """
+    predictors: dict[str, t.Callable[..., CostLedger]] = {
+        "gather": lambda root: predict_gather(params, n, root=root, counts=counts),
+        "broadcast": lambda root: predict_broadcast(params, n, root=root),
+    }
+    try:
+        predictor = predictors[collective]
+    except KeyError:
+        raise ModelError(
+            f"unknown collective {collective!r}; choose from {sorted(predictors)}"
+        ) from None
+    best: tuple[int, CostLedger] | None = None
+    for root in range(params.p):
+        ledger = predictor(root)
+        if best is None or ledger.total < best[1].total:
+            best = (root, ledger)
+    assert best is not None
+    return best
+
+
+def hierarchy_penalty(
+    params: HBSPParams,
+    n: int,
+    *,
+    collective: str = "gather",
+) -> dict[str, float]:
+    """Quantify the Section-3.4 penalty of the hierarchical platform.
+
+    Returns ``{"total": T, "penalty": P, "fraction": P/T}`` where ``P``
+    is the predicted cost charged by super^i-steps with i >= 2 — the
+    part a 1-level machine would not pay.
+    """
+    if collective == "gather":
+        ledger = predict_gather(params, n)
+    elif collective == "broadcast":
+        ledger = predict_broadcast(params, n)
+    else:
+        raise ModelError(f"unknown collective {collective!r}")
+    total = ledger.total
+    penalty = ledger.hierarchy_penalty()
+    return {
+        "total": total,
+        "penalty": penalty,
+        "fraction": penalty / total if total > 0 else 0.0,
+    }

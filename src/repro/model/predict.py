@@ -1,0 +1,336 @@
+"""Closed-form HBSP^k cost predictions for the Section-4 algorithms.
+
+Two families of functions:
+
+* ``predict_gather`` / ``predict_broadcast`` — *exact* h-relation
+  evaluations of the paper's algorithms on an arbitrary HBSP^k
+  parameter set (any k, any root, any workload distribution).  These
+  return an itemised :class:`~repro.model.cost.CostLedger`.
+* ``paper_*`` — the paper's *simplified* formulas, verbatim
+  (e.g. HBSP^1 gather ``= g·n + L_{1,0}``), used by tests and by the
+  Section-4 analysis benchmarks to show where the simplifications hold.
+
+Conventions: ``n`` counts data items, ``item_bytes`` converts items to
+the bytes that ``g`` (seconds/byte) is expressed against.  Volumes
+follow the paper's accounting — a machine's ``h`` is the largest number
+of units it *sends or receives* in the step, and a processor never
+sends data to itself.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.bytemark.ranking import partition_items
+from repro.errors import CollectiveError, ModelError
+from repro.model.cost import CostLedger
+from repro.model.params import HBSPParams, Key
+from repro.util.units import BYTES_PER_INT
+
+__all__ = [
+    "default_counts",
+    "predict_gather",
+    "predict_broadcast",
+    "paper_gather_hbsp1",
+    "paper_gather_hbsp2_super2",
+    "paper_broadcast_hbsp1_one_phase",
+    "paper_broadcast_hbsp1_two_phase",
+    "paper_broadcast_hbsp2_super2_one_phase",
+    "paper_broadcast_hbsp2_super2_two_phase",
+]
+
+
+def default_counts(params: HBSPParams, n: int) -> list[int]:
+    """Balanced workloads: ``x_{0,j} = c_{0,j}·n`` as whole items."""
+    fractions = {str(j): params.c_of(0, j) for j in range(params.p)}
+    part = partition_items(n, fractions)
+    return [part[str(j)] for j in range(params.p)]
+
+
+def _coordinator_leaf(params: HBSPParams, key: Key, root: int | None) -> int:
+    """Leaf (level-0 index) acting as coordinator of subtree ``key``.
+
+    The fastest member (smallest ``r``) coordinates, except that the
+    subtree containing ``root`` is coordinated by ``root`` itself — this
+    is how the experiments re-root a collective on a chosen processor.
+    """
+    leaves = params.leaf_indices(*key)
+    if root is not None and root in leaves:
+        return root
+    return min(leaves, key=lambda j: (params.r_of(0, j), j))
+
+
+def _check_inputs(params: HBSPParams, n: int, root: int | None) -> int:
+    if n < 0:
+        raise CollectiveError(f"n must be >= 0, got {n}")
+    if root is None:
+        root = params.fastest_index(0)
+    if not 0 <= root < params.p:
+        raise CollectiveError(f"root {root} out of range for p={params.p}")
+    return root
+
+
+def predict_gather(
+    params: HBSPParams,
+    n: int,
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+    item_bytes: int = BYTES_PER_INT,
+) -> CostLedger:
+    """Cost of the HBSP^k gather (Sections 4.2–4.3, generalised).
+
+    Level by level, every cluster gathers onto its coordinator
+    (concurrently — the super^i-step costs the *largest* cluster time),
+    then coordinators forward their subtree totals upward until the
+    root holds all ``n`` items.
+
+    ``counts[j]`` is processor ``j``'s initial item count (default:
+    the balanced workload ``c_{0,j}·n``).  ``root`` overrides the
+    coordinator of its own chain (default: the fastest processor).
+    """
+    root = _check_inputs(params, n, root)
+    if counts is None:
+        counts = default_counts(params, n)
+    if len(counts) != params.p:
+        raise CollectiveError(f"counts must have p={params.p} entries")
+    if sum(counts) != n:
+        raise CollectiveError(f"counts sum to {sum(counts)}, expected n={n}")
+
+    ledger = CostLedger(f"gather(k={params.k}, n={n})")
+    if params.k == 0 or params.p == 1:
+        return ledger  # nothing to communicate
+
+    # Items held by the coordinator of each subtree as the gather
+    # ascends: starts as each leaf's own count.
+    subtree_total: dict[Key, int] = {(0, j): int(counts[j]) for j in range(params.p)}
+
+    for level in range(1, params.k + 1):
+        worst: tuple[float, float, float, str] | None = None  # (total, gh, L, label)
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            total_items = sum(subtree_total[c] for c in children)
+            subtree_total[key] = total_items
+            coord = _coordinator_leaf(params, key, root)
+            r_coord = params.r_of(0, coord)
+            # The child subtree whose coordinator *is* this cluster's
+            # coordinator keeps its data local (no self-send).
+            own = next(
+                (c for c in children if _coordinator_leaf(params, c, root) == coord),
+                None,
+            )
+            received = total_items - (subtree_total[own] if own is not None else 0)
+            loads = [(r_coord, received * item_bytes)]
+            for child in children:
+                if child == own:
+                    continue
+                sender = _coordinator_leaf(params, child, root)
+                loads.append(
+                    (params.r_of(0, sender), subtree_total[child] * item_bytes)
+                )
+            from repro.model.cost import h_relation
+
+            gh = params.g * h_relation(loads)
+            L = params.L_of(level, j)
+            total = gh + L
+            if worst is None or total > worst[0]:
+                worst = (total, gh, L, f"super{level}: gather into {key}")
+        assert worst is not None
+        ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+    return ledger
+
+
+def predict_broadcast(
+    params: HBSPParams,
+    n: int,
+    *,
+    root: int | None = None,
+    phases: str | t.Mapping[int, str] = "two",
+    fractions: t.Sequence[float] | None = None,
+    item_bytes: int = BYTES_PER_INT,
+) -> CostLedger:
+    """Cost of the HBSP^k one-to-all broadcast (Sections 4.4–4.5).
+
+    Top-down: at each level the cluster coordinator distributes the
+    ``n`` items to its child coordinators using a one-phase or
+    two-phase scheme, then every child cluster broadcasts internally
+    (concurrently; the super^i-step costs the largest cluster time).
+
+    Parameters
+    ----------
+    phases:
+        ``"one"``/``"two"`` for all levels, or a mapping
+        ``{level: "one"|"two"}`` (e.g. the paper's HBSP^2 variants use
+        either at level 2 and two-phase at level 1).
+    fractions:
+        Optional per-*child* first-phase shares for the two-phase
+        scheme (Fig. 4(b)'s balanced first phase); equal split when
+        omitted.  Interpreted per cluster over its children by
+        normalised child ``c`` when given as ``"c"``.
+    """
+    root = _check_inputs(params, n, root)
+
+    def phase_of(level: int) -> str:
+        if isinstance(phases, str):
+            mode = phases
+        else:
+            mode = phases.get(level, "two")
+        if mode not in ("one", "two"):
+            raise CollectiveError(f"phase must be 'one' or 'two', got {mode!r}")
+        return mode
+
+    ledger = CostLedger(f"broadcast(k={params.k}, n={n}, phases={phases!r})")
+    if params.k == 0 or params.p == 1 or n == 0:
+        return ledger
+
+    from repro.model.cost import h_relation
+
+    for level in range(params.k, 0, -1):
+        mode = phase_of(level)
+        worst: tuple[float, float, float, int, str] | None = None
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            m = len(children)
+            if m <= 1:
+                continue  # singleton wrapper cluster: nothing to send
+            coord = _coordinator_leaf(params, key, root)
+            r_coord = params.r_of(0, coord)
+            child_coords = [_coordinator_leaf(params, c, root) for c in children]
+            own_pos = next(
+                (i for i, c in enumerate(child_coords) if c == coord), None
+            )
+            peers = [i for i in range(m) if i != own_pos]
+            if mode == "one":
+                loads = [(r_coord, n * len(peers) * item_bytes)]
+                loads += [(params.r_of(0, child_coords[i]), n * item_bytes) for i in peers]
+                gh = params.g * h_relation(loads)
+                L = params.L_of(level, j)
+                total, n_L = gh + L, 1
+                label = f"super{level}: one-phase bcast in {key}"
+                parts = (gh, L)
+            else:
+                if fractions is None:
+                    shares = {i: n // m + (1 if i < n % m else 0) for i in range(m)}
+                else:
+                    if len(fractions) != params.p:
+                        raise CollectiveError(
+                            f"fractions must have p={params.p} entries"
+                        )
+                    weights = {
+                        str(i): sum(params.c_of(0, leaf) for leaf in params.leaf_indices(*children[i]))
+                        for i in range(m)
+                    }
+                    total_w = sum(weights.values())
+                    part = partition_items(
+                        n, {k_: v / total_w for k_, v in weights.items()}
+                    )
+                    shares = {i: part[str(i)] for i in range(m)}
+                own_share = shares[own_pos] if own_pos is not None else 0
+                # Phase A: coordinator scatters shares.
+                loads_a = [(r_coord, (n - own_share) * item_bytes)]
+                loads_a += [
+                    (params.r_of(0, child_coords[i]), shares[i] * item_bytes)
+                    for i in peers
+                ]
+                # Phase B: total exchange of shares among children.
+                loads_b = [
+                    (
+                        params.r_of(0, child_coords[i]),
+                        max(shares[i] * (m - 1), n - shares[i]) * item_bytes,
+                    )
+                    for i in range(m)
+                ]
+                gh = params.g * (h_relation(loads_a) + h_relation(loads_b))
+                L = params.L_of(level, j)
+                total, n_L = gh + 2 * L, 2
+                label = f"super{level}: two-phase bcast in {key}"
+                parts = (gh, 2 * L)
+            if worst is None or total > worst[0]:
+                worst = (total, parts[0], parts[1], n_L, label)
+        if worst is not None:
+            ledger.charge(worst[4], level=level, gh=worst[1], L=worst[2])
+    return ledger
+
+
+# ---------------------------------------------------------------------------
+# The paper's simplified formulas (verbatim from Section 4)
+# ---------------------------------------------------------------------------
+
+def _nbytes(n: int, item_bytes: int) -> float:
+    return float(n) * item_bytes
+
+
+def paper_gather_hbsp1(params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT) -> float:
+    """Section 4.2: balanced HBSP^1 gather costs ``g·n + L_{1,0}``."""
+    if params.k != 1:
+        raise ModelError("paper formula applies to HBSP^1 machines")
+    return params.g * _nbytes(n, item_bytes) + params.L_of(1, 0)
+
+
+def paper_gather_hbsp2_super2(
+    params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT
+) -> float:
+    """Section 4.3: the balanced HBSP^2 gather super²-step is ``g·n + L_{2,0}``."""
+    if params.k != 2:
+        raise ModelError("paper formula applies to HBSP^2 machines")
+    return params.g * _nbytes(n, item_bytes) + params.L_of(2, 0)
+
+
+def paper_broadcast_hbsp1_one_phase(
+    params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT
+) -> float:
+    """Section 4.4: one-phase HBSP^1 broadcast costs ``g·n·m + L_{1,0}``.
+
+    (The paper prints ``m_{2,0}`` in this formula; on an HBSP^1 machine
+    the sender fan-out is ``m_{1,0}``.)
+    """
+    if params.k != 1:
+        raise ModelError("paper formula applies to HBSP^1 machines")
+    return params.g * _nbytes(n, item_bytes) * params.m_of(1, 0) + params.L_of(1, 0)
+
+
+def paper_broadcast_hbsp1_two_phase(
+    params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT
+) -> float:
+    """Section 4.4: two-phase HBSP^1 broadcast costs ``g·n(1+r_{0,s}) + 2L_{1,0}``."""
+    if params.k != 1:
+        raise ModelError("paper formula applies to HBSP^1 machines")
+    r_s = params.slowest_r(0)
+    return params.g * _nbytes(n, item_bytes) * (1.0 + r_s) + 2 * params.L_of(1, 0)
+
+
+def paper_broadcast_hbsp2_super2_one_phase(
+    params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT
+) -> float:
+    """Section 4.4 HBSP^2 analysis, one-phase super²-step.
+
+    ``g·max(r_{1,s}·n, r_{2,0}·n·m_{2,0}) + L_{2,0}``.
+    """
+    if params.k != 2:
+        raise ModelError("paper formula applies to HBSP^2 machines")
+    r_1s = params.slowest_r(1)
+    r_root = params.r_of(2, 0)
+    m = params.m_of(2, 0)
+    nb = _nbytes(n, item_bytes)
+    return params.g * max(r_1s * nb, r_root * nb * m) + params.L_of(2, 0)
+
+
+def paper_broadcast_hbsp2_super2_two_phase(
+    params: HBSPParams, n: int, *, item_bytes: int = BYTES_PER_INT
+) -> float:
+    """Section 4.4 HBSP^2 analysis, two-phase super²-steps.
+
+    First step: ``g·max(r_{1,s}·n/m_{2,0}, r_{2,0}·n)``;
+    second step: ``g·r_{1,s}·n``; plus ``2L_{2,0}``.
+    """
+    if params.k != 2:
+        raise ModelError("paper formula applies to HBSP^2 machines")
+    r_1s = params.slowest_r(1)
+    r_root = params.r_of(2, 0)
+    m = params.m_of(2, 0)
+    nb = _nbytes(n, item_bytes)
+    first = max(r_1s * nb / m, r_root * nb)
+    second = r_1s * nb
+    return params.g * (first + second) + 2 * params.L_of(2, 0)

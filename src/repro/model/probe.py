@@ -1,0 +1,177 @@
+"""Empirical parameter probing, in the spirit of BSPlib's ``bsp_probe``.
+
+The paper assumes parameter values "have been determined appropriately"
+(Section 3.3).  :func:`repro.model.params.calibrate` derives them from
+the declared specs; this module instead *measures* them by running
+micro-benchmark programs on the simulated machine — the way real BSP
+libraries parameterise real hardware [8]:
+
+* ``probe_sync`` — time M empty supersteps → the cluster's ``L``;
+* ``probe_link`` — ping messages of two sizes between a machine pair →
+  per-byte gap (slope) and fixed per-message overhead (intercept);
+* ``probe_params`` — the full sweep: ``g`` (best per-byte gap of the
+  fastest machine), ``r_{0,j}`` (each machine's gap over ``g``), and
+  ``L`` per cluster.
+
+Probed values include the runtime effects the spec-based calibration
+ignores (pack/unpack time in the per-byte slope), so probed ``r`` is
+an *effective* slowness — the tests check it brackets the calibrated
+one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cluster.topology import ClusterTopology
+from repro.model.tree import HBSPTree
+from repro.util.validation import check_positive_int
+
+__all__ = ["LinkEstimate", "ProbeReport", "probe_sync", "probe_link", "probe_params"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkEstimate:
+    """Measured characteristics of one machine pair.
+
+    Attributes
+    ----------
+    src / dst:
+        Machine indices probed.
+    gap:
+        Seconds per byte (slope between the two probe sizes).
+    overhead:
+        Fixed seconds per message (intercept).
+    """
+
+    src: int
+    dst: int
+    gap: float
+    overhead: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeReport:
+    """The measured HBSP parameters of a machine.
+
+    ``g`` and ``r`` follow the model's definitions but are *effective*
+    values (they include pack/unpack and protocol overheads); ``L`` is
+    keyed like :class:`~repro.model.HBSPParams.L` by ``(level, j)``.
+    """
+
+    g: float
+    r: dict[int, float]
+    L: dict[tuple[int, int], float]
+    links: tuple[LinkEstimate, ...]
+
+
+def probe_sync(
+    topology: ClusterTopology,
+    *,
+    level: int | None = None,
+    rounds: int = 8,
+) -> float:
+    """Measure the per-superstep synchronisation cost at ``level``.
+
+    Runs ``rounds`` empty supersteps and returns the mean time per
+    superstep — an estimate of the (deepest) ``L`` charged at that
+    level plus scheduling overhead.
+    """
+    rounds = check_positive_int("rounds", rounds)
+    from repro.hbsplib.runtime import HbspRuntime
+
+    def program(ctx):
+        for _ in range(rounds):
+            yield from ctx.sync(level)
+
+    runtime = HbspRuntime(topology)
+    result = runtime.run(program)
+    return result.time / rounds
+
+
+def probe_link(
+    topology: ClusterTopology,
+    src: int,
+    dst: int,
+    *,
+    small: int = 1024,
+    large: int = 65536,
+    pings: int = 4,
+) -> LinkEstimate:
+    """Measure per-byte gap and per-message overhead between two machines.
+
+    Sends ``pings`` one-way messages of each size from ``src`` to
+    ``dst`` (each in its own superstep, so transfers don't pipeline)
+    and fits time = overhead + gap·bytes through the two means.
+    """
+    if src == dst:
+        raise ValueError("probe_link needs two distinct machines")
+    check_positive_int("pings", pings)
+    if not 0 < small < large:
+        raise ValueError("need 0 < small < large probe sizes")
+
+    from repro.hbsplib.runtime import HbspRuntime
+
+    def measure(nbytes: int) -> float:
+        def program(ctx):
+            for _ in range(pings):
+                if ctx.pid == src:
+                    yield from ctx.send(dst, b"", nbytes=nbytes)
+                yield from ctx.sync()
+
+        runtime = HbspRuntime(topology)
+        sync_only = probe_sync(topology)
+        result = runtime.run(program)
+        per_step = result.time / pings
+        return max(0.0, per_step - sync_only)
+
+    t_small = measure(small)
+    t_large = measure(large)
+    gap = (t_large - t_small) / (large - small)
+    overhead = t_small - gap * small
+    return LinkEstimate(src=src, dst=dst, gap=max(gap, 0.0), overhead=max(overhead, 0.0))
+
+
+def probe_params(
+    topology: ClusterTopology,
+    *,
+    reference: int | None = None,
+) -> ProbeReport:
+    """Measure ``g``, ``r_{0,j}`` and per-cluster ``L`` empirically.
+
+    Each machine's effective gap is measured by sending *to* the
+    reference machine (default: the fastest), so the shared receive
+    path cancels in the ratios; ``g`` is the smallest measured gap and
+    ``r_j = gap_j / g``.  ``L`` is probed per *level* via level-scoped
+    empty supersteps (clusters sync concurrently, so the measurement is
+    the slowest cluster's cost — every node at the level reports it).
+    """
+    tree = HBSPTree(topology)
+    topo = tree.topology
+    if reference is None:
+        reference = topo.fastest()
+
+    links: list[LinkEstimate] = []
+    gaps: dict[int, float] = {}
+    for machine in range(topo.num_machines):
+        if machine == reference:
+            continue
+        estimate = probe_link(topo, machine, reference)
+        links.append(estimate)
+        gaps[machine] = estimate.gap
+    # The reference's own send gap: probe against the second machine.
+    other = next(m for m in range(topo.num_machines) if m != reference)
+    ref_estimate = probe_link(topo, reference, other)
+    links.append(ref_estimate)
+    gaps[reference] = ref_estimate.gap
+
+    g = min(gaps.values())
+    r = {machine: gap / g for machine, gap in gaps.items()}
+
+    L: dict[tuple[int, int], float] = {}
+    for node in tree.walk():
+        if node.level >= 1:
+            L[(node.level, node.index)] = probe_sync(topo, level=node.level)
+
+    return ProbeReport(g=g, r=r, L=L, links=tuple(links))

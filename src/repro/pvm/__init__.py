@@ -1,0 +1,24 @@
+"""A PVM-like message-passing runtime on simulated virtual time.
+
+The paper's HBSPlib was "written on top of PVM" [18]; this package is
+the corresponding substrate here.  It provides:
+
+* a :class:`VirtualMachine` that hosts *tasks* on the machines of a
+  :class:`~repro.cluster.ClusterTopology`;
+* :class:`Task` endpoints with ``send``/``recv``/``compute`` whose
+  timing models PVM's real cost structure — messages are *packed* on
+  the sender's CPU (XDR encoding), injected through the sender's NIC,
+  cross the network of the lowest common ancestor cluster, are drained
+  through the receiver's NIC (serialising when many senders target one
+  receiver), and *unpacked* on the receiver's CPU;
+* typed/tagged message matching on mailboxes.
+
+Self-sends are free and instantaneous — "a processor does not send
+data to itself" (Section 5.2).
+"""
+
+from repro.pvm.message import Message, payload_nbytes
+from repro.pvm.task import Task
+from repro.pvm.vm import Host, VirtualMachine
+
+__all__ = ["Message", "payload_nbytes", "Task", "Host", "VirtualMachine"]

@@ -1,0 +1,89 @@
+"""Messages and payload sizing for the PVM-like runtime."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import PvmError
+
+__all__ = ["Message", "payload_nbytes"]
+
+#: Wildcard for matching any source/tag, like PVM's -1.
+ANY = None
+
+
+def payload_nbytes(payload: t.Any) -> int:
+    """Estimate the wire size of a payload in bytes.
+
+    Sizes follow PVM's packed representation for the common cases:
+    numpy arrays report their buffer size, byte strings their length,
+    Python ints/floats 8 bytes, strings their UTF-8 length, and
+    containers the sum of their elements.  Unknown objects are charged
+    a flat 64 bytes (a header-ish default) — pass an explicit
+    ``nbytes`` to :meth:`repro.pvm.Task.send` for exotic payloads.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float, complex, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_nbytes(key) + payload_nbytes(value)
+            for key, value in payload.items()
+        )
+    return 64
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One delivered message.
+
+    Attributes
+    ----------
+    src / dst:
+        Task ids of the endpoints.
+    tag:
+        Integer message tag (PVM ``msgtag``).
+    payload:
+        The transported object (never copied — virtual time is what the
+        simulator charges, not real serialisation).
+    nbytes:
+        Wire size the simulator charged for this message.
+    sent_at / delivered_at:
+        Virtual timestamps of the send call and mailbox arrival.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    payload: t.Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise PvmError(f"message nbytes must be >= 0, got {self.nbytes}")
+
+    def matches(self, src: int | None, tag: int | None) -> bool:
+        """PVM-style matching: ``None`` acts as the -1 wildcard."""
+        return (src is None or self.src == src) and (tag is None or self.tag == tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src}, dst={self.dst}, tag={self.tag}, "
+            f"nbytes={self.nbytes}, t={self.delivered_at:.6g})"
+        )

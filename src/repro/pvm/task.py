@@ -1,0 +1,209 @@
+"""Tasks: the processes of the PVM-like virtual machine.
+
+A task runs a user generator on one host.  Its communication methods
+are generators themselves (``yield from task.send(...)``) because they
+consume virtual time on the host's CPU and NIC resources.
+
+The timing of ``send(dst, payload)`` (see DESIGN.md §5):
+
+1. **pack** — hold the sender host's CPU for
+   ``machine.pack_time(nbytes)`` (PVM XDR encoding; slower on slower
+   CPUs — the asymmetry behind the paper's p = 2 gather inversion);
+2. **inject** — hold the sender's NIC out-port for
+   ``nbytes · max(machine.nic_gap, network.gap)``;
+3. **wire** — after ``network.latency``, the message reaches the
+   receiver (the network is the LCA cluster's network);
+4. **drain** — hold the receiver's NIC in-port for
+   ``nbytes · max(receiver.nic_gap, network.gap)``; many senders
+   targeting one receiver serialise here;
+5. **unpack** — charged to the receiver's CPU inside ``recv``.
+
+``send`` returns after step 2 (asynchronous, like ``pvm_send``); the
+returned event completes at mailbox delivery so BSP-style supersteps
+can wait for communication to finish.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import PvmError
+from repro.pvm.message import Message, payload_nbytes
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.pvm.vm import Host, VirtualMachine
+
+__all__ = ["Task"]
+
+
+class Task:
+    """One task (process) of the virtual machine.
+
+    Created via :meth:`repro.pvm.VirtualMachine.spawn`; user code
+    receives the task object as its first argument.
+    """
+
+    def __init__(self, vm: "VirtualMachine", tid: int, host: "Host", name: str) -> None:
+        self.vm = vm
+        self.tid = tid
+        self.host = host
+        self.name = name
+        from repro.sim.resources import Store
+
+        self.mailbox = Store(vm.engine, name=f"{name}.mailbox")
+        #: Statistics: (messages, bytes) sent and received.
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.received_messages = 0
+        self.received_bytes = 0
+        self.process: t.Any = None  # set by VirtualMachine.spawn
+
+    # -- communication -------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        payload: t.Any,
+        *,
+        tag: int = 0,
+        nbytes: int | None = None,
+    ) -> t.Generator[Event, t.Any, Event]:
+        """Send ``payload`` to task ``dst``; returns the delivery event.
+
+        A generator: ``delivery = yield from task.send(...)``.  Control
+        returns once the message has been packed and injected; the
+        returned event succeeds (with the :class:`Message`) when the
+        message lands in the destination mailbox.
+        """
+        vm = self.vm
+        engine = vm.engine
+        target = vm.task(dst)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if size < 0:
+            raise PvmError(f"nbytes must be >= 0, got {size}")
+        sent_at = engine.now
+        self.sent_messages += 1
+        self.sent_bytes += size
+
+        if target is self:
+            # Loopback: a processor does not send data to itself.
+            message = Message(self.tid, dst, tag, payload, 0, sent_at, engine.now)
+            self.mailbox.put(message)
+            done = engine.event(name=f"{self.name}.self-send")
+            done.succeed(message)
+            return done
+
+        if target.host is self.host:
+            # Same-host IPC between distinct tasks: packed through the
+            # daemon on the shared CPU, but never touches the NIC or
+            # the wire.
+            pack = self.host.spec.pack_time(size)
+            start = engine.now
+            yield from self.host.cpu.occupy(pack)
+            vm.trace.emit(
+                engine.now, "pack", self.name, engine.now - start,
+                nbytes=size, dst=dst, local=True,
+            )
+            message = Message(self.tid, dst, tag, payload, size, sent_at, engine.now)
+            target.mailbox.put(message)
+            done = engine.event(name=f"{self.name}.local-send")
+            done.succeed(message)
+            return done
+
+        network, level = vm.route(self.host, target.host)
+        multiplier = vm.topology.pair_multiplier(self.host.machine_id, target.host.machine_id)
+
+        # 1. pack on the sender CPU
+        pack = self.host.spec.pack_time(size)
+        start = engine.now
+        yield from self.host.cpu.occupy(pack)
+        vm.trace.emit(engine.now, "pack", self.name, engine.now - start, nbytes=size, dst=dst)
+
+        # 2. inject through the sender NIC
+        inject = size * network.effective_gap(self.host.spec.nic_gap) * multiplier
+        start = engine.now
+        yield from self.host.nic_out.occupy(inject)
+        vm.trace.emit(
+            engine.now, "inject", self.name, engine.now - start,
+            nbytes=size, dst=dst, network=network.name, level=level,
+        )
+
+        # 3 + 4. wire latency then drain at the receiver, in background.
+        done = engine.event(name=f"{self.name}->{target.name}")
+
+        def delivery() -> t.Generator[Event, t.Any, None]:
+            yield engine.timeout(network.latency)
+            drain = size * network.effective_gap(target.host.spec.nic_gap) * multiplier
+            start = engine.now
+            yield from target.host.nic_in.occupy(drain)
+            vm.trace.emit(
+                engine.now, "drain", target.name, engine.now - start,
+                nbytes=size, src=self.tid, network=network.name,
+            )
+            message = Message(self.tid, dst, tag, payload, size, sent_at, engine.now)
+            target.mailbox.put(message)
+            done.succeed(message)
+
+        engine.process(delivery(), name=f"deliver:{self.name}->{target.name}")
+        return done
+
+    def recv(
+        self,
+        source: int | None = None,
+        tag: int | None = None,
+    ) -> t.Generator[Event, t.Any, Message]:
+        """Blocking receive with PVM-style wildcards; charges unpack time.
+
+        A generator: ``msg = yield from task.recv(...)``.
+        """
+        message: Message = yield self.mailbox.get(
+            lambda m: m.matches(source, tag)
+        )
+        unpack = self.host.spec.unpack_time(message.nbytes)
+        if unpack > 0:
+            start = self.vm.engine.now
+            yield from self.host.cpu.occupy(unpack)
+            self.vm.trace.emit(
+                self.vm.engine.now, "unpack", self.name,
+                self.vm.engine.now - start, nbytes=message.nbytes, src=message.src,
+            )
+        self.received_messages += 1
+        self.received_bytes += message.nbytes
+        return message
+
+    def try_recv(self, source: int | None = None, tag: int | None = None) -> Message | None:
+        """Non-blocking probe-and-take (``pvm_nrecv``); no unpack charge."""
+        for message in self.mailbox.peek_all():
+            if message.matches(source, tag):
+                # Re-get deterministically through the store.
+                event = self.mailbox.get(lambda m: m is message)
+                assert event.triggered
+                self.received_messages += 1
+                self.received_bytes += message.nbytes
+                return message
+        return None
+
+    # -- computation -----------------------------------------------------------
+    def compute(self, work: float) -> t.Generator[Event, t.Any, None]:
+        """Consume ``work`` CPU work units on this task's host.
+
+        A generator: ``yield from task.compute(...)``.
+        """
+        duration = self.host.spec.compute_time(work)
+        start = self.vm.engine.now
+        yield from self.host.cpu.occupy(duration)
+        self.vm.trace.emit(
+            self.vm.engine.now, "compute", self.name, self.vm.engine.now - start, work=work
+        )
+
+    def sleep(self, duration: float) -> Event:
+        """An event that fires after ``duration`` (idle wait, no CPU)."""
+        return self.vm.engine.timeout(duration)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.vm.engine.now
+
+    def __repr__(self) -> str:
+        return f"<Task {self.tid} {self.name!r} on {self.host.spec.name}>"

@@ -1,0 +1,153 @@
+"""The virtual machine: hosts, task spawning, and routing.
+
+:class:`VirtualMachine` plays the role of the PVM daemon layer: it
+"allows a heterogeneous network of parallel and serial computers to
+appear as a single, concurrent, computational resource" [18] — here on
+simulated time.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import ClusterTopology
+from repro.errors import PvmError, TaskNotFound
+from repro.pvm.task import Task
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.sim.trace import Trace
+
+__all__ = ["Host", "VirtualMachine"]
+
+
+class Host:
+    """One machine of the virtual machine: CPU + NIC ports.
+
+    The CPU is a unit resource shared by all tasks on the host (and by
+    pack/unpack charges).  The NIC has independent in/out ports, each a
+    unit resource — concurrent transfers through one port serialise.
+    """
+
+    def __init__(self, vm: "VirtualMachine", machine_id: int) -> None:
+        self.vm = vm
+        self.machine_id = machine_id
+        self.spec = vm.topology.machines[machine_id]
+        name = self.spec.name
+        # With NIC serialization disabled (an ablation), ports behave as
+        # if they had unlimited parallel channels.
+        port_capacity = 1 if vm.serialize_nic else 1_000_000
+        self.cpu = Resource(vm.engine, capacity=1, name=f"{name}.cpu")
+        self.nic_in = Resource(vm.engine, capacity=port_capacity, name=f"{name}.nic_in")
+        self.nic_out = Resource(vm.engine, capacity=port_capacity, name=f"{name}.nic_out")
+        self.tasks: list[Task] = []
+
+    def __repr__(self) -> str:
+        return f"<Host {self.spec.name} ({len(self.tasks)} tasks)>"
+
+
+class VirtualMachine:
+    """A simulated PVM session over a cluster topology.
+
+    Parameters
+    ----------
+    topology:
+        The heterogeneous cluster to enrol.
+    engine:
+        Optionally share an existing simulation engine.
+    trace:
+        Enable structured tracing of pack/inject/drain/unpack/compute.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        engine: Engine | None = None,
+        trace: bool = False,
+        serialize_nic: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine if engine is not None else Engine()
+        self.trace = Trace(enabled=trace)
+        #: When False (ablation), concurrent transfers through one NIC
+        #: port do not contend — see experiments.ablations.
+        self.serialize_nic = serialize_nic
+        self.hosts = [Host(self, mid) for mid in range(topology.num_machines)]
+        self._tasks: dict[int, Task] = {}
+        self._next_tid = 1  # PVM tids start above 0
+
+    # -- tasks -------------------------------------------------------------------
+    def spawn(
+        self,
+        func: t.Callable[..., t.Generator],
+        host: int | str,
+        *args: t.Any,
+        name: str = "",
+        **kwargs: t.Any,
+    ) -> Task:
+        """Start ``func(task, *args, **kwargs)`` as a task on ``host``.
+
+        ``func`` must be a generator function taking the new
+        :class:`Task` as its first argument.  Returns the task; its
+        ``process`` attribute is the joinable process event.
+        """
+        machine_id = host if isinstance(host, int) else self.topology.machine_id(host)
+        if not 0 <= machine_id < len(self.hosts):
+            raise PvmError(f"no host with machine id {machine_id}")
+        host_obj = self.hosts[machine_id]
+        tid = self._next_tid
+        self._next_tid += 1
+        task = Task(self, tid, host_obj, name or f"task{tid}@{host_obj.spec.name}")
+        generator = func(task, *args, **kwargs)
+        if not hasattr(generator, "send"):
+            raise PvmError(
+                f"spawned function {func!r} must be a generator function "
+                "(use 'yield from task.send(...)' etc.)"
+            )
+        task.process = self.engine.process(generator, name=task.name)
+        self._tasks[tid] = task
+        host_obj.tasks.append(task)
+        return task
+
+    def task(self, tid: int) -> Task:
+        """Look up a live task by tid."""
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise TaskNotFound(tid) from None
+
+    @property
+    def tids(self) -> tuple[int, ...]:
+        """All spawned task ids, in spawn order."""
+        return tuple(self._tasks)
+
+    # -- routing --------------------------------------------------------------------
+    def route(self, src: Host, dst: Host) -> tuple[NetworkSpec, int]:
+        """Network (and level) crossed between two hosts."""
+        if src is dst:
+            raise PvmError("route() called for a self-send")  # handled in Task.send
+        return self.topology.route(src.machine_id, dst.machine_id)
+
+    # -- execution --------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation; returns the final virtual time.
+
+        Raises :class:`~repro.errors.DeadlockError` if tasks block
+        forever (e.g. a receive nobody answers).
+        """
+        return self.engine.run(until=until)
+
+    def results(self) -> dict[int, t.Any]:
+        """Return values of all finished tasks, keyed by tid."""
+        out: dict[int, t.Any] = {}
+        for tid, task in self._tasks.items():
+            if task.process is not None and task.process.triggered and task.process.ok:
+                out[tid] = task.process.value
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine({self.topology!r}, {len(self._tasks)} tasks, "
+            f"t={self.engine.now:.6g})"
+        )

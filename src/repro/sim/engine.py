@@ -1,0 +1,118 @@
+"""The event loop and virtual clock of the DES engine."""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    The engine owns a priority queue of triggered events keyed by
+    ``(time, sequence)``.  The sequence number makes simultaneous events
+    process in trigger order, which keeps every simulation in this
+    library fully deterministic.
+
+    Typical use::
+
+        eng = Engine()
+        eng.process(my_generator_function(eng))
+        eng.run()
+        print(eng.now)
+    """
+
+    def __init__(self) -> None:
+        #: Current virtual time (seconds).
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Live (started, unfinished) processes, for deadlock reporting.
+        self._live_processes: set["Process"] = set()
+        self._events_processed = 0
+
+    # -- event plumbing -----------------------------------------------------
+    def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event to be processed ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event` bound to this engine."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: t.Any = None, name: str = "") -> Event:
+        """Create an event that succeeds ``delay`` units from now."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value=value, name=name)
+
+    def call_soon(self, func: t.Callable[[], None]) -> None:
+        """Run ``func()`` at the current time, after already-queued events."""
+        shim = Event(self, "call_soon")
+        shim.add_callback(lambda _ev: func())
+        shim.succeed()
+
+    def process(self, generator: t.Generator, name: str = "") -> "Process":
+        """Start a new process from a generator; see :class:`Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- running ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event, advancing the clock."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self.now:  # pragma: no cover - guarded by _enqueue_event
+            raise SimulationError("event queue went backwards in time")
+        self.now = time
+        self._events_processed += 1
+        event._process()
+
+    def run(self, until: float | None = None, *, check_deadlock: bool = True) -> float:
+        """Run until the queue drains (or until time ``until``).
+
+        Returns the final virtual time.  If the queue drains while
+        processes are still blocked, raises :class:`DeadlockError`
+        (unless ``check_deadlock=False``).
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until!r} is in the past (now={self.now!r})")
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = until
+        if check_deadlock and self._live_processes:
+            blocked = tuple(sorted(repr(p) for p in self._live_processes))
+            raise DeadlockError(
+                f"simulation deadlocked: {len(blocked)} process(es) still blocked",
+                blocked=blocked,
+            )
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (a progress metric)."""
+        return self._events_processed
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.now:.6g}, queued={len(self._queue)}, "
+            f"live_processes={len(self._live_processes)})"
+        )

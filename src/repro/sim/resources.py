@@ -1,0 +1,172 @@
+"""Contended resources and mailboxes for the DES engine.
+
+:class:`Resource` models capacity-limited, FIFO-granted exclusive use —
+we use it for CPU cores and for NIC in/out ports (the per-endpoint
+serialization that produces the paper's root-drain bottleneck).
+
+:class:`Store` models an unbounded mailbox with optional filtered
+receive — the PVM layer builds typed/tagged message matching on it.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO resource with integral capacity.
+
+    Usage from a process::
+
+        yield resource.request()
+        try:
+            yield engine.timeout(duration)
+        finally:
+            resource.release()
+
+    or, equivalently, ``yield from resource.occupy(duration)``.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity!r}")
+        self.engine = engine
+        self.capacity = int(capacity)
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        #: Cumulative busy time integral (for utilisation statistics).
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    # -- accounting ----------------------------------------------------------
+    def _note_change(self) -> None:
+        now = self.engine.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Average fraction of capacity in use since the start of time."""
+        self._note_change()
+        if self.engine.now == 0:
+            return 0.0
+        return self._busy_time / (self.engine.now * self.capacity)
+
+    # -- acquisition ----------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a unit is granted."""
+        event = Event(self.engine, f"{self.name}.request")
+        if self._in_use < self.capacity and not self._waiters:
+            self._note_change()
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held unit, granting the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit straight to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._note_change()
+            self._in_use -= 1
+
+    def occupy(self, duration: float) -> t.Generator[Event, t.Any, None]:
+        """Generator helper: hold one unit for ``duration`` virtual time."""
+        yield self.request()
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self._in_use}/{self.capacity} in use, "
+            f"{len(self._waiters)} waiting)"
+        )
+
+
+class Store:
+    """An unbounded FIFO store with optional filtered gets.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with
+    the oldest item accepted by the (optional) predicate.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name or "store"
+        self._items: deque[t.Any] = deque()
+        self._getters: deque[tuple[Event, t.Callable[[t.Any], bool] | None]] = deque()
+        self._closed = False
+        #: Total number of items ever put (throughput statistic).
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, exception: BaseException) -> None:
+        """Close the store; pending and future gets fail with ``exception``."""
+        self._closed = True
+        self._close_exception = exception
+        while self._getters:
+            event, _pred = self._getters.popleft()
+            event.fail(exception)
+
+    def put(self, item: t.Any) -> None:
+        """Deposit ``item``, waking the oldest matching getter if any."""
+        if self._closed:
+            raise SimulationError(f"put() on closed store {self.name!r}")
+        self.total_put += 1
+        for i, (event, predicate) in enumerate(self._getters):
+            if predicate is None or predicate(item):
+                del self._getters[i]
+                event.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: t.Callable[[t.Any], bool] | None = None) -> Event:
+        """Return an event yielding the oldest item matching ``predicate``."""
+        event = Event(self.engine, f"{self.name}.get")
+        if self._closed:
+            event.fail(self._close_exception)
+            return event
+        for i, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[i]
+                event.succeed(item)
+                return event
+        self._getters.append((event, predicate))
+        return event
+
+    def peek_all(self) -> tuple[t.Any, ...]:
+        """Snapshot of currently stored items (oldest first)."""
+        return tuple(self._items)
+
+    def __repr__(self) -> str:
+        return f"Store({self.name!r}, {len(self._items)} items, {len(self._getters)} getters)"

@@ -1,0 +1,110 @@
+"""Dependency-free ASCII line plots for the experiment reports.
+
+The paper presents its results as line plots (Figures 3 and 4: one
+line per problem size, improvement factor vs processor count).
+:func:`ascii_plot` renders the same visual shape in a terminal, so
+``python -m repro experiment fig3a --plot`` looks like the paper's
+figure and the growth/flatness/inversion are visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+__all__ = ["ascii_plot"]
+
+#: Distinct per-series markers, assigned in series order.
+MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: t.Mapping[str, t.Mapping[t.Any, float]],
+    *,
+    title: str = "",
+    x_name: str = "x",
+    y_name: str = "y",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render named series sharing an x-axis as an ASCII line plot.
+
+    X values are placed at even spacing in their sorted order (the
+    paper's processor counts are categorical ticks); y values are
+    linearly scaled into ``height`` rows.  Each series draws with its
+    own marker; collisions show the later series' marker.
+    """
+    xs: list[t.Any] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    ys = [y for values in series.values() for y in values.values()]
+    ys = [y for y in ys if math.isfinite(y)]
+    if not xs or not ys:
+        return "(no data to plot)"
+    lo, hi = min(ys), max(ys)
+    if hi == lo:
+        lo, hi = lo - 0.5, hi + 0.5
+    # A little headroom so extreme points don't sit on the frame.
+    span = hi - lo
+    lo -= 0.05 * span
+    hi += 0.05 * span
+
+    def col_of(index: int) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return round(index * (width - 1) / (len(xs) - 1))
+
+    def row_of(y: float) -> int:
+        return round((hi - y) / (hi - lo) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, values) in enumerate(series.items()):
+        marker = MARKERS[series_index % len(MARKERS)]
+        previous: tuple[int, int] | None = None
+        for x_index, x in enumerate(xs):
+            if x not in values or not math.isfinite(values[x]):
+                previous = None
+                continue
+            col, row = col_of(x_index), row_of(values[x])
+            if previous is not None:
+                # Linear interpolation between consecutive points.
+                prev_col, prev_row = previous
+                steps = max(abs(col - prev_col), 1)
+                for step in range(1, steps):
+                    interp_col = prev_col + round(step * (col - prev_col) / steps)
+                    interp_row = prev_row + round(step * (row - prev_row) / steps)
+                    if grid[interp_row][interp_col] == " ":
+                        grid[interp_row][interp_col] = "."
+            grid[row][col] = marker
+            previous = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.3g}"
+        elif row_index == height - 1:
+            label = f"{lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+    ticks = [" "] * width
+    for x_index, x in enumerate(xs):
+        text = str(x)
+        col = col_of(x_index)
+        start = min(max(0, col - len(text) // 2), width - len(text))
+        for offset, char in enumerate(text):
+            ticks[start + offset] = char
+    lines.append(f"{'':>{label_width}} +{'-' * width}+")
+    lines.append(f"{'':>{label_width}}  {''.join(ticks)}")
+    lines.append(f"{'':>{label_width}}  {x_name}   ({y_name})")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{'':>{label_width}}  legend: {legend}")
+    return "\n".join(lines)

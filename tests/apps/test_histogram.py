@@ -1,0 +1,64 @@
+"""Tests for the distributed histogram application."""
+
+import pytest
+
+from repro.apps import run_histogram
+from repro.collectives import RootPolicy, WorkloadPolicy
+
+N = 30_000
+
+
+def root_total(outcome):
+    holders = [v[1] for v in outcome.values.values() if v[1] > 0]
+    assert len(holders) == 1
+    return holders[0]
+
+
+class TestCorrectness:
+    def test_counts_everything_once(self, testbed_small):
+        assert root_total(run_histogram(testbed_small, N)) == N
+
+    def test_hbsp2(self, fig1_machine):
+        assert root_total(run_histogram(fig1_machine, N)) == N
+
+    def test_hbsp3(self, grid):
+        assert root_total(run_histogram(grid, N)) == N
+
+    def test_items_binned_match_counts(self, testbed_small):
+        outcome = run_histogram(testbed_small, N)
+        counts = outcome.runtime.partition(N, balanced=True)
+        for pid, (binned, _total) in outcome.values.items():
+            assert binned == counts[pid]
+
+    def test_equal_workload(self, testbed_small):
+        outcome = run_histogram(testbed_small, N, workload=WorkloadPolicy.EQUAL)
+        assert root_total(outcome) == N
+
+    def test_slow_root(self, fig1_machine):
+        outcome = run_histogram(fig1_machine, N, root=RootPolicy.SLOWEST)
+        slow = outcome.runtime.slowest_pid
+        assert outcome.values[slow][1] == N
+
+    def test_bins_parameter(self, testbed_small):
+        assert root_total(run_histogram(testbed_small, N, bins=7)) == N
+
+    def test_supersteps_equal_k(self, testbed_small, fig1_machine, grid):
+        assert run_histogram(testbed_small, N).supersteps == 1
+        assert run_histogram(fig1_machine, N).supersteps == 2
+        assert run_histogram(grid, N).supersteps == 3
+
+
+class TestHierarchy:
+    def test_traffic_independent_of_n(self, grid):
+        """Only bin vectors cross the network, so doubling n changes
+        the time only through local compute."""
+        small = run_histogram(grid, N, trace=True)
+        large = run_histogram(grid, 4 * N, trace=True)
+        small_bytes = sum(
+            r.detail["nbytes"] for r in small.result.trace.filter("inject")
+        )
+        large_bytes = sum(
+            r.detail["nbytes"] for r in large.result.trace.filter("inject")
+        )
+        assert small_bytes == large_bytes
+        assert large.time > small.time  # compute grew

@@ -1,0 +1,92 @@
+"""Tests for the distributed Jacobi solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_jacobi
+from repro.collectives import WorkloadPolicy
+from repro.errors import CollectiveError
+
+
+def exact_checksum(n: int) -> float:
+    """Sum over the grid of the analytic solution u(x) = x(1-x)/2."""
+    h = 1.0 / (n + 1)
+    xs = np.arange(1, n + 1) * h
+    return float((xs * (1 - xs) / 2).sum())
+
+
+class TestConvergence:
+    def test_converges_to_analytic_solution(self, testbed_small):
+        n = 32
+        outcome = run_jacobi(
+            testbed_small, n, max_iterations=3000, check_every=200, tol=1e-3
+        )
+        checksum = sum(v[3] for v in outcome.values.values())
+        assert checksum == pytest.approx(exact_checksum(n), rel=1e-2)
+        residuals = {v[2] for v in outcome.values.values()}
+        assert len(residuals) == 1  # everyone agrees (broadcast verdict)
+        assert residuals.pop() < 1e-3
+
+    def test_early_stopping(self, testbed_small):
+        outcome = run_jacobi(
+            testbed_small, 32, max_iterations=5000, check_every=100, tol=1e-3
+        )
+        iterations = {v[1] for v in outcome.values.values()}
+        assert len(iterations) == 1  # all stop together
+        assert iterations.pop() < 5000  # stopped early
+
+    def test_residual_decreases_with_iterations(self, testbed_small):
+        short = run_jacobi(testbed_small, 32, max_iterations=100, check_every=100)
+        long = run_jacobi(testbed_small, 32, max_iterations=800, check_every=100)
+        r_short = next(iter({v[2] for v in short.values.values()}))
+        r_long = next(iter({v[2] for v in long.values.values()}))
+        assert r_long < r_short
+
+    def test_cells_conserved(self, testbed_small):
+        outcome = run_jacobi(testbed_small, 64, max_iterations=10)
+        assert sum(v[0] for v in outcome.values.values()) == 64
+
+
+class TestConfigurations:
+    def test_hbsp2(self, fig1_machine):
+        outcome = run_jacobi(fig1_machine, 64, max_iterations=50, check_every=25)
+        assert sum(v[0] for v in outcome.values.values()) == 64
+
+    def test_equal_workload(self, testbed_small):
+        outcome = run_jacobi(
+            testbed_small, 64, max_iterations=10, workload=WorkloadPolicy.EQUAL
+        )
+        sizes = [v[0] for v in outcome.values.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_small_grid_rejected(self, testbed_small):
+        with pytest.raises(CollectiveError, match="grid points"):
+            run_jacobi(testbed_small, 8)
+
+    def test_supersteps_track_iterations(self, testbed_small):
+        outcome = run_jacobi(
+            testbed_small, 32, max_iterations=10, check_every=100
+        )
+        # 10 halo supersteps + 2 for the final residual check.
+        assert outcome.supersteps == 12
+
+    def test_deterministic(self, testbed_small):
+        a = run_jacobi(testbed_small, 32, max_iterations=50)
+        b = run_jacobi(testbed_small, 32, max_iterations=50)
+        assert a.time == b.time
+        assert a.values == b.values
+
+
+class TestBalanceBenefit:
+    def test_balanced_wins_in_steady_state(self, testbed):
+        """Per-iteration compute is balanced by c_j while halo traffic
+        is constant — the textbook case for the paper's rule."""
+        equal = run_jacobi(
+            testbed, 1_000_000, max_iterations=20, check_every=1000,
+            workload=WorkloadPolicy.EQUAL,
+        )
+        balanced = run_jacobi(
+            testbed, 1_000_000, max_iterations=20, check_every=1000,
+            workload=WorkloadPolicy.BALANCED,
+        )
+        assert equal.time / balanced.time > 1.4

@@ -1,0 +1,70 @@
+"""Tests for the distributed matrix-vector application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_matvec
+from repro.collectives import RootPolicy, WorkloadPolicy
+from repro.util.rng import RngStream
+
+N = 200
+
+
+def serial_reference(outcome, n, seed):
+    """Recompute y = A @ x serially from the same streams."""
+    counts = [v[0] for _pid, v in sorted(outcome.values.items())]
+    x = RngStream(seed, "matvec-x").generator.random(n)
+    y_parts = []
+    for pid, rows in enumerate(counts):
+        block = RngStream(seed, "matvec-A", pid).generator.random((rows, n))
+        y_parts.append(block @ x)
+    return np.concatenate(y_parts)
+
+
+class TestCorrectness:
+    def test_matches_serial(self, testbed_small):
+        outcome = run_matvec(testbed_small, N, seed=2)
+        root = outcome.runtime.fastest_pid
+        expected = serial_reference(outcome, N, 2)
+        assert outcome.values[root][1] == pytest.approx(float(expected.sum()))
+
+    def test_rows_conserved(self, testbed_small):
+        outcome = run_matvec(testbed_small, N)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+    def test_balanced_rows_track_fractions(self, testbed_small):
+        outcome = run_matvec(testbed_small, N, workload=WorkloadPolicy.BALANCED)
+        for pid, (rows, _checksum) in outcome.values.items():
+            ideal = outcome.runtime.fraction_of(pid) * N
+            assert abs(rows - ideal) < 1.0
+
+    def test_hbsp2(self, fig1_machine):
+        outcome = run_matvec(fig1_machine, N)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+    def test_slow_root(self, testbed_small):
+        outcome = run_matvec(testbed_small, N, root=RootPolicy.SLOWEST)
+        root = outcome.runtime.slowest_pid
+        expected = serial_reference(outcome, N, 0)
+        assert outcome.values[root][1] == pytest.approx(float(expected.sum()))
+
+    def test_supersteps(self, testbed_small):
+        assert run_matvec(testbed_small, N).supersteps == 2
+
+
+class TestBalanceBenefit:
+    def test_balanced_wins_when_compute_dominates(self, testbed):
+        """With O(n^2) flops per superstep, the slowest machine's share
+        decides the barrier time; balancing must win clearly."""
+        equal = run_matvec(testbed, 1600, workload=WorkloadPolicy.EQUAL)
+        balanced = run_matvec(testbed, 1600, workload=WorkloadPolicy.BALANCED)
+        assert equal.time / balanced.time > 1.3
+
+    def test_benefit_grows_with_compute_share(self, testbed):
+        small = run_matvec(testbed, 200, workload=WorkloadPolicy.EQUAL).time / run_matvec(
+            testbed, 200, workload=WorkloadPolicy.BALANCED
+        ).time
+        large = run_matvec(testbed, 1000, workload=WorkloadPolicy.EQUAL).time / run_matvec(
+            testbed, 1000, workload=WorkloadPolicy.BALANCED
+        ).time
+        assert large > small

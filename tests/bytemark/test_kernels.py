@@ -1,0 +1,114 @@
+"""Unit tests for repro.bytemark.kernels — every kernel really runs."""
+
+import numpy as np
+import pytest
+
+from repro.bytemark import KERNELS
+from repro.bytemark.kernels import (
+    assignment,
+    bitfield,
+    fourier,
+    fp_kernel,
+    huffman,
+    idea_cipher,
+    lu_decomposition,
+    neural_net,
+    numeric_sort,
+    string_sort,
+)
+from repro.errors import ValidationError
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSuiteInventory:
+    def test_ten_kernels(self):
+        assert len(KERNELS) == 10
+
+    def test_unique_names(self):
+        names = [k.name for k in KERNELS]
+        assert len(set(names)) == len(names)
+
+    def test_categories(self):
+        assert {k.category for k in KERNELS} == {"integer", "float"}
+
+    def test_positive_work(self):
+        assert all(k.work > 0 for k in KERNELS)
+
+    def test_both_categories_populated(self):
+        integers = [k for k in KERNELS if k.category == "integer"]
+        floats = [k for k in KERNELS if k.category == "float"]
+        assert len(integers) >= 3 and len(floats) >= 3
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+    def test_same_seed_same_checksum(self, kernel):
+        assert kernel.run(rng(7), 1) == kernel.run(rng(7), 1)
+
+    @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+    def test_returns_finite_float(self, kernel):
+        value = kernel.run(rng(0), 1)
+        assert isinstance(value, float)
+        assert np.isfinite(value)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValidationError):
+            KERNELS[0].run(rng(0), 0)
+
+
+class TestKernelSemantics:
+    def test_numeric_sort_checksum_stable(self):
+        assert numeric_sort(rng(1), 1) == numeric_sort(rng(1), 1)
+
+    def test_string_sort_positive(self):
+        assert string_sort(rng(0), 1) > 0
+
+    def test_bitfield_bounded(self):
+        total = bitfield(rng(0), 1)
+        assert 0 <= total <= 8192
+
+    def test_huffman_beats_fixed_width(self):
+        """The Huffman encoding of 64 symbols must beat 6 bits/symbol
+        on skewed data and never beat the entropy bound badly."""
+        encoded_bits = huffman(rng(0), 1)
+        assert 0 < encoded_bits <= 1024 * 8  # no worse than 8 bits/symbol
+
+    def test_idea_in_range(self):
+        assert 0 <= idea_cipher(rng(0), 1) < 2**31
+
+    def test_assignment_at_most_greedy(self):
+        """The optimal assignment can't cost more than a greedy one."""
+        generator = rng(5)
+        costs = generator.integers(0, 1000, size=(64, 64)).astype(float)
+        from scipy.optimize import linear_sum_assignment
+
+        rows, cols = linear_sum_assignment(costs)
+        optimal = costs[rows, cols].sum()
+        taken = set()
+        greedy = 0.0
+        for i in range(64):
+            j = min(
+                (j for j in range(64) if j not in taken),
+                key=lambda j: costs[i, j],
+            )
+            taken.add(j)
+            greedy += costs[i, j]
+        assert optimal <= greedy + 1e-9
+
+    def test_fp_kernel_positive(self):
+        assert fp_kernel(rng(0), 1) > 0
+
+    def test_fourier_energy_grows_with_coefficients(self):
+        assert fourier(rng(0), 2) >= fourier(rng(0), 1)
+
+    def test_neural_net_loss_decreases(self):
+        """More epochs must not increase the training loss (much)."""
+        short = neural_net(rng(3), 1)
+        long = neural_net(rng(3), 4)
+        assert long <= short * 1.05
+
+    def test_lu_residual_tiny(self):
+        assert lu_decomposition(rng(0), 2) < 1e-6

@@ -1,0 +1,95 @@
+"""Unit tests for repro.bytemark.suite."""
+
+import math
+
+import pytest
+
+from repro.bytemark import BytemarkResult, measure_host, simulate_scores, true_scores
+from repro.bytemark.kernels import KERNELS
+from repro.cluster import ucf_testbed
+from repro.errors import ValidationError
+
+
+class TestBytemarkResult:
+    def test_aggregates_geometric_mean(self):
+        scores = {k.name: 100.0 for k in KERNELS}
+        result = BytemarkResult.from_scores(scores)
+        assert result.index == pytest.approx(100.0)
+        assert result.integer_index == pytest.approx(100.0)
+        assert result.float_index == pytest.approx(100.0)
+
+    def test_geometric_not_arithmetic(self):
+        integer_kernels = [k for k in KERNELS if k.category == "integer"]
+        scores = {k.name: 1.0 for k in integer_kernels}
+        scores[integer_kernels[0].name] = 100.0
+        result = BytemarkResult.from_scores(scores)
+        expected = math.exp(math.log(100.0) / len(integer_kernels))
+        assert result.integer_index == pytest.approx(expected)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValueError):
+            BytemarkResult.from_scores({})
+
+    def test_partial_suite_ok(self):
+        result = BytemarkResult.from_scores({KERNELS[0].name: 10.0})
+        assert result.index == pytest.approx(10.0)
+
+
+class TestMeasureHost:
+    def test_runs_and_reports_all_kernels(self):
+        result = measure_host(scale=1, seed=0, kernels=KERNELS[:3])
+        assert len(result.scores) == 3
+        assert all(score > 0 for score in result.scores.values())
+
+    def test_index_positive(self):
+        result = measure_host(scale=1, seed=0, kernels=KERNELS[:2])
+        assert result.index > 0
+
+
+class TestSimulateScores:
+    def test_zero_noise_is_truth(self):
+        topo = ucf_testbed(5)
+        assert simulate_scores(topo, noise_sigma=0.0) == true_scores(topo)
+
+    def test_true_scores_are_cpu_rates(self):
+        topo = ucf_testbed(4)
+        scores = true_scores(topo)
+        for machine in topo.machines:
+            assert scores[machine.name] == machine.cpu_rate
+
+    def test_noise_deterministic_per_seed(self):
+        topo = ucf_testbed(6)
+        a = simulate_scores(topo, noise_sigma=0.2, seed=1)
+        b = simulate_scores(topo, noise_sigma=0.2, seed=1)
+        assert a == b
+
+    def test_different_seed_different_noise(self):
+        topo = ucf_testbed(6)
+        a = simulate_scores(topo, noise_sigma=0.2, seed=1)
+        b = simulate_scores(topo, noise_sigma=0.2, seed=2)
+        assert a != b
+
+    def test_score_independent_of_topology_membership(self):
+        """A machine's simulated score doesn't depend on which other
+        machines were benchmarked with it — like real hosts."""
+        big = simulate_scores(ucf_testbed(10), noise_sigma=0.3, seed=9)
+        small = simulate_scores(ucf_testbed(3), noise_sigma=0.3, seed=9)
+        for name in small:
+            assert small[name] == big[name]
+
+    def test_noise_scales_with_sigma(self):
+        topo = ucf_testbed(10)
+        mild = simulate_scores(topo, noise_sigma=0.01, seed=3)
+        wild = simulate_scores(topo, noise_sigma=0.8, seed=3)
+        truth = true_scores(topo)
+        mild_err = max(abs(mild[n] / truth[n] - 1) for n in truth)
+        wild_err = max(abs(wild[n] / truth[n] - 1) for n in truth)
+        assert mild_err < wild_err
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            simulate_scores(ucf_testbed(2), noise_sigma=-0.1)
+
+    def test_all_scores_positive(self):
+        scores = simulate_scores(ucf_testbed(10), noise_sigma=1.0, seed=0)
+        assert all(score > 0 for score in scores.values())

@@ -1,0 +1,85 @@
+"""Unit tests for repro.cluster.machine."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.errors import ValidationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = MachineSpec("box")
+        assert spec.cpu_rate > 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineSpec("")
+
+    @pytest.mark.parametrize("field", ["cpu_rate", "nic_gap"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ValidationError):
+            MachineSpec("box", **{field: 0})
+
+    @pytest.mark.parametrize("field", ["pack_cost", "unpack_cost", "msg_overhead"])
+    def test_non_negative_fields(self, field):
+        with pytest.raises(ValidationError):
+            MachineSpec("box", **{field: -1})
+        MachineSpec("box", **{field: 0})  # zero is fine
+
+    def test_frozen(self):
+        spec = MachineSpec("box")
+        with pytest.raises(Exception):
+            spec.cpu_rate = 5  # type: ignore[misc]
+
+
+class TestTimings:
+    def test_compute_time(self):
+        spec = MachineSpec("box", cpu_rate=1e6)
+        assert spec.compute_time(2e6) == pytest.approx(2.0)
+
+    def test_compute_time_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            MachineSpec("box").compute_time(-1)
+
+    def test_pack_time_includes_overhead(self):
+        spec = MachineSpec("box", cpu_rate=1e6, pack_cost=1.0, msg_overhead=1000.0)
+        assert spec.pack_time(0) == pytest.approx(1e-3)
+        assert spec.pack_time(1000) == pytest.approx(2e-3)
+
+    def test_unpack_time_no_overhead(self):
+        spec = MachineSpec("box", cpu_rate=1e6, unpack_cost=0.5)
+        assert spec.unpack_time(0) == 0.0
+        assert spec.unpack_time(2000) == pytest.approx(1e-3)
+
+    def test_slower_cpu_packs_slower(self):
+        fast = MachineSpec("fast", cpu_rate=1e8)
+        slow = MachineSpec("slow", cpu_rate=2.5e7)
+        assert slow.pack_time(10_000) > fast.pack_time(10_000)
+
+    def test_pack_costlier_than_unpack_by_default(self):
+        spec = MachineSpec("box")
+        assert spec.pack_time(100_000) > spec.unpack_time(100_000)
+
+
+class TestDerived:
+    def test_scaled_speeds_up_cpu_and_nic(self):
+        base = MachineSpec("box", cpu_rate=1e7, nic_gap=1e-7)
+        faster = base.scaled(2.0)
+        assert faster.cpu_rate == pytest.approx(2e7)
+        assert faster.nic_gap == pytest.approx(5e-8)
+
+    def test_scaled_renames(self):
+        assert MachineSpec("box").scaled(2.0).name == "boxx2"
+        assert MachineSpec("box").scaled(2.0, name="other").name == "other"
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            MachineSpec("box").scaled(0)
+
+    def test_slowness_vs(self):
+        spec = MachineSpec("box", nic_gap=2e-7)
+        assert spec.slowness_vs(8e-8) == pytest.approx(2.5)
+
+    def test_slowness_vs_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            MachineSpec("box").slowness_vs(0)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster import NetworkSpec
+from repro.errors import ValidationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        NetworkSpec("net")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec("")
+
+    @pytest.mark.parametrize(
+        "field", ["gap", "latency", "sync_base", "sync_per_member"]
+    )
+    def test_non_negative_fields(self, field):
+        with pytest.raises(ValidationError):
+            NetworkSpec("net", **{field: -1e-9})
+        NetworkSpec("net", **{field: 0.0})
+
+
+class TestSyncCost:
+    def test_linear_in_members(self):
+        net = NetworkSpec("net", sync_base=1.0, sync_per_member=0.1)
+        assert net.sync_cost(1) == pytest.approx(1.1)
+        assert net.sync_cost(10) == pytest.approx(2.0)
+
+    def test_rejects_zero_members(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec("net").sync_cost(0)
+
+
+class TestEffectiveGap:
+    def test_wire_caps_fast_nic(self):
+        net = NetworkSpec("net", gap=1e-7)
+        assert net.effective_gap(1e-8) == 1e-7
+
+    def test_slow_nic_caps_fast_wire(self):
+        net = NetworkSpec("net", gap=1e-9)
+        assert net.effective_gap(2e-7) == 2e-7
+
+    def test_zero_gap_network_passes_nic(self):
+        net = NetworkSpec("net", gap=0.0)
+        assert net.effective_gap(5e-8) == 5e-8
+
+
+class TestScaled:
+    def test_scaled_divides_all_costs(self):
+        net = NetworkSpec("net", gap=1e-7, latency=1e-3, sync_base=1e-2, sync_per_member=1e-3)
+        fast = net.scaled(10.0)
+        assert fast.gap == pytest.approx(1e-8)
+        assert fast.latency == pytest.approx(1e-4)
+        assert fast.sync_base == pytest.approx(1e-3)
+        assert fast.sync_per_member == pytest.approx(1e-4)
+
+    def test_scaled_renames(self):
+        assert NetworkSpec("net").scaled(2.0).name == "netx2"
+        assert NetworkSpec("net").scaled(2.0, name="x").name == "x"
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec("net").scaled(-1)

@@ -1,0 +1,167 @@
+"""Unit tests for repro.cluster.presets."""
+
+import pytest
+
+from repro.cluster import (
+    flat_cluster,
+    grid_three_level,
+    multi_lan,
+    smp_sgi_lan,
+    two_lans,
+    ucf_testbed,
+)
+from repro.errors import ValidationError
+
+
+class TestUcfTestbed:
+    def test_default_is_ten(self):
+        assert ucf_testbed().num_machines == 10
+
+    def test_height_one(self):
+        assert ucf_testbed().height == 1
+
+    @pytest.mark.parametrize("p", range(2, 11))
+    def test_subset_sizes(self, p):
+        assert ucf_testbed(p).num_machines == p
+
+    @pytest.mark.parametrize("p", range(2, 11))
+    def test_subsets_span_speed_range(self, p):
+        """Every subset contains the globally fastest and slowest machine."""
+        topo = ucf_testbed(p)
+        names = {m.name for m in topo.machines}
+        assert "sgi-octane" in names
+        assert "sun-classic" in names
+
+    def test_single_machine(self):
+        topo = ucf_testbed(1)
+        assert topo.machines[0].name == "sgi-octane"
+
+    def test_too_many_raises(self):
+        with pytest.raises(ValidationError, match="at most"):
+            ucf_testbed(11)
+
+    def test_fastest_has_r_one(self):
+        topo = ucf_testbed()
+        g = topo.min_nic_gap()
+        assert topo.machines[topo.fastest()].nic_gap == g
+
+    def test_nic_spread_is_wire_bound(self):
+        """Communication slowness spans ~1.25x (the testbed was one Ethernet)."""
+        topo = ucf_testbed()
+        gaps = [m.nic_gap for m in topo.machines]
+        assert max(gaps) / min(gaps) == pytest.approx(1.25, rel=0.01)
+
+    def test_cpu_spread_is_4x(self):
+        topo = ucf_testbed()
+        rates = [m.cpu_rate for m in topo.machines]
+        assert max(rates) / min(rates) == pytest.approx(4.0, rel=0.01)
+
+
+class TestFlatCluster:
+    def test_sizes(self):
+        assert flat_cluster(7).num_machines == 7
+
+    def test_monotone_speeds(self):
+        topo = flat_cluster(5)
+        rates = [m.cpu_rate for m in topo.machines]
+        assert rates == sorted(rates, reverse=True)
+        gaps = [m.nic_gap for m in topo.machines]
+        assert gaps == sorted(gaps)
+
+    def test_homogeneous_option(self):
+        topo = flat_cluster(4, slowdown=1.0, nic_slowdown=1.0)
+        assert len({m.cpu_rate for m in topo.machines}) == 1
+        assert len({m.nic_gap for m in topo.machines}) == 1
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            flat_cluster(4, slowdown=0.5)
+
+    def test_endpoint_slowdowns_exact(self):
+        topo = flat_cluster(5, slowdown=4.0, nic_slowdown=2.0)
+        rates = [m.cpu_rate for m in topo.machines]
+        gaps = [m.nic_gap for m in topo.machines]
+        assert rates[0] / rates[-1] == pytest.approx(4.0)
+        assert gaps[-1] / gaps[0] == pytest.approx(2.0)
+
+    def test_single_machine(self):
+        assert flat_cluster(1).num_machines == 1
+
+
+class TestSmpSgiLan:
+    def test_structure_matches_figure_1(self):
+        topo = smp_sgi_lan()
+        assert topo.height == 2
+        assert topo.num_machines == 9  # 4 SMP + 1 SGI + 4 LAN
+        names = {c.name for c in topo.clusters}
+        assert {"campus", "smp", "lan"} <= names
+
+    def test_sgi_is_fastest(self):
+        topo = smp_sgi_lan()
+        assert topo.machines[topo.fastest()].name == "sgi-octane"
+
+    def test_smp_bus_is_fast(self):
+        topo = smp_sgi_lan()
+        a = topo.machine_id("smp-cpu0")
+        b = topo.machine_id("smp-cpu1")
+        net, _ = topo.route(a, b)
+        assert net.gap < 1e-8
+
+
+class TestTwoLansAndMultiLan:
+    def test_two_lans_structure(self):
+        topo = two_lans(4)
+        assert topo.height == 2
+        assert topo.num_machines == 8
+
+    def test_two_lans_interleaved_speeds(self):
+        """Both LANs contain machines from across the speed range."""
+        topo = two_lans(4)
+        for lan in ("lan0", "lan1"):
+            rates = [topo.machines[m].cpu_rate for m in topo.members(lan)]
+            assert max(rates) / min(rates) > 1.5
+
+    def test_multi_lan_counts(self):
+        topo = multi_lan(3, 4)
+        assert topo.height == 2
+        assert topo.num_machines == 12
+        root = topo.cluster_id("campus")
+        assert len(topo.child_clusters(root)) == 3
+
+    def test_multi_lan_validation(self):
+        with pytest.raises(ValidationError):
+            multi_lan(0)
+
+
+class TestGrid:
+    def test_three_levels(self):
+        topo = grid_three_level(2, 2, 3)
+        assert topo.height == 3
+        assert topo.num_machines == 12
+
+    def test_wan_at_top(self):
+        topo = grid_three_level(2, 2, 2)
+        a = topo.machine_id("s0l0-m0")
+        b = topo.machine_id("s1l0-m0")
+        net, level = topo.route(a, b)
+        assert net.name == "wan"
+        assert level == 3
+
+    def test_campus_in_middle(self):
+        topo = grid_three_level(2, 2, 2)
+        a = topo.machine_id("s0l0-m0")
+        b = topo.machine_id("s0l1-m0")
+        net, level = topo.route(a, b)
+        assert net.name == "campus-atm"
+        assert level == 2
+
+    def test_network_hierarchy_ordering(self):
+        """Higher levels are slower: gap and sync grow going up (§1)."""
+        topo = grid_three_level(2, 2, 2)
+        a = topo.machine_id("s0l0-m0")
+        lan_net, _ = topo.route(a, topo.machine_id("s0l0-m1"))
+        campus_net, _ = topo.route(a, topo.machine_id("s0l1-m0"))
+        wan_net, _ = topo.route(a, topo.machine_id("s1l0-m0"))
+        assert lan_net.gap < campus_net.gap < wan_net.gap
+        assert lan_net.latency < campus_net.latency < wan_net.latency
+        assert lan_net.sync_base < campus_net.sync_base < wan_net.sync_base

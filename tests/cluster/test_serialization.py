@@ -1,0 +1,89 @@
+"""Tests for cluster topology serialization."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    dumps,
+    flat_cluster,
+    grid_three_level,
+    loads,
+    smp_sgi_lan,
+    topology_from_dict,
+    topology_to_dict,
+    ucf_testbed,
+)
+from repro.errors import TopologyError
+from repro.model import calibrate
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: ucf_testbed(10), smp_sgi_lan, lambda: grid_three_level(), lambda: flat_cluster(3)],
+    ids=["testbed", "fig1", "grid", "flat"],
+)
+class TestRoundTrip:
+    def test_structure_preserved(self, factory):
+        original = factory()
+        restored = loads(dumps(original))
+        assert restored.height == original.height
+        assert [m.name for m in restored.machines] == [
+            m.name for m in original.machines
+        ]
+        assert [c.name for c in restored.clusters] == [
+            c.name for c in original.clusters
+        ]
+
+    def test_specs_preserved_exactly(self, factory):
+        original = factory()
+        restored = loads(dumps(original))
+        for a, b in zip(original.machines, restored.machines):
+            assert a == b
+        for a, b in zip(original.clusters, restored.clusters):
+            assert a.network == b.network
+
+    def test_calibration_identical(self, factory):
+        original = factory()
+        restored = loads(dumps(original))
+        p_original = calibrate(original)
+        p_restored = calibrate(restored)
+        assert p_original.g == p_restored.g
+        assert p_original.r == p_restored.r
+        assert p_original.L == p_restored.L
+
+    def test_routing_identical(self, factory):
+        original = factory()
+        restored = loads(dumps(original))
+        for a in range(original.num_machines):
+            for b in range(original.num_machines):
+                if a != b:
+                    assert (
+                        restored.route(a, b)[0].name == original.route(a, b)[0].name
+                    )
+
+
+class TestDetails:
+    def test_pair_multipliers_roundtrip(self):
+        topology = ucf_testbed(4)
+        topology.set_pair_multiplier(0, 3, 7.5)
+        restored = loads(dumps(topology))
+        assert restored.pair_multiplier(0, 3) == 7.5
+
+    def test_json_is_valid_and_stable(self):
+        text = dumps(ucf_testbed(3))
+        data = json.loads(text)
+        assert data["schema"] == "repro.cluster/1"
+        assert dumps(loads(text)) == text  # fixpoint
+
+    def test_unknown_schema_rejected(self):
+        data = topology_to_dict(ucf_testbed(2))
+        data["schema"] = "something/else"
+        with pytest.raises(TopologyError, match="schema"):
+            topology_from_dict(data)
+
+    def test_unknown_node_kind_rejected(self):
+        data = topology_to_dict(ucf_testbed(2))
+        data["root"]["children"][0]["kind"] = "mystery"
+        with pytest.raises(TopologyError, match="kind"):
+            topology_from_dict(data)

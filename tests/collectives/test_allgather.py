@@ -1,0 +1,59 @@
+"""Tests for the HBSP^k all-gather."""
+
+import pytest
+
+from repro.collectives import run_allgather
+from repro.errors import CollectiveError
+
+N = 25_600
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["direct", "hierarchical"])
+    def test_everyone_gets_everything(self, testbed_small, strategy):
+        outcome = run_allgather(testbed_small, N, strategy=strategy)
+        sizes = {v[0] for v in outcome.values.values()}
+        checksums = {v[1] for v in outcome.values.values()}
+        assert sizes == {N}
+        assert len(checksums) == 1
+
+    @pytest.mark.parametrize("strategy", ["direct", "hierarchical"])
+    def test_hbsp2(self, fig1_machine, strategy):
+        outcome = run_allgather(fig1_machine, N, strategy=strategy)
+        assert {v[0] for v in outcome.values.values()} == {N}
+
+    def test_strategies_agree_on_data(self, testbed_small):
+        direct = run_allgather(testbed_small, N, strategy="direct", seed=2)
+        hier = run_allgather(testbed_small, N, strategy="hierarchical", seed=2)
+        assert (
+            set(v[1] for v in direct.values.values())
+            == set(v[1] for v in hier.values.values())
+        )
+
+    def test_unknown_strategy_rejected(self, testbed_small):
+        with pytest.raises(CollectiveError):
+            run_allgather(testbed_small, N, strategy="magic")
+
+    def test_superstep_counts(self, testbed_small):
+        direct = run_allgather(testbed_small, N, strategy="direct")
+        assert direct.supersteps == 1
+        hier = run_allgather(testbed_small, N, strategy="hierarchical")
+        assert hier.supersteps == 2  # gather + one-phase rebroadcast
+
+
+class TestStrategyTradeoff:
+    def test_direct_wins_on_flat_lan(self, testbed):
+        """On one Ethernet the single total exchange beats two phases."""
+        direct = run_allgather(testbed, N, strategy="direct")
+        hier = run_allgather(testbed, N, strategy="hierarchical")
+        assert direct.time < hier.time
+
+    def test_prediction_ballpark(self, testbed_small):
+        outcome = run_allgather(testbed_small, 4 * N, strategy="direct")
+        assert outcome.predicted_time <= outcome.time <= 5 * outcome.predicted_time
+
+    def test_hierarchical_prediction_composes(self, testbed_small):
+        outcome = run_allgather(testbed_small, N, strategy="hierarchical")
+        labels = [s.label for s in outcome.predicted.steps]
+        assert any(label.startswith("gather/") for label in labels)
+        assert any(label.startswith("broadcast/") for label in labels)

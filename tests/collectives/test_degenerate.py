@@ -1,0 +1,117 @@
+"""Degenerate-configuration tests across every collective.
+
+Single-machine topologies, empty problems, and width-1 vectors — the
+corners where off-by-one bugs in partitioning and self-send handling
+live.
+"""
+
+import pytest
+
+from repro.cluster import ucf_testbed
+from repro.collectives import (
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_broadcast,
+    run_gather,
+    run_reduce,
+    run_scan,
+    run_scatter,
+)
+
+
+@pytest.fixture
+def solo():
+    return ucf_testbed(1)
+
+
+@pytest.fixture
+def pair():
+    return ucf_testbed(2)
+
+
+class TestSingleMachine:
+    """p = 1: every collective is a no-op data-wise and near-free."""
+
+    def test_gather(self, solo):
+        outcome = run_gather(solo, 1000)
+        assert outcome.values[0][0] == 1000
+        assert outcome.predicted_time == 0.0
+
+    def test_broadcast(self, solo):
+        outcome = run_broadcast(solo, 1000)
+        assert outcome.values[0][0] == 1000
+
+    def test_scatter(self, solo):
+        outcome = run_scatter(solo, 1000)
+        assert outcome.values[0][0] == 1000
+
+    def test_reduce(self, solo):
+        outcome = run_reduce(solo, 100)
+        assert outcome.values[0][0] == 100
+
+    def test_scan(self, solo):
+        outcome = run_scan(solo, 100)
+        assert outcome.values[0][0] == 100
+
+    def test_alltoall(self, solo):
+        outcome = run_alltoall(solo, 1000)
+        assert outcome.values[0][0] == 1000
+
+    @pytest.mark.parametrize("strategy", ["direct", "hierarchical"])
+    def test_allgather(self, solo, strategy):
+        outcome = run_allgather(solo, 1000, strategy=strategy)
+        assert outcome.values[0][0] == 1000
+
+    @pytest.mark.parametrize("strategy", ["direct", "tree"])
+    def test_allreduce(self, solo, strategy):
+        outcome = run_allreduce(solo, 100, strategy=strategy)
+        assert outcome.values[0][0] == 100
+
+
+class TestEmptyProblems:
+    def test_gather_zero_items(self, pair):
+        outcome = run_gather(pair, 0)
+        assert sum(v[0] for v in outcome.values.values()) == 0
+
+    def test_broadcast_zero_items(self, pair):
+        outcome = run_broadcast(pair, 0)
+        # Nothing to send; nobody should end with phantom data.
+        assert all(v[0] == 0 for v in outcome.values.values())
+
+    def test_scatter_zero_items(self, pair):
+        outcome = run_scatter(pair, 0)
+        assert sum(v[0] for v in outcome.values.values()) == 0
+
+    def test_alltoall_zero_items(self, pair):
+        outcome = run_alltoall(pair, 0)
+        assert sum(v[0] for v in outcome.values.values()) == 0
+
+
+class TestTinyProblems:
+    def test_gather_one_item(self, pair):
+        outcome = run_gather(pair, 1)
+        assert sum(v[0] for v in outcome.values.values()) == 1
+
+    def test_broadcast_one_item(self, pair):
+        outcome = run_broadcast(pair, 1)
+        assert {v[0] for v in outcome.values.values()} == {1}
+
+    def test_scan_width_one(self, pair):
+        outcome = run_scan(pair, 1)
+        assert all(v[0] == 1 for v in outcome.values.values())
+
+    def test_reduce_width_one(self, pair):
+        outcome = run_reduce(pair, 1)
+        holders = [v for v in outcome.values.values() if v[0] > 0]
+        assert len(holders) == 1
+
+    def test_fewer_items_than_machines(self):
+        topo = ucf_testbed(8)
+        outcome = run_gather(topo, 3)
+        assert sum(v[0] for v in outcome.values.values()) == 3
+
+    def test_broadcast_fewer_items_than_machines(self):
+        topo = ucf_testbed(8)
+        outcome = run_broadcast(topo, 3, phases="two")
+        assert {v[0] for v in outcome.values.values()} == {3}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterTopology,
+    flat_cluster,
+    grid_three_level,
+    smp_sgi_lan,
+    ucf_testbed,
+)
+from repro.model import HBSPParams, calibrate
+
+
+@pytest.fixture
+def testbed() -> ClusterTopology:
+    """The full ten-workstation HBSP^1 testbed."""
+    return ucf_testbed(10)
+
+
+@pytest.fixture
+def testbed_small() -> ClusterTopology:
+    """A four-workstation HBSP^1 testbed (fast tests)."""
+    return ucf_testbed(4)
+
+
+@pytest.fixture
+def fig1_machine() -> ClusterTopology:
+    """The paper's Figure-1 HBSP^2 machine (SMP + SGI + LAN)."""
+    return smp_sgi_lan()
+
+
+@pytest.fixture
+def grid() -> ClusterTopology:
+    """A small HBSP^3 grid."""
+    return grid_three_level(sites=2, lans_per_site=2, p_per_lan=2)
+
+
+@pytest.fixture
+def homogeneous() -> ClusterTopology:
+    """A homogeneous (pure BSP) cluster of six machines."""
+    return flat_cluster(6, slowdown=1.0, nic_slowdown=1.0)
+
+
+@pytest.fixture
+def testbed_params(testbed) -> HBSPParams:
+    """Calibrated parameters of the full testbed."""
+    return calibrate(testbed)
+
+
+@pytest.fixture
+def fig1_params(fig1_machine) -> HBSPParams:
+    """Calibrated parameters of the Figure-1 machine."""
+    return calibrate(fig1_machine)

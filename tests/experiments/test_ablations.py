@@ -1,0 +1,60 @@
+"""Tests for the mechanism ablations."""
+
+import pytest
+
+from repro.cluster import ucf_testbed
+from repro.experiments import (
+    ablation_nic_serialization,
+    ablation_pack_asymmetry,
+    ablation_rank_noise,
+    ablation_report,
+    symmetric_pack_topology,
+)
+
+
+class TestSymmetricPackTopology:
+    def test_pack_equals_unpack(self):
+        topo = symmetric_pack_topology(ucf_testbed(4))
+        for machine in topo.machines:
+            assert machine.pack_cost == machine.unpack_cost
+            assert machine.msg_overhead == 0.0
+
+    def test_structure_preserved(self):
+        original = ucf_testbed(4)
+        topo = symmetric_pack_topology(original)
+        assert topo.num_machines == original.num_machines
+        assert [m.name for m in topo.machines] == [m.name for m in original.machines]
+        assert [m.cpu_rate for m in topo.machines] == [
+            m.cpu_rate for m in original.machines
+        ]
+
+
+class TestPackAsymmetryAblation:
+    def test_inversion_requires_asymmetry(self):
+        result = ablation_pack_asymmetry(size_kb=250)
+        assert result["with"] < 1.0  # the paper's p=2 inversion
+        assert result["without"] >= result["with"]
+        assert result["without"] >= 0.98  # inversion gone
+
+
+class TestNicSerializationAblation:
+    def test_contention_costs_time(self):
+        result = ablation_nic_serialization(size_kb=250, p=8)
+        assert result["with"] > result["without"]
+        assert result["contention_cost"] > 1.2
+
+
+class TestRankNoiseAblation:
+    def test_noise_changes_balancing_value(self):
+        result = ablation_rank_noise(size_kb=250, p=6, noise_sigma=0.5)
+        assert result["noisy"] != pytest.approx(result["clean"], rel=0.01)
+        assert result["clean"] > 1.0  # perfect scores: balancing helps
+
+
+class TestReport:
+    def test_renders(self):
+        report = ablation_report()
+        text = report.render()
+        assert "pack asymmetry" in text
+        assert "rank noise" in text
+        assert report.experiment_id == "ablations"

@@ -1,0 +1,92 @@
+"""Tests for the Section-3/4 analysis experiments."""
+
+import pytest
+
+from repro.experiments import (
+    model_fidelity,
+    sec4_broadcast_phases,
+    sec4_gather_hierarchy,
+    table1_parameters,
+)
+
+
+class TestTable1:
+    def test_renders_both_machines(self):
+        report = table1_parameters()
+        text = report.render()
+        assert "HBSP^1 parameters" in text
+        assert "HBSP^2 parameters" in text
+
+    def test_r_series_normalised(self):
+        report = table1_parameters()
+        values = list(report.series["r_0j (testbed)"].values())
+        assert min(values) == pytest.approx(1.0)
+
+    def test_c_series_sums_to_one(self):
+        report = table1_parameters()
+        assert sum(report.series["c_0j (testbed)"].values()) == pytest.approx(1.0)
+
+
+class TestSec4BroadcastPhases:
+    def test_small_sweep(self):
+        report = sec4_broadcast_phases(processor_counts=(2, 6), size_kb=100)
+        assert report.experiment_id == "sec4-bcast-phases"
+        for series in report.series.values():
+            assert set(series) == {2, 6}
+
+    def test_two_phase_wins_at_p6_for_mild_rs(self):
+        report = sec4_broadcast_phases(processor_counts=(6,), size_kb=100)
+        assert report.series["sim r_s=1.25"][6] > 1.0
+
+    def test_crossover_later_for_larger_rs(self):
+        report = sec4_broadcast_phases(processor_counts=(4,), size_kb=100)
+        assert report.series["sim r_s=1.25"][4] > report.series["sim r_s=12"][4]
+
+    def test_regime_table_in_extra(self):
+        report = sec4_broadcast_phases(processor_counts=(2,), size_kb=100)
+        assert "r_1s > m" in report.extra
+        assert "r_1s <= m" in report.extra
+
+
+class TestSec4GatherHierarchy:
+    def test_small_sweep(self):
+        report = sec4_gather_hierarchy(sizes_kb=(10, 500))
+        assert set(report.series["hier/flat"]) == {10, 500}
+
+    def test_penalty_amortises(self):
+        report = sec4_gather_hierarchy(sizes_kb=(10, 1000))
+        assert report.series["hier/flat"][10] > report.series["hier/flat"][1000]
+
+    def test_oversized_share_hurts(self):
+        report = sec4_gather_hierarchy(sizes_kb=(500,))
+        assert report.series["oversized/balanced"][500] > 1.0
+
+    def test_ledger_appendix(self):
+        report = sec4_gather_hierarchy(sizes_kb=(10,))
+        assert "cost ledger" in report.extra
+
+
+class TestModelFidelity:
+    def test_rank_correlation_high(self):
+        report = model_fidelity(size_kb=100)
+        rho_notes = [note for note in report.notes if "Spearman" in note]
+        assert len(rho_notes) == 2
+        for note in rho_notes:
+            rho = float(note.rsplit("=", 1)[1])
+            assert rho > 0.7
+
+    def test_ratios_at_least_one_ish(self):
+        """Simulated >= predicted (the model is optimistic about
+        per-message overheads), within a bounded factor."""
+        report = model_fidelity(size_kb=100)
+        for series in report.series.values():
+            for ratio in series.values():
+                assert 0.9 < ratio < 10.0
+
+    def test_all_collectives_present(self):
+        report = model_fidelity(size_kb=100)
+        for series in report.series.values():
+            assert set(series) == {
+                "gather", "broadcast-1p", "broadcast-2p", "scatter",
+                "reduce", "allgather", "alltoall", "scan",
+            }

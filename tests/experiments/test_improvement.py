@@ -1,0 +1,64 @@
+"""Unit tests for repro.experiments.improvement."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentReport, improvement_factor
+
+
+class TestImprovementFactor:
+    def test_definition(self):
+        # T_A / T_B: B faster than A => factor > 1.
+        assert improvement_factor(2.0, 1.0) == 2.0
+
+    def test_equal_times(self):
+        assert improvement_factor(1.5, 1.5) == 1.0
+
+    def test_zero_t_b_rejected(self):
+        with pytest.raises(ExperimentError):
+            improvement_factor(1.0, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            improvement_factor(-1.0, 1.0)
+
+
+class TestExperimentReport:
+    def make(self):
+        return ExperimentReport(
+            experiment_id="demo",
+            title="Demo",
+            x_name="p",
+            series={"100 KB": {2: 0.9, 4: 1.2}, "500 KB": {2: 0.95, 4: 1.3}},
+            notes=["a note"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "[demo]" in text
+        assert "100 KB" in text
+        assert "a note" in text
+
+    def test_xs_first_seen_order(self):
+        assert self.make().xs() == [2, 4]
+
+    def test_values_at(self):
+        report = self.make()
+        assert report.values_at(2) == {"100 KB": 0.9, "500 KB": 0.95}
+
+    def test_mean_factor(self):
+        report = self.make()
+        assert report.mean_factor(4) == pytest.approx(1.25)
+
+    def test_mean_factor_missing_x(self):
+        with pytest.raises(ExperimentError):
+            self.make().mean_factor(99)
+
+    def test_extra_appended(self):
+        report = self.make()
+        report.extra = "APPENDIX"
+        assert report.render().endswith("APPENDIX")
+
+    def test_str_is_render(self):
+        report = self.make()
+        assert str(report) == report.render()

@@ -1,0 +1,48 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_design_doc_ids_present(self):
+        expected = {
+            "table1",
+            "fig3a",
+            "fig3b",
+            "fig4a",
+            "fig4b",
+            "sec4-bcast-phases",
+            "sec4-gather-hierarchy",
+            "model-vs-sim",
+            "ablations",
+            "scaling",
+            "bsp-vs-hbsp",
+            "sensitivity",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("table1")
+        assert report.experiment_id == "table1"
+
+
+class TestCli:
+    def test_main_single_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out
+
+    def test_main_multiple(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "table1"]) == 0
+        assert capsys.readouterr().out.count("[table1]") == 2

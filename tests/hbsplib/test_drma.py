@@ -1,0 +1,225 @@
+"""Tests for the one-sided (DRMA) operations: put/get on registers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SuperstepError
+from repro.hbsplib import HbspRuntime
+
+
+class TestPut:
+    def test_whole_value_put(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", "initial")
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", "from-1")
+            yield from ctx.sync()
+            return ctx.register_value("x")
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == "from-1"
+        assert result.values[2] == "initial"
+
+    def test_offset_put_into_array(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", np.zeros(4, dtype=np.int64))
+            yield from ctx.put(0, "x", np.array([ctx.pid + 10]), offset=ctx.pid)
+            yield from ctx.sync()
+            if ctx.pid == 0:
+                return list(ctx.register_value("x"))
+            return None
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == [10, 11, 12, 13]
+
+    def test_put_is_buffered_on_source(self, testbed_small):
+        """Mutating the array after put must not change what arrives."""
+
+        def prog(ctx):
+            ctx.register("x", np.zeros(2, dtype=np.int64))
+            if ctx.pid == 1:
+                payload = np.array([7, 7], dtype=np.int64)
+                yield from ctx.put(0, "x", payload)
+                payload[:] = 99  # too late: the value was captured
+            yield from ctx.sync()
+            if ctx.pid == 0:
+                return list(ctx.register_value("x"))
+            return None
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == [7, 7]
+
+    def test_put_invisible_before_sync(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", 0)
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", 5)
+            before = ctx.register_value("x")
+            yield from ctx.sync()
+            return (before, ctx.register_value("x"))
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == (0, 5)
+
+    def test_put_to_unregistered_fails(self, testbed_small):
+        def prog(ctx):
+            if ctx.pid != 0:
+                ctx.register("x", 0)  # pid 0 forgets to register
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", 5)
+            yield from ctx.sync()
+
+        with pytest.raises(SuperstepError, match="unregistered"):
+            HbspRuntime(testbed_small).run(prog)
+
+    def test_oversized_offset_put_fails(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", np.zeros(2, dtype=np.int64))
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", np.arange(5), offset=0)
+            yield from ctx.sync()
+
+        with pytest.raises(SuperstepError, match="overflows"):
+            HbspRuntime(testbed_small).run(prog)
+
+    def test_put_charges_communication_time(self, testbed_small):
+        def quiet(ctx):
+            ctx.register("x", np.zeros(100_000, dtype=np.int64))
+            yield from ctx.sync()
+
+        def chatty(ctx):
+            ctx.register("x", np.zeros(100_000, dtype=np.int64))
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", np.ones(100_000, dtype=np.int64))
+            yield from ctx.sync()
+
+        t_quiet = HbspRuntime(testbed_small).run(quiet).time
+        t_chatty = HbspRuntime(testbed_small).run(chatty).time
+        assert t_chatty > t_quiet * 2
+
+
+class TestGet:
+    def test_get_whole_value(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", ctx.pid * 100)
+            handle = yield from ctx.get((ctx.pid + 1) % ctx.nprocs, "x")
+            yield from ctx.sync(drma=True)
+            return handle.value
+
+        result = HbspRuntime(testbed_small).run(prog)
+        for pid, value in result.values.items():
+            assert value == ((pid + 1) % 4) * 100
+
+    def test_get_slice(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", np.arange(10, dtype=np.int64) + ctx.pid)
+            handle = yield from ctx.get(0, "x", offset=2, length=3)
+            yield from ctx.sync(drma=True)
+            return list(handle.value)
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[3] == [2, 3, 4]
+
+    def test_get_sees_end_of_superstep_value(self, testbed_small):
+        """The owner's final write of the superstep is what a get sees."""
+
+        def prog(ctx):
+            ctx.register("x", "early")
+            if ctx.pid == 0:
+                handle = yield from ctx.get(1, "x")
+            if ctx.pid == 1:
+                ctx._registers["x"] = "late"  # owner updates before sync
+            yield from ctx.sync(drma=True)
+            return handle.value if ctx.pid == 0 else None
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == "late"
+
+    def test_get_returns_copy(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", np.zeros(3, dtype=np.int64))
+            handle = yield from ctx.get(1, "x")
+            yield from ctx.sync(drma=True)
+            if ctx.pid == 0:
+                handle.value[:] = 42  # mutating the copy...
+            yield from ctx.sync()
+            return list(ctx.register_value("x"))
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[1] == [0, 0, 0]  # ...never touches the owner
+
+    def test_handle_not_ready_before_sync(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", 1)
+            handle = yield from ctx.get(1, "x")
+            ready_before = handle.ready
+            yield from ctx.sync(drma=True)
+            return (ready_before, handle.ready)
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == (False, True)
+
+    def test_reading_unready_handle_raises(self, testbed_small):
+        from repro.hbsplib import GetHandle
+
+        handle = GetHandle()
+        with pytest.raises(SuperstepError, match="before the servicing"):
+            _ = handle.value
+
+    def test_drma_sync_charges_extra_barrier(self, testbed_small):
+        def plain(ctx):
+            yield from ctx.sync()
+
+        def with_drma(ctx):
+            ctx.register("x", 1)
+            yield from ctx.sync(drma=True)
+
+        t_plain = HbspRuntime(testbed_small).run(plain).time
+        t_drma = HbspRuntime(testbed_small).run(with_drma).time
+        assert t_drma == pytest.approx(2 * t_plain, rel=0.05)
+
+
+class TestRegisters:
+    def test_register_lifecycle(self, testbed_small):
+        def prog(ctx):
+            ctx.register("x", 1)
+            assert ctx.register_value("x") == 1
+            ctx.deregister("x")
+            try:
+                ctx.register_value("x")
+            except SuperstepError:
+                ok = True
+            else:
+                ok = False
+            yield from ctx.sync()
+            return ok
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert all(result.values.values())
+
+    def test_deregister_unknown_raises(self, testbed_small):
+        def prog(ctx):
+            ctx.deregister("ghost")
+            yield from ctx.sync()
+
+        with pytest.raises(SuperstepError, match="not registered"):
+            HbspRuntime(testbed_small).run(prog)
+
+    def test_puts_and_messages_coexist(self, testbed_small):
+        """DRMA traffic never leaks into the user message queue."""
+
+        def prog(ctx):
+            ctx.register("x", 0)
+            if ctx.pid == 1:
+                yield from ctx.put(0, "x", 5)
+                yield from ctx.send(0, "normal")
+            yield from ctx.sync()
+            if ctx.pid == 0:
+                return (
+                    [m.payload for m in ctx.messages()],
+                    ctx.register_value("x"),
+                )
+            return None
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.values[0] == (["normal"], 5)

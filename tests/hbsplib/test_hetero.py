@@ -1,0 +1,58 @@
+"""Unit tests for repro.hbsplib.hetero."""
+
+import pytest
+
+from repro.errors import PartitionError, ValidationError
+from repro.hbsplib import equal_partition, proportional_partition
+
+
+class TestEqualPartition:
+    def test_divisible(self):
+        assert equal_partition(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_goes_to_first(self):
+        assert equal_partition(10, 4) == [3, 3, 2, 2]
+
+    def test_conserves_n(self):
+        for n in (0, 1, 7, 1000, 25601):
+            for p in (1, 2, 9):
+                assert sum(equal_partition(n, p)) == n
+
+    def test_within_one(self):
+        counts = equal_partition(25601, 7)
+        assert max(counts) - min(counts) <= 1
+
+    def test_zero_items(self):
+        assert equal_partition(0, 3) == [0, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            equal_partition(-1, 3)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValidationError):
+            equal_partition(10, 0)
+
+
+class TestProportionalPartition:
+    def test_matches_fractions(self):
+        counts = proportional_partition(100, [0.5, 0.3, 0.2])
+        assert counts == [50, 30, 20]
+
+    def test_conserves_n(self):
+        fractions = [0.123, 0.456, 0.421]
+        assert sum(proportional_partition(999, fractions)) == 999
+
+    def test_within_one_of_ideal(self):
+        fractions = [1 / 3, 1 / 3, 1 / 3]
+        counts = proportional_partition(1000, fractions)
+        for count, fraction in zip(counts, fractions):
+            assert abs(count - 1000 * fraction) < 1.0
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(PartitionError):
+            proportional_partition(10, [0.5, 0.4])
+
+    def test_order_preserved(self):
+        counts = proportional_partition(100, [0.1, 0.7, 0.2])
+        assert counts[1] == max(counts)

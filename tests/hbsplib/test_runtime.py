@@ -1,0 +1,142 @@
+"""Unit tests for repro.hbsplib.runtime."""
+
+import pytest
+
+from repro.bytemark import simulate_scores
+from repro.errors import HbspError
+from repro.hbsplib import HbspRuntime
+
+
+def noop(ctx):
+    yield from ctx.sync()
+    return ctx.pid
+
+
+class TestConstruction:
+    def test_nprocs(self, testbed_small):
+        assert HbspRuntime(testbed_small).nprocs == 4
+
+    def test_pids_match_machine_order(self, testbed_small):
+        runtime = HbspRuntime(testbed_small)
+        result = runtime.run(noop)
+        assert sorted(result.values) == list(range(4))
+        assert all(result.values[pid] == pid for pid in result.values)
+
+    def test_fastest_slowest_from_scores(self, testbed_small):
+        runtime = HbspRuntime(testbed_small)
+        assert runtime.topology.machines[runtime.fastest_pid].name == "sgi-octane"
+        assert runtime.topology.machines[runtime.slowest_pid].name == "sun-classic"
+
+    def test_scores_override_ranking(self, testbed_small):
+        """Noisy scores can rank a truly-slower machine first."""
+        inverted = {
+            m.name: 1.0 / m.cpu_rate for m in testbed_small.machines
+        }
+        runtime = HbspRuntime(testbed_small, scores=inverted)
+        assert runtime.topology.machines[runtime.fastest_pid].name == "sun-classic"
+
+    def test_missing_scores_rejected(self, testbed_small):
+        with pytest.raises(HbspError, match="missing"):
+            HbspRuntime(testbed_small, scores={"sgi-octane": 1.0})
+
+    def test_ranks_are_permutation(self, testbed):
+        runtime = HbspRuntime(testbed)
+        ranks = sorted(runtime.rank_of(pid) for pid in range(runtime.nprocs))
+        assert ranks == list(range(runtime.nprocs))
+
+    def test_fractions_sum_to_one(self, testbed):
+        runtime = HbspRuntime(testbed)
+        assert sum(runtime.fraction_of(j) for j in range(runtime.nprocs)) == pytest.approx(1.0)
+
+    def test_partition_modes(self, testbed):
+        runtime = HbspRuntime(testbed)
+        balanced = runtime.partition(1000, balanced=True)
+        equal = runtime.partition(1000, balanced=False)
+        assert sum(balanced) == sum(equal) == 1000
+        assert max(equal) - min(equal) <= 1
+        assert max(balanced) - min(balanced) > 1  # heterogeneous shares
+
+
+class TestClusterNavigation:
+    def test_coordinator_pid_level0_is_self(self, fig1_machine):
+        runtime = HbspRuntime(fig1_machine)
+        assert runtime.coordinator_pid(3, 0) == 3
+
+    def test_cluster_members_level1(self, fig1_machine):
+        runtime = HbspRuntime(fig1_machine)
+        smp0 = runtime.topology.machine_id("smp-cpu0")
+        members = runtime.cluster_members(smp0, 1)
+        names = {runtime.topology.machines[m].name for m in members}
+        assert names == {f"smp-cpu{i}" for i in range(4)}
+
+    def test_root_cluster_contains_everyone(self, fig1_machine):
+        runtime = HbspRuntime(fig1_machine)
+        assert len(runtime.cluster_members(0, 2)) == runtime.nprocs
+
+    def test_coordinator_of_root_is_global_fastest(self, fig1_machine):
+        runtime = HbspRuntime(fig1_machine)
+        coord = runtime.coordinator_pid(0, 2)
+        assert runtime.topology.machines[coord].name == "sgi-octane"
+
+    def test_barrier_for_bad_level(self, testbed_small):
+        runtime = HbspRuntime(testbed_small)
+        with pytest.raises(HbspError):
+            runtime.barrier_for(0, 5)
+        with pytest.raises(HbspError):
+            runtime.barrier_for(0, 0)
+
+
+class TestExecution:
+    def test_single_use(self, testbed_small):
+        runtime = HbspRuntime(testbed_small)
+        runtime.run(noop)
+        with pytest.raises(HbspError, match="fresh"):
+            runtime.run(noop)
+
+    def test_per_pid_args(self, testbed_small):
+        def prog(ctx, value):
+            yield from ctx.sync()
+            return value
+
+        runtime = HbspRuntime(testbed_small)
+        result = runtime.run(prog, per_pid_args=[(i * 10,) for i in range(4)])
+        assert result.values == {0: 0, 1: 10, 2: 20, 3: 30}
+
+    def test_per_pid_args_length_checked(self, testbed_small):
+        runtime = HbspRuntime(testbed_small)
+        with pytest.raises(HbspError):
+            runtime.run(noop, per_pid_args=[()])
+
+    def test_supersteps_counted(self, testbed_small):
+        def prog(ctx):
+            yield from ctx.sync()
+            yield from ctx.sync()
+            yield from ctx.sync()
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.supersteps == 3
+
+    def test_sync_charges_L(self, testbed_small):
+        def prog(ctx):
+            yield from ctx.sync()
+
+        result = HbspRuntime(testbed_small).run(prog)
+        runtime_params = HbspRuntime(testbed_small).params
+        assert result.time >= runtime_params.L_of(1, 0)
+
+    def test_time_is_makespan(self, testbed_small):
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield from ctx.compute(ctx.task.host.spec.cpu_rate)  # 1 s
+            yield from ctx.sync()
+
+        result = HbspRuntime(testbed_small).run(prog)
+        assert result.time >= 1.0
+
+    def test_trace_enabled(self, testbed_small):
+        def prog(ctx):
+            yield from ctx.compute(1000)
+            yield from ctx.sync()
+
+        result = HbspRuntime(testbed_small, trace=True).run(prog)
+        assert len(result.trace) > 0

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.cli import PRESETS, build_preset, main
+from repro.errors import ReproError
+
+
+class TestBuildPreset:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            topology = build_preset(name)
+            assert topology.num_machines >= 1
+
+    def test_size_suffix(self):
+        assert build_preset("testbed:6").num_machines == 6
+        assert build_preset("flat:3").num_machines == 3
+        assert build_preset("deep:3").height == 3
+
+    def test_unknown_preset(self):
+        with pytest.raises(ReproError, match="unknown preset"):
+            build_preset("cloud")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "testbed" in out
+        assert "gather" in out
+        assert "fig3a" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "sgi-octane" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "testbed:4"]) == 0
+        out = capsys.readouterr().out
+        assert "M_{1,0}" in out
+
+    def test_probe(self, capsys):
+        assert main(["probe", "testbed:3"]) == 0
+        out = capsys.readouterr().out
+        assert "probed" in out
+
+    @pytest.mark.parametrize(
+        "collective",
+        ["gather", "broadcast", "scatter", "reduce", "allgather",
+         "alltoall", "allreduce", "scan"],
+    )
+    def test_run_collectives(self, capsys, collective):
+        assert main(["run", collective, "testbed:4", "--n", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated:" in out
+        assert "cost ledger" in out
+
+    def test_run_with_options(self, capsys):
+        assert main([
+            "run", "gather", "testbed:4", "--n", "5000",
+            "--root", "slowest", "--workload", "equal", "--gantt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gantt" in out
+
+    def test_run_explicit_root_pid(self, capsys):
+        assert main(["run", "gather", "testbed:4", "--root", "2"]) == 0
+        assert "root=pid2" in capsys.readouterr().out
+
+    def test_run_unknown_collective(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "sort", "testbed:4"])
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "[table1]" in capsys.readouterr().out
+
+    def test_experiment_plot(self, capsys):
+        assert main(["experiment", "table1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_unknown_experiment_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,71 @@
+"""Generality tests: the stack works for arbitrary k (the paper stops
+specifying algorithms at k = 2 and says "one can generalize the
+approach given here" — we verify the generalisation up to k = 5)."""
+
+import pytest
+
+from repro.cluster import deep_hierarchy
+from repro.collectives import run_broadcast, run_gather, run_reduce, run_scatter
+from repro.model import HBSPTree, calibrate
+
+N = 8_000
+
+
+@pytest.fixture(scope="module", params=[3, 4, 5])
+def deep(request):
+    return deep_hierarchy(request.param, 2)
+
+
+class TestStructure:
+    def test_k_and_p(self, deep):
+        tree = HBSPTree(deep)
+        assert tree.k == deep.height
+        assert tree.num_processors == 2**deep.height
+
+    def test_networks_slow_down_going_up(self, deep):
+        """Each level's wire is slower than the one below."""
+        leaf0 = 0
+        previous_gap = 0.0
+        for level in range(1, deep.height + 1):
+            # Find a peer whose LCA with leaf0 is at `level`.
+            peer = next(
+                b
+                for b in range(deep.num_machines)
+                if b != leaf0 and deep.route(leaf0, b)[1] == level
+            )
+            gap = deep.route(leaf0, peer)[0].gap
+            assert gap > previous_gap
+            previous_gap = gap
+
+    def test_calibrates(self, deep):
+        params = calibrate(deep)
+        assert params.k == deep.height
+        assert params.m[0] == deep.num_machines
+
+
+class TestCollectivesAtDepth:
+    def test_gather(self, deep):
+        outcome = run_gather(deep, N)
+        holder = max(outcome.values, key=lambda pid: outcome.values[pid][0])
+        assert outcome.values[holder][0] == N
+        assert outcome.supersteps == deep.height
+
+    def test_broadcast(self, deep):
+        outcome = run_broadcast(deep, N)
+        assert {v[0] for v in outcome.values.values()} == {N}
+        assert outcome.supersteps == 2 * deep.height  # two-phase per level
+
+    def test_scatter(self, deep):
+        outcome = run_scatter(deep, N)
+        assert sum(v[0] for v in outcome.values.values()) == N
+
+    def test_reduce(self, deep):
+        outcome = run_reduce(deep, 500)
+        holders = [v for v in outcome.values.values() if v[0] > 0]
+        assert len(holders) == 1
+
+    def test_prediction_tracks_depth(self, deep):
+        """Each extra level adds at least its L to the predicted cost."""
+        outcome = run_gather(deep, N)
+        assert outcome.predicted.num_supersteps() == deep.height
+        assert outcome.predicted_time <= outcome.time

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "hierarchical_broadcast.py",
+        "heterogeneous_dot_product.py",
+        "heterogeneous_sample_sort.py",
+        "grid_three_level.py",
+        "bytemark_ranking.py",
+    } <= names

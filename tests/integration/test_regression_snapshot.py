@@ -1,0 +1,49 @@
+"""Golden-value regression tests.
+
+Every simulation in this library is deterministic, so key experiment
+numbers can be pinned.  If a refactor changes any of these, either it
+introduced a behaviour change (fix it) or it deliberately recalibrated
+the simulator (update the goldens *and* EXPERIMENTS.md together).
+"""
+
+import pytest
+
+from repro.cluster import ucf_testbed
+from repro.collectives import (
+    RootPolicy,
+    WorkloadPolicy,
+    run_broadcast,
+    run_gather,
+)
+from repro.experiments import fig3a_gather_root
+
+REL = 1e-6
+
+
+class TestGoldenValues:
+    def test_gather_fast_root_time(self):
+        outcome = run_gather(
+            ucf_testbed(10), 25_600,
+            root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL,
+        )
+        assert outcome.time == pytest.approx(0.0127183, rel=1e-3)
+
+    def test_fig3a_key_points(self):
+        report = fig3a_gather_root((100,), (2, 10))
+        series = report.series["100 KB"]
+        assert series[2] == pytest.approx(0.870, abs=0.005)
+        assert series[10] == pytest.approx(1.312, abs=0.01)
+
+    def test_broadcast_factor(self):
+        topo = ucf_testbed(10)
+        t_s = run_broadcast(topo, 25_600, root=RootPolicy.SLOWEST).time
+        t_f = run_broadcast(topo, 25_600, root=RootPolicy.FASTEST).time
+        assert t_s / t_f == pytest.approx(1.208, abs=0.01)
+
+    def test_exact_repeatability(self):
+        """Same run, bit-identical times — the determinism contract."""
+        a = run_gather(ucf_testbed(7), 50_000, seed=42)
+        b = run_gather(ucf_testbed(7), 50_000, seed=42)
+        assert a.time == b.time  # exact float equality, no tolerance
+        assert a.values == b.values
+        assert a.predicted_time == b.predicted_time

@@ -1,0 +1,123 @@
+"""Unit tests for repro.model.cost."""
+
+import pytest
+
+from repro.errors import ModelError, ValidationError
+from repro.model import CostLedger, h_relation, superstep_cost
+
+
+class TestHRelation:
+    def test_empty_is_zero(self):
+        assert h_relation([]) == 0.0
+
+    def test_single(self):
+        assert h_relation([(2.0, 100.0)]) == 200.0
+
+    def test_max_of_products(self):
+        # The slower machine with less data can still dominate.
+        assert h_relation([(1.0, 100.0), (3.0, 50.0)]) == 150.0
+
+    def test_r_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            h_relation([(0.5, 10.0)])
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValidationError):
+            h_relation([(1.0, -1.0)])
+
+    def test_balanced_workload_bound(self):
+        """Section 4.2: with r_j*c_j < 1, the root's receive dominates."""
+        n = 1000.0
+        loads = [(1.0, n)]  # root receives n
+        for r, c in [(1.5, 0.2), (2.0, 0.1), (1.2, 0.3)]:
+            assert r * c < 1
+            loads.append((r, c * n))
+        assert h_relation(loads) == n  # g*h = g*n, the paper's result
+
+
+class TestSuperstepCost:
+    def test_equation_one(self):
+        # T = w + g*h + L
+        assert superstep_cost(1.0, 2.0, 3.0, 4.0) == pytest.approx(11.0)
+
+    def test_zero_everything(self):
+        assert superstep_cost(0, 0, 0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            superstep_cost(-1, 0, 0, 0)
+
+
+class TestCostLedger:
+    def test_total_is_sum_of_steps(self):
+        ledger = CostLedger("test")
+        ledger.charge("a", level=1, w=1.0, gh=2.0, L=0.5)
+        ledger.charge("b", level=2, gh=3.0, L=1.0)
+        assert ledger.total == pytest.approx(7.5)
+
+    def test_components(self):
+        ledger = CostLedger()
+        ledger.charge("a", level=1, w=1.0, gh=2.0, L=0.5)
+        ledger.charge("b", level=1, w=0.5, gh=1.0, L=0.25)
+        assert ledger.component("w") == pytest.approx(1.5)
+        assert ledger.component("gh") == pytest.approx(3.0)
+        assert ledger.component("L") == pytest.approx(0.75)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ModelError):
+            CostLedger().component("x")
+
+    def test_charge_step_uses_h_relation(self):
+        ledger = CostLedger()
+        step = ledger.charge_step(
+            "comm", level=1, g=0.1, loads=[(2.0, 100.0)], L=1.0
+        )
+        assert step.gh == pytest.approx(20.0)
+        assert step.total == pytest.approx(21.0)
+
+    def test_hierarchy_penalty(self):
+        ledger = CostLedger()
+        ledger.charge("s1", level=1, gh=10.0)
+        ledger.charge("s2", level=2, gh=5.0, L=1.0)
+        ledger.charge("s3", level=3, gh=2.0)
+        assert ledger.hierarchy_penalty() == pytest.approx(8.0)
+
+    def test_num_supersteps(self):
+        ledger = CostLedger()
+        ledger.charge("a", level=1)
+        ledger.charge("b", level=1)
+        ledger.charge("c", level=2)
+        assert ledger.num_supersteps() == 3
+        assert ledger.num_supersteps(1) == 2
+        assert ledger.num_supersteps(2) == 1
+
+    def test_extend_with_prefix(self):
+        inner = CostLedger("inner")
+        inner.charge("step", level=1, gh=1.0)
+        outer = CostLedger("outer")
+        outer.extend(inner, prefix="inner/")
+        assert outer.steps[0].label == "inner/step"
+        assert outer.total == pytest.approx(1.0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ModelError):
+            CostLedger().charge("bad", level=-1)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValidationError):
+            CostLedger().charge("bad", level=1, w=-1.0)
+
+    def test_step_total(self):
+        ledger = CostLedger()
+        step = ledger.charge("a", level=1, w=1.0, gh=2.0, L=3.0)
+        assert step.total == pytest.approx(6.0)
+
+    def test_describe_includes_total_row(self):
+        ledger = CostLedger("demo")
+        ledger.charge("a", level=1, gh=1.0)
+        text = ledger.describe()
+        assert "TOTAL" in text
+        assert "demo" in text
+
+    def test_empty_ledger_total_zero(self):
+        assert CostLedger().total == 0.0

@@ -1,0 +1,95 @@
+"""Tests for empirical parameter probing (bsp_probe analogue)."""
+
+import pytest
+
+from repro.cluster import flat_cluster, smp_sgi_lan, ucf_testbed
+from repro.model import calibrate, probe_link, probe_params, probe_sync
+
+
+class TestProbeSync:
+    def test_flat_matches_calibrated_L_exactly(self):
+        """Empty supersteps on a flat machine cost exactly L."""
+        topology = ucf_testbed(5)
+        params = calibrate(topology)
+        assert probe_sync(topology) == pytest.approx(params.L_of(1, 0), rel=1e-6)
+
+    def test_level_scoped_sync_cheaper(self):
+        topology = smp_sgi_lan()
+        assert probe_sync(topology, level=1) < probe_sync(topology)
+
+    def test_global_sync_matches_root_L(self):
+        topology = smp_sgi_lan()
+        params = calibrate(topology)
+        assert probe_sync(topology) == pytest.approx(params.L_of(2, 0), rel=1e-6)
+
+    def test_rounds_validated(self):
+        with pytest.raises(Exception):
+            probe_sync(ucf_testbed(2), rounds=0)
+
+
+class TestProbeLink:
+    def test_gap_positive_and_latency_in_overhead(self):
+        estimate = probe_link(ucf_testbed(3), 1, 0)
+        assert estimate.gap > 0
+        # Overhead includes wire latency (1.5e-4) + per-message costs.
+        assert estimate.overhead > 1e-4
+
+    def test_gap_at_least_wire_speed(self):
+        """The probed per-byte time can't beat the physical path: it
+        includes inject + drain, each at >= the wire gap."""
+        topology = ucf_testbed(3)
+        estimate = probe_link(topology, 1, 0)
+        wire = topology.route(1, 0)[0].gap
+        assert estimate.gap >= 2 * wire * 0.99
+
+    def test_slower_sender_larger_gap(self):
+        topology = ucf_testbed(5)
+        fast_sender = probe_link(topology, 1, 0)
+        slow_sender = probe_link(topology, 4, 0)
+        assert slow_sender.gap > fast_sender.gap
+
+    def test_same_machine_rejected(self):
+        with pytest.raises(ValueError):
+            probe_link(ucf_testbed(2), 0, 0)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            probe_link(ucf_testbed(2), 0, 1, small=100, large=100)
+
+
+class TestProbeParams:
+    def test_reference_has_r_one(self):
+        topology = ucf_testbed(4)
+        report = probe_params(topology)
+        assert min(report.r.values()) == pytest.approx(1.0)
+        assert report.r[topology.fastest()] == pytest.approx(1.0, rel=0.05)
+
+    def test_r_ordering_matches_calibration(self):
+        topology = ucf_testbed(5)
+        report = probe_params(topology)
+        params = calibrate(topology)
+        probed_order = sorted(report.r, key=lambda j: report.r[j])
+        calibrated_order = sorted(range(5), key=lambda j: params.r_of(0, j))
+        assert probed_order == calibrated_order
+
+    def test_effective_g_at_least_spec_g(self):
+        """Probing measures the full path, so effective g >= spec g."""
+        topology = ucf_testbed(4)
+        report = probe_params(topology)
+        params = calibrate(topology)
+        assert report.g >= params.g
+
+    def test_probed_L_matches_calibration(self):
+        topology = smp_sgi_lan()
+        report = probe_params(topology)
+        params = calibrate(topology)
+        # The root's L is probed exactly; level-1 probes report the
+        # slowest cluster at that level.
+        assert report.L[(2, 0)] == pytest.approx(params.L_of(2, 0), rel=1e-6)
+        worst_l1 = max(params.L_of(1, j) for j in range(params.m[1]))
+        assert report.L[(1, 0)] == pytest.approx(worst_l1, rel=1e-6)
+
+    def test_homogeneous_machine_probes_flat(self):
+        topology = flat_cluster(4, slowdown=1.0, nic_slowdown=1.0)
+        report = probe_params(topology)
+        assert max(report.r.values()) == pytest.approx(1.0, rel=0.02)

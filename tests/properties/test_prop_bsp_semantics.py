@@ -1,0 +1,85 @@
+"""Property tests: BSP delivery semantics under random traffic.
+
+For arbitrary send schedules (who sends what to whom in which
+superstep), HBSPlib must deliver every message exactly once, to the
+right process, in the superstep *after* it was sent — never earlier,
+never later.  This is Section 3.2's guarantee ("a message sent in one
+super^i-step is guaranteed to be available to the destination machine
+at the beginning of the next super^i-step").
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import flat_cluster
+from repro.hbsplib import HbspRuntime
+
+# A schedule: list of supersteps; each superstep is a list of
+# (sender, receiver, payload_id) triples.
+P = 4
+SUPERSTEPS = 3
+
+
+@st.composite
+def schedules(draw):
+    out = []
+    payload_id = 0
+    for _step in range(SUPERSTEPS):
+        sends = []
+        for _ in range(draw(st.integers(min_value=0, max_value=8))):
+            src = draw(st.integers(min_value=0, max_value=P - 1))
+            dst = draw(st.integers(min_value=0, max_value=P - 1))
+            sends.append((src, dst, payload_id))
+            payload_id += 1
+        out.append(sends)
+    return out
+
+
+def run_schedule(schedule):
+    """Execute the schedule; returns per-pid {superstep: [payload ids]}."""
+
+    def program(ctx):
+        received: dict[int, list[int]] = {}
+        for step, sends in enumerate(schedule):
+            for src, dst, payload_id in sends:
+                if src == ctx.pid:
+                    yield from ctx.send(dst, payload_id, tag=step)
+            yield from ctx.sync()
+            received[step] = sorted(m.payload for m in ctx.messages())
+        return received
+
+    runtime = HbspRuntime(flat_cluster(P))
+    return runtime.run(program).values
+
+
+class TestBspDelivery:
+    @given(schedule=schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_exactly_once_to_right_process_in_right_superstep(self, schedule):
+        values = run_schedule(schedule)
+        for step, sends in enumerate(schedule):
+            expected: dict[int, list[int]] = {pid: [] for pid in range(P)}
+            for _src, dst, payload_id in sends:
+                expected[dst].append(payload_id)
+            for pid in range(P):
+                assert values[pid][step] == sorted(expected[pid]), (
+                    f"pid {pid}, superstep {step}"
+                )
+
+    @given(schedule=schedules())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_across_runs(self, schedule):
+        assert run_schedule(schedule) == run_schedule(schedule)
+
+    @given(schedule=schedules())
+    @settings(max_examples=15, deadline=None)
+    def test_no_message_lost_or_duplicated(self, schedule):
+        values = run_schedule(schedule)
+        delivered = [
+            payload_id
+            for per_pid in values.values()
+            for ids in per_pid.values()
+            for payload_id in ids
+        ]
+        sent = [payload_id for sends in schedule for _s, _d, payload_id in sends]
+        assert sorted(delivered) == sorted(sent)

@@ -1,0 +1,177 @@
+"""Property tests: collectives stay correct on random machines/configs.
+
+These are the heavyweight invariants: for arbitrary topologies, roots,
+and workload splits, the data-movement postconditions of every
+collective must hold, and simulated runs must be deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+from repro.collectives import (
+    run_allgather,
+    run_broadcast,
+    run_gather,
+    run_reduce,
+    run_scatter,
+)
+
+# ---------------------------------------------------------------------------
+# Compact random topology strategy (small, so runs stay fast)
+# ---------------------------------------------------------------------------
+
+_counter = 0
+
+
+def _name(prefix):
+    global _counter
+    _counter += 1
+    return f"{prefix}{_counter}"
+
+
+@st.composite
+def machine(draw):
+    return MachineSpec(
+        _name("m"),
+        cpu_rate=draw(st.floats(min_value=1e7, max_value=1e8)),
+        nic_gap=draw(st.floats(min_value=8e-8, max_value=2e-7)),
+    )
+
+
+@st.composite
+def network(draw):
+    return NetworkSpec(
+        _name("net"),
+        gap=draw(st.floats(min_value=0, max_value=2e-7)),
+        latency=draw(st.floats(min_value=0, max_value=1e-3)),
+        sync_base=draw(st.floats(min_value=0, max_value=1e-3)),
+    )
+
+
+@st.composite
+def small_topology(draw):
+    """1- or 2-level machines with 2-6 processors."""
+    if draw(st.booleans()):
+        count = draw(st.integers(min_value=2, max_value=6))
+        return ClusterTopology(
+            Cluster(_name("lan"), draw(network()), [draw(machine()) for _ in range(count)])
+        )
+    n_clusters = draw(st.integers(min_value=2, max_value=3))
+    clusters = []
+    for _ in range(n_clusters):
+        count = draw(st.integers(min_value=1, max_value=3))
+        clusters.append(
+            Cluster(_name("lan"), draw(network()), [draw(machine()) for _ in range(count)])
+        )
+    return ClusterTopology(Cluster(_name("campus"), draw(network()), clusters))
+
+
+N = 4_000
+
+
+class TestGatherProperties:
+    @given(topology=small_topology(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_root_gets_all_items_any_root(self, topology, data):
+        root = data.draw(st.integers(min_value=0, max_value=topology.num_machines - 1))
+        outcome = run_gather(topology, N, root=root)
+        assert outcome.values[root][0] == N
+        others = [v[0] for pid, v in outcome.values.items() if pid != root]
+        assert all(count == 0 for count in others)
+
+    @given(topology=small_topology())
+    @settings(max_examples=15, deadline=None)
+    def test_gather_checksum_independent_of_root(self, topology):
+        outcomes = [
+            run_gather(topology, N, root=r, seed=9)
+            for r in (0, topology.num_machines - 1)
+        ]
+        sums = [
+            next(v[1] for v in o.values.values() if v[0] == N) for o in outcomes
+        ]
+        assert sums[0] == sums[1]
+
+    @given(topology=small_topology())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, topology):
+        a = run_gather(topology, N, seed=3)
+        b = run_gather(topology, N, seed=3)
+        assert a.time == b.time
+        assert a.values == b.values
+
+
+class TestBroadcastProperties:
+    @given(topology=small_topology(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_everyone_gets_identical_copy(self, topology, data):
+        root = data.draw(st.integers(min_value=0, max_value=topology.num_machines - 1))
+        phases = data.draw(st.sampled_from(["one", "two"]))
+        outcome = run_broadcast(topology, N, root=root, phases=phases)
+        assert {v[0] for v in outcome.values.values()} == {N}
+        assert len({v[1] for v in outcome.values.values()}) == 1
+
+    @given(topology=small_topology())
+    @settings(max_examples=15, deadline=None)
+    def test_phase_choice_does_not_change_data(self, topology):
+        one = run_broadcast(topology, N, phases="one", seed=5)
+        two = run_broadcast(topology, N, phases="two", seed=5)
+        checksum_one = {v[1] for v in one.values.values()}
+        checksum_two = {v[1] for v in two.values.values()}
+        assert checksum_one == checksum_two
+
+
+class TestScatterReduceProperties:
+    @given(topology=small_topology(), data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_conserves_and_respects_counts(self, topology, data):
+        root = data.draw(st.integers(min_value=0, max_value=topology.num_machines - 1))
+        outcome = run_scatter(topology, N, root=root)
+        counts = outcome.runtime.partition(N, balanced=True)
+        assert sum(v[0] for v in outcome.values.values()) == N
+        for pid, (size, _checksum) in outcome.values.items():
+            assert size == counts[pid]
+
+    @given(topology=small_topology())
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_matches_gather_total(self, topology):
+        """The reduction's checksum equals the gather's: both see the
+        same per-pid data (same seed) and sum over all of it."""
+        width = 500
+        reduce_out = run_reduce(topology, width, seed=4)
+        reduce_sum = next(v[1] for v in reduce_out.values.values() if v[0] > 0)
+        from repro.collectives.base import make_items
+        import numpy as np
+
+        expected = sum(
+            int(make_items(4, j, width).astype(np.int64).sum())
+            for j in range(topology.num_machines)
+        )
+        assert reduce_sum == expected
+
+    @given(topology=small_topology())
+    @settings(max_examples=10, deadline=None)
+    def test_allgather_strategies_agree(self, topology):
+        direct = run_allgather(topology, N, strategy="direct", seed=6)
+        hier = run_allgather(topology, N, strategy="hierarchical", seed=6)
+        assert {v[0] for v in direct.values.values()} == {N}
+        assert {v[1] for v in direct.values.values()} == {
+            v[1] for v in hier.values.values()
+        }
+
+
+class TestPredictionProperties:
+    @given(topology=small_topology())
+    @settings(max_examples=15, deadline=None)
+    def test_simulated_at_least_predicted(self, topology):
+        """The model omits pack/unpack CPU time and per-message
+        overheads, so the simulator can never beat the prediction."""
+        outcome = run_gather(topology, N)
+        assert outcome.time >= outcome.predicted_time * 0.99
+
+    @given(topology=small_topology(), factor=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_predicted_cost_monotone_in_n(self, topology, factor):
+        small = run_gather(topology, N).predicted_time
+        large = run_gather(topology, N * factor).predicted_time
+        assert large >= small

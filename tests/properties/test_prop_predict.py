@@ -1,0 +1,122 @@
+"""Property tests: the Section-4 closed forms on random flat machines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.cost import CostLedger
+from repro.model.params import HBSPParams
+from repro.model.predict import (
+    paper_broadcast_hbsp1_one_phase,
+    paper_broadcast_hbsp1_two_phase,
+    paper_gather_hbsp1,
+    predict_broadcast,
+    predict_gather,
+)
+
+
+@st.composite
+def flat_params(draw):
+    """Random HBSP^1 parameter sets with a normalised fastest machine
+    and *balanced* workloads (c_j proportional to 1/r_j, the paper's
+    premise: then r_j·c_j < 1 for every machine, Section 4.2)."""
+    p = draw(st.integers(min_value=2, max_value=12))
+    extra_r = [
+        draw(st.floats(min_value=1.0, max_value=8.0)) for _ in range(p - 1)
+    ]
+    r_values = [1.0] + extra_r
+    weights = [1.0 / r for r in r_values]
+    total = sum(weights)
+    c_values = [w / total for w in weights]
+    c_values[0] += 1.0 - sum(c_values)  # exact unit sum
+    r = {(0, j): r_values[j] for j in range(p)}
+    r[(1, 0)] = 1.0
+    c = {(0, j): c_values[j] for j in range(p)}
+    c[(1, 0)] = 1.0
+    fan_out = {(0, j): 0 for j in range(p)}
+    fan_out[(1, 0)] = p
+    return HBSPParams(
+        k=1,
+        g=draw(st.floats(min_value=1e-9, max_value=1e-6)),
+        m=(p, 1),
+        r=r,
+        L={(1, 0): draw(st.floats(min_value=0.0, max_value=0.01))},
+        c=c,
+        fan_out=fan_out,
+    )
+
+
+N = 50_000
+
+
+class TestGatherFormulas:
+    @given(params=flat_params())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_never_exceeds_paper_bound(self, params):
+        """The paper upper-bounds the balanced gather by g·n + L; the
+        exact h-relation (no self-receive) can only be cheaper."""
+        exact = predict_gather(params, N).total
+        assert exact <= paper_gather_hbsp1(params, N) + 1e-12
+
+    @given(params=flat_params(), factor=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_n(self, params, factor):
+        assert (
+            predict_gather(params, N * factor).total
+            >= predict_gather(params, N).total
+        )
+
+    @given(params=flat_params())
+    @settings(max_examples=30, deadline=None)
+    def test_fastest_root_is_optimal_for_balanced_gather(self, params):
+        """The model recommends the fastest root: no other root predicts
+        cheaper for balanced workloads — up to ties in r, where the
+        integer partition can shift a few items' worth of cost between
+        equally-fast candidates."""
+        best = min(
+            predict_gather(params, N, root=r).total for r in range(params.p)
+        )
+        fastest = predict_gather(params, N, root=params.fastest_index(0)).total
+        quantum = params.g * 4 * params.slowest_r(0) * 4  # a few items
+        assert fastest <= best + quantum
+
+
+class TestBroadcastFormulas:
+    @given(params=flat_params())
+    @settings(max_examples=40, deadline=None)
+    def test_two_phase_exact_vs_paper(self, params):
+        exact = predict_broadcast(params, N, phases="two").total
+        paper = paper_broadcast_hbsp1_two_phase(params, N)
+        assert exact <= paper * 1.001
+
+    @given(params=flat_params())
+    @settings(max_examples=40, deadline=None)
+    def test_one_phase_exact_below_paper(self, params):
+        """Paper's one-phase formula charges m root-sends; exact charges
+        m-1 (no self-send) — valid under the paper's own assumption that
+        no machine is m times slower than the fastest ("it is quite
+        unlikely that a machine would communicate m times slower")."""
+        if params.slowest_r(0) > params.p:
+            return  # outside the formula's stated regime
+        exact = predict_broadcast(params, N, phases="one").total
+        paper = paper_broadcast_hbsp1_one_phase(params, N)
+        assert exact <= paper + 1e-12
+
+    @given(params=flat_params())
+    @settings(max_examples=40, deadline=None)
+    def test_two_phase_wins_for_large_fanout_small_rs(self, params):
+        """The paper's conclusion holds whenever p is comfortably above
+        1 + r_s: the two-phase cost g·n(1+r_s) beats one-phase g·n·(p-1)."""
+        r_s = params.slowest_r(0)
+        if params.p - 1 > (1 + r_s) * 1.5 and params.L_of(1, 0) < 1e-4:
+            one = predict_broadcast(params, N, phases="one").total
+            two = predict_broadcast(params, N, phases="two").total
+            assert two < one
+
+    @given(params=flat_params())
+    @settings(max_examples=30, deadline=None)
+    def test_ledgers_are_well_formed(self, params):
+        for phases in ("one", "two"):
+            ledger = predict_broadcast(params, N, phases=phases)
+            assert isinstance(ledger, CostLedger)
+            assert ledger.total >= 0
+            assert all(step.level == 1 for step in ledger.steps)

@@ -1,0 +1,94 @@
+"""Property tests: the PVM layer conserves messages under random traffic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ucf_testbed
+from repro.pvm import VirtualMachine
+
+P = 4
+
+#: A traffic pattern: list of (sender_host, receiver_index, nbytes).
+traffic_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=P - 1),
+        st.integers(min_value=0, max_value=P - 1),
+        st.integers(min_value=0, max_value=4096),
+    ),
+    max_size=20,
+)
+
+
+def run_traffic(traffic):
+    """Spawn one receiver per host plus senders; return delivery stats."""
+    vm = VirtualMachine(ucf_testbed(P))
+    inbound = [0] * P
+    for _src, dst, _nbytes in traffic:
+        inbound[dst] += 1
+
+    received: dict[int, list[tuple[int, int]]] = {i: [] for i in range(P)}
+
+    def receiver(task, index, count):
+        for _ in range(count):
+            message = yield from task.recv()
+            received[index].append((message.src, message.nbytes))
+        return count
+
+    receivers = [vm.spawn(receiver, host, host, inbound[host]) for host in range(P)]
+
+    def sender(task, dst_tid, nbytes):
+        yield from task.send(dst_tid, np.zeros(nbytes, dtype=np.uint8))
+
+    sender_tasks = []
+    for src, dst, nbytes in traffic:
+        sender_tasks.append(
+            vm.spawn(sender, src, receivers[dst].tid, nbytes)
+        )
+    final_time = vm.run()
+    return received, sender_tasks, final_time
+
+
+class TestMessageConservation:
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_every_message_arrives_once(self, traffic):
+        received, _senders, _time = run_traffic(traffic)
+        delivered = sorted(
+            nbytes for messages in received.values() for _src, nbytes in messages
+        )
+        assert delivered == sorted(nbytes for _s, _d, nbytes in traffic)
+
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_receivers_get_exactly_their_traffic(self, traffic):
+        received, _senders, _time = run_traffic(traffic)
+        for dst in range(P):
+            expected = sorted(
+                nbytes for _s, d, nbytes in traffic if d == dst
+            )
+            assert sorted(n for _s, n in received[dst]) == expected
+
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_time_monotone_in_traffic(self, traffic):
+        """Adding one more message can't make the simulation finish
+        earlier."""
+        _r, _s, base_time = run_traffic(traffic)
+        _r, _s, more_time = run_traffic(traffic + [(0, 1, 2048)])
+        assert more_time >= base_time - 1e-12
+
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, traffic):
+        a = run_traffic(traffic)
+        b = run_traffic(traffic)
+        assert a[0] == b[0]
+        assert a[2] == b[2]
+
+    @given(traffic=traffic_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_sender_stats_consistent(self, traffic):
+        _received, senders, _time = run_traffic(traffic)
+        total_sent = sum(task.sent_bytes for task in senders)
+        assert total_sent == sum(nbytes for _s, _d, nbytes in traffic)

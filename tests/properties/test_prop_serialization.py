@@ -1,0 +1,37 @@
+"""Property tests: serialization round-trips arbitrary topologies."""
+
+from hypothesis import given, settings
+
+from repro.cluster import dumps, loads
+from repro.model import calibrate
+
+from tests.properties.test_prop_topology import topology_strategy
+
+
+class TestSerializationRoundTrip:
+    @given(topology=topology_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_structure_survives(self, topology):
+        restored = loads(dumps(topology))
+        assert restored.height == topology.height
+        assert [m.name for m in restored.machines] == [
+            m.name for m in topology.machines
+        ]
+        for a, b in zip(topology.machines, restored.machines):
+            assert a == b
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_calibration_survives(self, topology):
+        original = calibrate(topology)
+        restored = calibrate(loads(dumps(topology)))
+        assert original.g == restored.g
+        assert original.r == restored.r
+        assert original.L == restored.L
+        assert original.c == restored.c
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_dumps_is_fixpoint(self, topology):
+        text = dumps(topology)
+        assert dumps(loads(text)) == text

@@ -1,0 +1,159 @@
+"""Property tests: simulation-engine invariants under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Barrier, Engine, Resource, Store
+
+
+class TestEventOrdering:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    def test_callbacks_fire_in_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            timer = engine.timeout(delay)
+            timer.add_callback(lambda _e, d=delay: fired.append(d))
+        engine.run()
+        assert fired == sorted(fired)
+        if delays:
+            assert engine.now == max(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    def test_clock_never_goes_backwards(self, delays):
+        engine = Engine()
+        observed = []
+        for delay in delays:
+            timer = engine.timeout(delay)
+            timer.add_callback(lambda _e: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+
+
+class TestResourceInvariants:
+    @given(
+        capacity=st.integers(min_value=1, max_value=4),
+        durations=st.lists(
+            st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=12
+        ),
+    )
+    def test_in_use_never_exceeds_capacity(self, capacity, durations):
+        engine = Engine()
+        resource = Resource(engine, capacity=capacity)
+        max_seen = [0]
+
+        def worker(duration):
+            yield resource.request()
+            max_seen[0] = max(max_seen[0], resource.in_use)
+            try:
+                yield engine.timeout(duration)
+            finally:
+                resource.release()
+
+        for duration in durations:
+            engine.process(worker(duration))
+        engine.run()
+        assert max_seen[0] <= capacity
+        assert resource.in_use == 0
+
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=10
+        )
+    )
+    def test_unit_resource_serialises_total_time(self, durations):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker(duration):
+            yield from resource.occupy(duration)
+
+        for duration in durations:
+            engine.process(worker(duration))
+        engine.run()
+        assert abs(engine.now - sum(durations)) < 1e-9
+
+
+class TestStoreInvariants:
+    @given(items=st.lists(st.integers(), max_size=40))
+    def test_fifo_preserved(self, items):
+        engine = Engine()
+        store = Store(engine)
+        for item in items:
+            store.put(item)
+        out = [store.get().value for _ in items]
+        assert out == items
+
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=9), max_size=30),
+        wanted=st.integers(min_value=0, max_value=9),
+    )
+    def test_filtered_gets_preserve_rest(self, items, wanted):
+        engine = Engine()
+        store = Store(engine)
+        for item in items:
+            store.put(item)
+        matching = [i for i in items if i == wanted]
+        got = []
+        for _ in matching:
+            got.append(store.get(lambda x: x == wanted).value)
+        assert got == matching
+        assert list(store.peek_all()) == [i for i in items if i != wanted]
+
+
+class TestBarrierInvariants:
+    @given(
+        parties=st.integers(min_value=1, max_value=8),
+        cycles=st.integers(min_value=1, max_value=5),
+        cost=st.floats(min_value=0, max_value=1.0),
+    )
+    def test_everyone_released_every_cycle(self, parties, cycles, cost):
+        engine = Engine()
+        barrier = Barrier(engine, parties=parties, cost=cost)
+        releases = []
+
+        def worker(i):
+            for _ in range(cycles):
+                cycle = yield barrier.wait()
+                releases.append((cycle, i))
+
+        for i in range(parties):
+            engine.process(worker(i))
+        engine.run()
+        assert len(releases) == parties * cycles
+        assert barrier.cycles == cycles
+        # Within each cycle, all parties present exactly once.
+        for cycle in range(cycles):
+            members = sorted(i for c, i in releases if c == cycle)
+            assert members == list(range(parties))
+        assert abs(engine.now - cycles * cost) < 1e-9
+
+
+class TestDeterminism:
+    @given(
+        seed_delays=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=5),
+                st.floats(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_identical_schedules_identical_traces(self, seed_delays):
+        def run():
+            engine = Engine()
+            resource = Resource(engine)
+            log = []
+
+            def worker(i, d1, d2):
+                yield engine.timeout(d1)
+                yield from resource.occupy(d2)
+                log.append((i, engine.now))
+
+            for i, (d1, d2) in enumerate(seed_delays):
+                engine.process(worker(i, d1, d2))
+            engine.run()
+            return log, engine.now
+
+        assert run() == run()

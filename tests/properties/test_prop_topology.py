@@ -1,0 +1,162 @@
+"""Property tests: random topologies keep their structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+from repro.model import HBSPTree, calibrate
+
+# ---------------------------------------------------------------------------
+# Strategy: random k-level trees of machines
+# ---------------------------------------------------------------------------
+
+_counter = 0
+
+
+def _fresh_name(prefix: str) -> str:
+    global _counter
+    _counter += 1
+    return f"{prefix}{_counter}"
+
+
+@st.composite
+def machine_strategy(draw):
+    return MachineSpec(
+        _fresh_name("m"),
+        cpu_rate=draw(st.floats(min_value=1e6, max_value=1e9)),
+        nic_gap=draw(st.floats(min_value=1e-8, max_value=1e-6)),
+    )
+
+
+@st.composite
+def network_strategy(draw):
+    return NetworkSpec(
+        _fresh_name("net"),
+        gap=draw(st.floats(min_value=0, max_value=1e-6)),
+        latency=draw(st.floats(min_value=0, max_value=1e-2)),
+        sync_base=draw(st.floats(min_value=0, max_value=1e-2)),
+        sync_per_member=draw(st.floats(min_value=0, max_value=1e-3)),
+    )
+
+
+@st.composite
+def cluster_strategy(draw, depth):
+    n_children = draw(st.integers(min_value=1, max_value=3))
+    children = []
+    for _ in range(n_children):
+        if depth > 0 and draw(st.booleans()):
+            children.append(draw(cluster_strategy(depth=depth - 1)))
+        else:
+            children.append(draw(machine_strategy()))
+    return Cluster(_fresh_name("c"), draw(network_strategy()), children)
+
+
+@st.composite
+def topology_strategy(draw):
+    return ClusterTopology(draw(cluster_strategy(depth=2)))
+
+
+class TestTopologyInvariants:
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_members_of_root_are_all_machines(self, topology):
+        root_name = topology.clusters[0].name
+        assert sorted(topology.members(root_name)) == list(
+            range(topology.num_machines)
+        )
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_routes_are_symmetric_and_total(self, topology):
+        p = topology.num_machines
+        for a in range(p):
+            for b in range(p):
+                net_ab, level_ab = topology.route(a, b)
+                net_ba, level_ba = topology.route(b, a)
+                assert net_ab is net_ba
+                assert level_ab == level_ba
+                assert 1 <= level_ab <= topology.height or a == b
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_route_level_never_decreases_with_distance(self, topology):
+        """Machines in the same innermost cluster route at a level no
+        higher than machines in different subtrees."""
+        p = topology.num_machines
+        for a in range(p):
+            own = topology.machine_cluster(a)
+            for b in range(p):
+                if b == a:
+                    continue
+                _net, level = topology.route(a, b)
+                if topology.machine_cluster(b) == own:
+                    assert level == topology.cluster_level(own)
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_fastest_is_globally_fastest(self, topology):
+        fastest = topology.machines[topology.fastest()]
+        assert fastest.cpu_rate == max(m.cpu_rate for m in topology.machines)
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_preserves_machines_and_routes(self, topology):
+        norm = topology.normalized()
+        assert [m.name for m in norm.machines] == [m.name for m in topology.machines]
+        assert norm.height == topology.height
+        for a in range(topology.num_machines):
+            for b in range(topology.num_machines):
+                if a != b:
+                    assert norm.route(a, b)[0].name == topology.route(a, b)[0].name
+
+
+class TestTreeInvariants:
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_level_populations_partition_leaves(self, topology):
+        tree = HBSPTree(topology)
+        for level in range(1, tree.k + 1):
+            members: list[int] = []
+            for node in tree.level_nodes(level):
+                members.extend(node.members)
+            assert sorted(members) == list(range(tree.num_processors))
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_coordinator_is_fastest_member_everywhere(self, topology):
+        tree = HBSPTree(topology)
+        for node in tree.walk():
+            best = max(
+                node.members, key=lambda mid: tree.topology.machines[mid].cpu_rate
+            )
+            assert (
+                tree.topology.machines[node.coordinator].cpu_rate
+                == tree.topology.machines[best].cpu_rate
+            )
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_fan_out_consistency(self, topology):
+        tree = HBSPTree(topology)
+        for level in range(1, tree.k + 1):
+            total_children = sum(node.fan_out for node in tree.level_nodes(level))
+            assert total_children == tree.m(level - 1)
+
+
+class TestCalibrationInvariants:
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_calibrated_params_validate(self, topology):
+        params = calibrate(topology)  # HBSPParams.__post_init__ checks
+        assert params.p == topology.num_machines
+        assert params.g == topology.normalized().min_nic_gap()
+
+    @given(topology=topology_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_children_navigation_total(self, topology):
+        params = calibrate(topology)
+        for level in range(1, params.k + 1):
+            seen = []
+            for j in range(params.m[level]):
+                seen.extend(params.children_of(level, j))
+            assert seen == [(level - 1, i) for i in range(params.m[level - 1])]

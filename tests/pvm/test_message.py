@@ -1,0 +1,73 @@
+"""Unit tests for repro.pvm.message."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PvmError
+from repro.pvm import Message, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(100, dtype=np.int32)) == 400
+        assert payload_nbytes(np.zeros(100, dtype=np.float64)) == 800
+
+    def test_bytes(self):
+        assert payload_nbytes(b"hello") == 5
+        assert payload_nbytes(bytearray(12)) == 12
+
+    def test_scalars(self):
+        assert payload_nbytes(42) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 1
+        assert payload_nbytes(np.int64(5)) == 8
+
+    def test_string_utf8(self):
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes("é") == 2
+
+    def test_containers_sum(self):
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes((np.zeros(10, dtype=np.int32), 1)) == 48
+
+    def test_dict_keys_and_values(self):
+        assert payload_nbytes({1: np.zeros(5, dtype=np.int32)}) == 8 + 20
+
+    def test_unknown_object_flat_charge(self):
+        class Strange:
+            pass
+
+        assert payload_nbytes(Strange()) == 64
+
+
+class TestMessage:
+    def make(self, **kwargs):
+        defaults = dict(
+            src=1, dst=2, tag=7, payload="x", nbytes=10, sent_at=0.0, delivered_at=1.0
+        )
+        defaults.update(kwargs)
+        return Message(**defaults)
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(PvmError):
+            self.make(nbytes=-1)
+
+    def test_matches_exact(self):
+        message = self.make()
+        assert message.matches(1, 7)
+        assert not message.matches(2, 7)
+        assert not message.matches(1, 8)
+
+    def test_matches_wildcards(self):
+        message = self.make()
+        assert message.matches(None, None)
+        assert message.matches(None, 7)
+        assert message.matches(1, None)
+
+    def test_frozen(self):
+        message = self.make()
+        with pytest.raises(Exception):
+            message.tag = 9  # type: ignore[misc]

@@ -1,0 +1,115 @@
+"""Unit tests for repro.pvm.vm and task spawning/routing."""
+
+import pytest
+
+from repro.cluster import ucf_testbed, smp_sgi_lan
+from repro.errors import DeadlockError, PvmError, TaskNotFound
+from repro.pvm import VirtualMachine
+
+
+def idle(task):
+    yield task.sleep(0.0)
+
+
+class TestSpawn:
+    def test_one_host_per_machine(self):
+        vm = VirtualMachine(ucf_testbed(4))
+        assert len(vm.hosts) == 4
+
+    def test_spawn_by_index_and_name(self):
+        vm = VirtualMachine(ucf_testbed(4))
+        t0 = vm.spawn(idle, 0)
+        t1 = vm.spawn(idle, "sun-classic")
+        assert t0.host.machine_id == 0
+        assert t1.host.spec.name == "sun-classic"
+
+    def test_tids_unique_and_ordered(self):
+        vm = VirtualMachine(ucf_testbed(3))
+        tids = [vm.spawn(idle, i).tid for i in range(3)]
+        assert len(set(tids)) == 3
+        assert vm.tids == tuple(tids)
+
+    def test_task_lookup(self):
+        vm = VirtualMachine(ucf_testbed(2))
+        task = vm.spawn(idle, 0)
+        assert vm.task(task.tid) is task
+
+    def test_unknown_tid_raises(self):
+        vm = VirtualMachine(ucf_testbed(2))
+        with pytest.raises(TaskNotFound):
+            vm.task(999)
+
+    def test_bad_host_raises(self):
+        vm = VirtualMachine(ucf_testbed(2))
+        with pytest.raises(PvmError):
+            vm.spawn(idle, 5)
+
+    def test_non_generator_function_rejected(self):
+        vm = VirtualMachine(ucf_testbed(2))
+
+        def not_gen(task):
+            return 42
+
+        with pytest.raises(PvmError, match="generator"):
+            vm.spawn(not_gen, 0)
+
+    def test_multiple_tasks_share_host_cpu(self):
+        """Two tasks on one host serialise their compute."""
+        vm = VirtualMachine(ucf_testbed(2))
+
+        def cruncher(task):
+            yield from task.compute(task.host.spec.cpu_rate)  # 1 second
+
+        vm.spawn(cruncher, 0)
+        vm.spawn(cruncher, 0)
+        assert vm.run() == pytest.approx(2.0)
+
+
+class TestRouting:
+    def test_route_uses_lca_network(self):
+        vm = VirtualMachine(smp_sgi_lan())
+        smp0 = vm.topology.machine_id("smp-cpu0")
+        smp1 = vm.topology.machine_id("smp-cpu1")
+        lan0 = vm.topology.machine_id("lan-sun0")
+        net, level = vm.route(vm.hosts[smp0], vm.hosts[smp1])
+        assert net.name == "smp-bus" and level == 1
+        net, level = vm.route(vm.hosts[smp0], vm.hosts[lan0])
+        assert net.name == "campus-atm" and level == 2
+
+    def test_self_route_rejected(self):
+        vm = VirtualMachine(ucf_testbed(2))
+        with pytest.raises(PvmError):
+            vm.route(vm.hosts[0], vm.hosts[0])
+
+
+class TestExecution:
+    def test_results_collects_return_values(self):
+        vm = VirtualMachine(ucf_testbed(3))
+
+        def worker(task, value):
+            yield task.sleep(0.1)
+            return value * 2
+
+        tasks = [vm.spawn(worker, i, i) for i in range(3)]
+        vm.run()
+        results = vm.results()
+        assert results == {tasks[0].tid: 0, tasks[1].tid: 2, tasks[2].tid: 4}
+
+    def test_recv_without_send_deadlocks(self):
+        vm = VirtualMachine(ucf_testbed(2))
+
+        def waiter(task):
+            yield from task.recv()
+
+        vm.spawn(waiter, 0)
+        with pytest.raises(DeadlockError):
+            vm.run()
+
+    def test_run_until(self):
+        vm = VirtualMachine(ucf_testbed(2))
+
+        def slow(task):
+            yield task.sleep(10.0)
+
+        vm.spawn(slow, 0)
+        assert vm.run(until=1.0) == 1.0

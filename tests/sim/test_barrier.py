@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.barrier."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Barrier, Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestBarrier:
+    def test_parties_validation(self, engine):
+        with pytest.raises(SimulationError):
+            Barrier(engine, parties=0)
+
+    def test_cost_validation(self, engine):
+        with pytest.raises(SimulationError):
+            Barrier(engine, parties=2, cost=-1.0)
+
+    def test_releases_when_all_arrive(self, engine):
+        barrier = Barrier(engine, parties=3, cost=0.0)
+        released = []
+
+        def worker(i, delay):
+            yield engine.timeout(delay)
+            yield barrier.wait()
+            released.append((i, engine.now))
+
+        engine.process(worker(0, 1.0))
+        engine.process(worker(1, 2.0))
+        engine.process(worker(2, 5.0))
+        engine.run()
+        # Everyone released at the last arrival time.
+        assert released == [(0, 5.0), (1, 5.0), (2, 5.0)]
+
+    def test_cost_charged_once_per_cycle(self, engine):
+        barrier = Barrier(engine, parties=2, cost=0.5)
+        times = []
+
+        def worker():
+            yield barrier.wait()
+            times.append(engine.now)
+
+        engine.process(worker())
+        engine.process(worker())
+        engine.run()
+        assert times == [0.5, 0.5]
+
+    def test_reusable_across_cycles(self, engine):
+        barrier = Barrier(engine, parties=2, cost=0.25)
+        cycles_seen = []
+
+        def worker():
+            for _ in range(3):
+                cycle = yield barrier.wait()
+                cycles_seen.append(cycle)
+
+        engine.process(worker())
+        engine.process(worker())
+        engine.run()
+        assert barrier.cycles == 3
+        assert sorted(cycles_seen) == [0, 0, 1, 1, 2, 2]
+        assert engine.now == pytest.approx(0.75)
+
+    def test_single_party_barrier_is_instant_plus_cost(self, engine):
+        barrier = Barrier(engine, parties=1, cost=0.1)
+
+        def worker():
+            yield barrier.wait()
+
+        engine.process(worker())
+        engine.run()
+        assert engine.now == pytest.approx(0.1)
+
+    def test_arrived_count(self, engine):
+        barrier = Barrier(engine, parties=3)
+
+        def worker():
+            yield barrier.wait()
+
+        engine.process(worker())
+        engine.process(worker())
+        engine.run(check_deadlock=False)
+        assert barrier.arrived == 2
+
+    def test_value_is_cycle_index(self, engine):
+        barrier = Barrier(engine, parties=1)
+
+        def worker():
+            first = yield barrier.wait()
+            second = yield barrier.wait()
+            return (first, second)
+
+        process = engine.process(worker())
+        engine.run()
+        assert process.value == (0, 1)
+
+    def test_missing_party_deadlocks(self, engine):
+        from repro.errors import DeadlockError
+
+        barrier = Barrier(engine, parties=2)
+
+        def worker():
+            yield barrier.wait()
+
+        engine.process(worker())
+        with pytest.raises(DeadlockError):
+            engine.run()

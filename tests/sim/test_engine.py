@@ -1,0 +1,122 @@
+"""Unit tests for repro.sim.engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestClock:
+    def test_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_run_returns_final_time(self, engine):
+        engine.timeout(4.0)
+        assert engine.run() == 4.0
+
+    def test_until_stops_early(self, engine):
+        engine.timeout(10.0)
+        assert engine.run(until=3.0) == 3.0
+        assert engine.now == 3.0
+
+    def test_until_in_past_raises(self, engine):
+        engine.timeout(1.0)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.run(until=0.5)
+
+    def test_resume_after_until(self, engine):
+        timer = engine.timeout(10.0)
+        engine.run(until=3.0)
+        assert not timer.processed
+        engine.run()
+        assert timer.processed
+        assert engine.now == 10.0
+
+    def test_empty_run_keeps_time(self, engine):
+        assert engine.run() == 0.0
+
+    def test_step_on_empty_queue_raises(self, engine):
+        with pytest.raises(SimulationError, match="empty"):
+            engine.step()
+
+
+class TestOrdering:
+    def test_simultaneous_events_fifo(self, engine):
+        order = []
+        for i in range(5):
+            event = engine.event()
+            event.add_callback(lambda _e, i=i: order.append(i))
+            event.succeed()
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_order_beats_trigger_order(self, engine):
+        order = []
+        late = engine.timeout(2.0)
+        late.add_callback(lambda _e: order.append("late"))
+        early = engine.timeout(1.0)
+        early.add_callback(lambda _e: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_call_soon_runs_after_queued(self, engine):
+        order = []
+        event = engine.event()
+        event.add_callback(lambda _e: order.append("queued"))
+        event.succeed()
+        engine.call_soon(lambda: order.append("soon"))
+        engine.run()
+        assert order == ["queued", "soon"]
+
+    def test_events_processed_counter(self, engine):
+        engine.timeout(1.0)
+        engine.timeout(2.0)
+        engine.run()
+        assert engine.events_processed == 2
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_raises(self, engine):
+        store = Store(engine)
+
+        def stuck():
+            yield store.get()
+
+        engine.process(stuck(), name="stuck")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert any("stuck" in b for b in excinfo.value.blocked)
+
+    def test_check_deadlock_false_suppresses(self, engine):
+        store = Store(engine)
+
+        def stuck():
+            yield store.get()
+
+        engine.process(stuck())
+        engine.run(check_deadlock=False)  # must not raise
+
+    def test_clean_completion_no_deadlock(self, engine):
+        def fine():
+            yield engine.timeout(1.0)
+
+        engine.process(fine())
+        engine.run()
+
+    def test_multiple_blocked_all_reported(self, engine):
+        store = Store(engine)
+
+        def stuck():
+            yield store.get()
+
+        engine.process(stuck(), name="s1")
+        engine.process(stuck(), name="s2")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert len(excinfo.value.blocked) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Event, Timeout, UNSET
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestEvent:
+    def test_initial_state(self, engine):
+        event = Event(engine, "e")
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, engine):
+        event = Event(engine).succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, engine):
+        event = Event(engine).succeed()
+        with pytest.raises(SimulationError, match="already triggered"):
+            event.succeed()
+
+    def test_fail_carries_exception(self, engine):
+        error = RuntimeError("boom")
+        event = Event(engine).fail(error)
+        event.add_callback(lambda e: None)  # consume so run() doesn't raise
+        assert event.triggered
+        assert not event.ok
+        assert event.exception is error
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_fail_requires_exception(self, engine):
+        with pytest.raises(SimulationError, match="exception"):
+            Event(engine).fail("not an exception")
+
+    def test_value_before_trigger_raises(self, engine):
+        with pytest.raises(SimulationError, match="no value"):
+            _ = Event(engine).value
+
+    def test_callback_invoked_on_process(self, engine):
+        event = Event(engine)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        engine.run()
+        assert seen == ["hello"]
+
+    def test_late_callback_still_runs(self, engine):
+        event = Event(engine).succeed(1)
+        engine.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        engine.run()
+        assert seen == [1]
+
+    def test_unhandled_failure_surfaces_at_run(self, engine):
+        Event(engine).fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError, match="lost"):
+            engine.run()
+
+    def test_unset_is_falsy(self):
+        assert not UNSET
+        assert repr(UNSET) == "<UNSET>"
+
+
+class TestTimeout:
+    def test_advances_clock(self, engine):
+        Timeout(engine, 2.5)
+        assert engine.run() == 2.5
+
+    def test_value_defaults_to_delay(self, engine):
+        timeout = Timeout(engine, 1.5)
+        engine.run()
+        assert timeout.value == 1.5
+
+    def test_explicit_value(self, engine):
+        timeout = Timeout(engine, 1.0, value="done")
+        engine.run()
+        assert timeout.value == "done"
+
+    def test_zero_delay_ok(self, engine):
+        timeout = Timeout(engine, 0.0)
+        engine.run()
+        assert timeout.processed
+        assert engine.now == 0.0
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError, match=">= 0"):
+            Timeout(engine, -1.0)
+
+
+class TestAllOf:
+    def test_waits_for_all(self, engine):
+        t1 = Timeout(engine, 1.0, value="a")
+        t2 = Timeout(engine, 3.0, value="b")
+        combined = AllOf(engine, [t1, t2])
+        engine.run()
+        assert combined.value == ("a", "b")
+        assert engine.now == 3.0
+
+    def test_empty_succeeds_immediately(self, engine):
+        combined = AllOf(engine, [])
+        assert combined.triggered
+        assert combined.value == ()
+
+    def test_child_failure_propagates(self, engine):
+        t1 = Timeout(engine, 1.0)
+        bad = Event(engine)
+        combined = AllOf(engine, [t1, bad])
+        combined.add_callback(lambda e: None)
+        bad.fail(RuntimeError("child failed"))
+        engine.run()
+        assert not combined.ok
+        assert isinstance(combined.exception, RuntimeError)
+
+    def test_values_in_construction_order(self, engine):
+        t_late = Timeout(engine, 5.0, value="late")
+        t_early = Timeout(engine, 1.0, value="early")
+        combined = AllOf(engine, [t_late, t_early])
+        engine.run()
+        assert combined.value == ("late", "early")
+
+
+class TestAnyOf:
+    def test_first_wins(self, engine):
+        t1 = Timeout(engine, 5.0, value="slow")
+        t2 = Timeout(engine, 1.0, value="fast")
+        combined = AnyOf(engine, [t1, t2])
+        engine.run()
+        assert combined.value == (1, "fast")
+
+    def test_result_includes_winner_index(self, engine):
+        t1 = Timeout(engine, 1.0, value="x")
+        combined = AnyOf(engine, [t1])
+        engine.run()
+        assert combined.value[0] == 0

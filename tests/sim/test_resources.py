@@ -1,0 +1,201 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Resource, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestResource:
+    def test_capacity_validation(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_grant_when_free(self, engine):
+        resource = Resource(engine)
+        request = resource.request()
+        assert request.triggered
+        assert resource.in_use == 1
+
+    def test_release_without_hold_raises(self, engine):
+        resource = Resource(engine)
+        with pytest.raises(SimulationError, match="idle"):
+            resource.release()
+
+    def test_serialises_unit_capacity(self, engine):
+        resource = Resource(engine, capacity=1)
+        finish = []
+
+        def worker(i):
+            yield from resource.occupy(1.0)
+            finish.append((i, engine.now))
+
+        for i in range(3):
+            engine.process(worker(i))
+        engine.run()
+        assert finish == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_parallel_capacity(self, engine):
+        resource = Resource(engine, capacity=3)
+        finish = []
+
+        def worker(i):
+            yield from resource.occupy(1.0)
+            finish.append(engine.now)
+
+        for i in range(3):
+            engine.process(worker(i))
+        engine.run()
+        assert finish == [1.0, 1.0, 1.0]
+
+    def test_fifo_grant_order(self, engine):
+        resource = Resource(engine)
+        order = []
+
+        def worker(i):
+            yield resource.request()
+            order.append(i)
+            yield engine.timeout(1.0)
+            resource.release()
+
+        for i in range(4):
+            engine.process(worker(i))
+        engine.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_queue_length(self, engine):
+        resource = Resource(engine)
+
+        def worker():
+            yield from resource.occupy(1.0)
+
+        for _ in range(3):
+            engine.process(worker())
+        engine.run(until=0.5)
+        assert resource.in_use == 1
+        assert resource.queue_length == 2
+
+    def test_utilization_full(self, engine):
+        resource = Resource(engine)
+
+        def worker():
+            yield from resource.occupy(2.0)
+
+        engine.process(worker())
+        engine.run()
+        assert resource.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half(self, engine):
+        resource = Resource(engine)
+
+        def worker():
+            yield from resource.occupy(1.0)
+            yield engine.timeout(1.0)
+
+        engine.process(worker())
+        engine.run()
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_release_hands_unit_to_waiter(self, engine):
+        # release() with a queue grants directly: in_use stays constant.
+        resource = Resource(engine)
+
+        def holder():
+            yield resource.request()
+            yield engine.timeout(1.0)
+            resource.release()
+
+        def waiter():
+            yield resource.request()
+            assert resource.in_use == 1
+            resource.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run()
+        assert resource.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("x")
+        event = store.get()
+        assert event.triggered
+        assert event.value == "x"
+
+    def test_get_then_put(self, engine):
+        store = Store(engine)
+        event = store.get()
+        assert not event.triggered
+        store.put("y")
+        assert event.triggered
+
+    def test_fifo_order(self, engine):
+        store = Store(engine)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_filtered_get_skips_non_matching(self, engine):
+        store = Store(engine)
+        store.put({"tag": 1})
+        store.put({"tag": 2})
+        event = store.get(lambda m: m["tag"] == 2)
+        assert event.value == {"tag": 2}
+        assert store.get().value == {"tag": 1}
+
+    def test_pending_filtered_getter_matched_on_put(self, engine):
+        store = Store(engine)
+        event = store.get(lambda m: m == "wanted")
+        store.put("other")
+        assert not event.triggered
+        store.put("wanted")
+        assert event.triggered
+        assert len(store) == 1  # "other" still there
+
+    def test_oldest_matching_getter_wins(self, engine):
+        store = Store(engine)
+        first = store.get()
+        second = store.get()
+        store.put("only")
+        assert first.triggered and not second.triggered
+
+    def test_len_and_peek(self, engine):
+        store = Store(engine)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.peek_all() == ("a", "b")
+
+    def test_total_put_counter(self, engine):
+        store = Store(engine)
+        for i in range(5):
+            store.put(i)
+        assert store.total_put == 5
+
+    def test_close_fails_pending_getters(self, engine):
+        store = Store(engine)
+        event = store.get()
+        event.add_callback(lambda e: None)
+        store.close(RuntimeError("closed"))
+        assert not event.ok
+
+    def test_put_on_closed_raises(self, engine):
+        store = Store(engine)
+        store.close(RuntimeError("closed"))
+        with pytest.raises(SimulationError, match="closed"):
+            store.put("x")
+
+    def test_get_on_closed_fails(self, engine):
+        store = Store(engine)
+        store.close(RuntimeError("closed"))
+        event = store.get()
+        event.add_callback(lambda e: None)
+        assert not event.ok

@@ -1,0 +1,75 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_path_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_is_not_concatenation(self):
+        # ("ab",) and ("a", "b") must differ — the separator matters.
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_accepts_ints_in_path(self):
+        assert derive_seed(0, 1, 2) == derive_seed(0, "1", "2")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123, "x")
+        assert 0 <= seed < 2**64
+
+
+class TestRngStream:
+    def test_same_path_same_draws(self):
+        a = RngStream(7, "workload").uniform_ints(10)
+        b = RngStream(7, "workload").uniform_ints(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_path_different_draws(self):
+        a = RngStream(7, "workload").uniform_ints(100)
+        b = RngStream(7, "noise").uniform_ints(100)
+        assert not np.array_equal(a, b)
+
+    def test_child_stream_independent(self):
+        parent = RngStream(7)
+        child1 = parent.child("x")
+        child2 = parent.child("y")
+        assert child1.seed != child2.seed
+        # Children derive from the parent's seed, not its state: drawing
+        # from the parent does not perturb children.
+        parent.uniform_ints(50)
+        child1b = RngStream(7).child("x")
+        np.testing.assert_array_equal(
+            child1.uniform_ints(5), child1b.uniform_ints(5)
+        )
+
+    def test_uniform_ints_bounds(self):
+        values = RngStream(0).uniform_ints(1000, low=5, high=10)
+        assert values.min() >= 5
+        assert values.max() < 10
+
+    def test_lognormal_factor_sigma_zero(self):
+        assert RngStream(0).lognormal_factor(0.0) == 1.0
+
+    def test_lognormal_factor_positive(self):
+        stream = RngStream(0)
+        assert all(stream.lognormal_factor(0.5) > 0 for _ in range(100))
+
+    def test_lognormal_median_near_one(self):
+        stream = RngStream(0)
+        draws = [stream.lognormal_factor(0.3) for _ in range(2000)]
+        assert 0.9 < float(np.median(draws)) < 1.1
+
+    def test_shuffled_preserves_multiset(self):
+        items = list(range(20))
+        out = RngStream(3).shuffled(items)
+        assert sorted(out) == items
+        assert items == list(range(20))  # input untouched

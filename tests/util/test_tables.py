@@ -1,0 +1,62 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import AsciiTable, format_series
+
+
+class TestAsciiTable:
+    def test_renders_title_and_headers(self):
+        table = AsciiTable("demo", ["p", "factor"])
+        out = table.render()
+        assert out.startswith("demo")
+        assert "| p" in out or "|  p" in out.replace("p |", "p|") or "p" in out
+
+    def test_rows_align(self):
+        table = AsciiTable("t", ["a", "b"])
+        table.add_row([1, 2.0])
+        table.add_row([100, 200.5])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every rendered line has equal width
+
+    def test_float_formatting(self):
+        table = AsciiTable("t", ["x"])
+        table.add_row([1.23456])
+        assert "1.235" in table.render()
+
+    def test_bool_not_formatted_as_float(self):
+        table = AsciiTable("t", ["x"])
+        table.add_row([True])
+        assert "True" in table.render()
+
+    def test_wrong_cell_count_raises(self):
+        table = AsciiTable("t", ["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row([1])
+
+    def test_str_equals_render(self):
+        table = AsciiTable("t", ["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+
+class TestFormatSeries:
+    def test_shared_x_axis(self):
+        out = format_series(
+            "fig", "p", {"100 KB": {2: 1.0, 4: 1.2}, "500 KB": {2: 1.1, 4: 1.3}}
+        )
+        assert "fig" in out
+        assert "100 KB" in out and "500 KB" in out
+        assert "1.200" in out and "1.300" in out
+
+    def test_missing_point_renders_nan(self):
+        out = format_series("fig", "p", {"a": {2: 1.0}, "b": {4: 2.0}})
+        assert "nan" in out
+
+    def test_x_order_is_first_seen(self):
+        out = format_series("fig", "p", {"a": {4: 1.0, 2: 2.0}})
+        lines = out.splitlines()
+        row4 = next(i for i, l in enumerate(lines) if "| 4 |" in l.replace("  ", " "))
+        row2 = next(i for i, l in enumerate(lines) if "| 2 |" in l.replace("  ", " "))
+        assert row4 < row2

@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    BYTES_PER_INT,
+    KIB,
+    MIB,
+    bytes_to_items,
+    format_bytes,
+    format_time,
+    items_to_bytes,
+    kb,
+)
+
+
+class TestConstants:
+    def test_kib(self):
+        assert KIB == 1024
+
+    def test_mib(self):
+        assert MIB == 1024 * 1024
+
+    def test_items_are_c_ints(self):
+        assert BYTES_PER_INT == 4
+
+
+class TestConversions:
+    def test_kb(self):
+        assert kb(100) == 102400
+
+    def test_kb_fractional(self):
+        assert kb(0.5) == 512
+
+    def test_items_to_bytes(self):
+        assert items_to_bytes(25600) == 102400
+
+    def test_bytes_to_items(self):
+        assert bytes_to_items(102400) == 25600
+
+    def test_roundtrip(self):
+        for items in (0, 1, 25600, 256000):
+            assert bytes_to_items(items_to_bytes(items)) == items
+
+    def test_bytes_to_items_floors(self):
+        assert bytes_to_items(7) == 1
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(512, "512 B"), (102400, "100.0 KB"), (1024 * 1024 * 3 // 2, "1.5 MB")],
+    )
+    def test_format_bytes(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0 s"),
+            (5e-6, "5.0 us"),
+            (2.5e-3, "2.50 ms"),
+            (1.5, "1.500 s"),
+        ],
+    )
+    def test_format_time(self, seconds, expected):
+        assert format_time(seconds) == expected

@@ -1,0 +1,125 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_finite,
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckFinite:
+    def test_returns_float(self):
+        assert check_finite("x", 3) == 3.0
+        assert isinstance(check_finite("x", 3), float)
+
+    def test_accepts_negative(self):
+        assert check_finite("x", -2.5) == -2.5
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite("x", bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="real number"):
+            check_finite("x", "hello")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="myparam"):
+            check_finite("myparam", float("nan"))
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.0001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="> 0"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            check_non_negative("x", -1e-12)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("x", 5) == 5
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int("x", 4.0) == 4
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int("x", 4.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            check_positive_int("x", 0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int("x", True)
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        assert check_index("i", 0, 3) == 0
+        assert check_index("i", 2, 3) == 2
+
+    @pytest.mark.parametrize("bad", [-1, 3, 100])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValidationError):
+            check_index("i", bad, 3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_index("i", True, 3)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValidationError):
+            check_fraction("f", bad)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        out = check_probability_vector("c", [0.25, 0.25, 0.5])
+        assert out == (0.25, 0.25, 0.5)
+
+    def test_accepts_fsum_rounding(self):
+        values = [0.1] * 10
+        assert math.isclose(sum(check_probability_vector("c", values)), 1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_probability_vector("c", [0.5, 0.6])
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector("c", [1.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_probability_vector("c", [])
