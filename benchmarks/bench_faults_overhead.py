@@ -1,0 +1,76 @@
+"""Fault-subsystem overhead benchmarks (not a paper artifact).
+
+The fault hooks sit on the hottest paths of the simulator (resource
+grants, every send).  These benches pin down what they cost:
+
+* **disabled** (``faults=None``) — the fast path taken by every
+  pre-existing experiment.  Must stay within noise (< 3%) of the
+  empty-plan-attached run, and both must produce identical results.
+* **empty plan attached** — a live injector with nothing to do.
+* **active plan** — a straggler, for scale (allowed to be slower).
+"""
+
+import time
+
+from repro.cluster import ucf_testbed
+from repro.collectives import run_gather
+from repro.faults import FaultPlan, straggler_plan
+
+N = 64_000
+REPS = 5
+OVERHEAD_BUDGET = 0.03
+
+
+def _best_of(fn, reps=REPS):
+    """Min-of-reps wall time: robust against scheduler noise."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_disabled_injector_overhead(benchmark):
+    """No-injector runs must not pay for the fault subsystem."""
+    topology = ucf_testbed(10)
+
+    def bare():
+        return run_gather(topology, N, seed=1).time
+
+    def attached():
+        return run_gather(topology, N, seed=1, faults=FaultPlan.empty()).time
+
+    bare_wall, bare_time = benchmark.pedantic(
+        lambda: _best_of(bare), rounds=1, iterations=1, warmup_rounds=1
+    )
+    attached_wall, attached_time = _best_of(attached)
+
+    # Bit-identical simulation results either way.
+    assert attached_time == bare_time
+
+    # The disabled path must stay within the overhead budget of the
+    # empty-plan path (and vice versa - they differ only in hook
+    # checks that always miss).
+    slower, faster = max(bare_wall, attached_wall), min(bare_wall, attached_wall)
+    overhead = slower / faster - 1.0
+    print(f"\nbare={bare_wall * 1e3:.1f} ms  empty-plan={attached_wall * 1e3:.1f} ms  "
+          f"spread={overhead * 100:.1f}% (budget {OVERHEAD_BUDGET * 100:.0f}%)")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_active_plan_cost(benchmark):
+    """For scale: what a live straggler plan costs in wall time."""
+    topology = ucf_testbed(10)
+    plan = straggler_plan(topology.machines[5].name, factor=4.0)
+
+    def faulted():
+        return run_gather(topology, N, seed=1, faults=plan).time
+
+    wall, sim_time = benchmark.pedantic(
+        lambda: _best_of(faulted, reps=3), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print(f"\nactive straggler plan: {wall * 1e3:.1f} ms wall, "
+          f"{sim_time * 1e3:.3f} ms simulated")
+    assert sim_time > 0

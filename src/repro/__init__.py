@@ -12,6 +12,7 @@ Layered architecture (bottom-up):
 * :mod:`repro.model` — the HBSP^k machine tree, parameters, and cost model;
 * :mod:`repro.hbsplib` — the BSPlib-style programming library;
 * :mod:`repro.collectives` — gather, broadcast, and the extended toolkit;
+* :mod:`repro.faults` — deterministic fault injection and background load;
 * :mod:`repro.experiments` — the harness regenerating every figure/table.
 
 Quickstart::
@@ -19,8 +20,21 @@ Quickstart::
     from repro import ucf_testbed, run_gather, RootPolicy
     outcome = run_gather(ucf_testbed(8), 25600, root=RootPolicy.FASTEST)
     print(outcome.time, outcome.predicted_time)
+
+Robustness (see ``docs/faults.md``)::
+
+    from repro import FaultPlan, DeliveryPolicy, run_gather, ucf_testbed
+    from repro.faults import straggler_plan
+    outcome = run_gather(
+        ucf_testbed(8), 25600,
+        faults=straggler_plan("sun-ultra1", factor=4.0), fault_seed=1,
+        delivery=DeliveryPolicy.retry(3, timeout=0.25),
+    )
 """
 
+from repro.errors import FaultError, TimeoutError  # noqa: A004
+from repro.faults import DeliveryPolicy, FaultPlan, Injector
+from repro.sim.trace import Trace, TraceRecord
 from repro.cluster import (
     Cluster,
     ClusterTopology,
@@ -78,5 +92,12 @@ __all__ = [
     "HBSPTree",
     "CostLedger",
     "calibrate",
+    "FaultPlan",
+    "Injector",
+    "DeliveryPolicy",
+    "FaultError",
+    "TimeoutError",
+    "Trace",
+    "TraceRecord",
     "__version__",
 ]

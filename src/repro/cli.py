@@ -147,6 +147,10 @@ def _cmd_run(
     root: str,
     workload: str,
     gantt: bool,
+    seed: int = 0,
+    faults: str | None = None,
+    retries: int = 0,
+    send_timeout: float | None = None,
 ) -> int:
     from repro import collectives as coll
     from repro.collectives import RootPolicy, WorkloadPolicy
@@ -158,7 +162,21 @@ def _cmd_run(
         )
     topology = build_preset(preset)
     runner = getattr(coll, f"run_{collective}")
-    kwargs: dict[str, t.Any] = {"trace": gantt}
+    kwargs: dict[str, t.Any] = {"trace": gantt, "seed": seed}
+    if faults is not None:
+        from repro.faults import FaultPlan
+
+        kwargs["faults"] = FaultPlan.from_file(faults)
+    if send_timeout is not None:
+        from repro.faults import DeliveryPolicy
+
+        kwargs["delivery"] = (
+            DeliveryPolicy.retry(retries, timeout=send_timeout)
+            if retries > 0
+            else DeliveryPolicy(timeout=send_timeout)
+        )
+    elif retries > 0:
+        raise ReproError("--retries needs --send-timeout to arm the timer")
     if collective in ("gather", "broadcast", "scatter", "reduce", "allreduce"):
         kwargs["root"] = (
             RootPolicy.SLOWEST if root == "slowest"
@@ -174,6 +192,11 @@ def _cmd_run(
     print(f"simulated: {format_time(outcome.time)}   "
           f"predicted: {format_time(outcome.predicted_time)}   "
           f"supersteps: {outcome.supersteps}")
+    injector = outcome.runtime.vm.injector
+    if injector is not None:
+        print(f"faults: {len(injector.plan)} spec(s), "
+              f"{injector.dropped_messages} message(s) dropped, "
+              f"{injector.delayed_messages} delayed")
     print()
     print(outcome.predicted.describe())
     if gantt:
@@ -182,10 +205,10 @@ def _cmd_run(
     return 0
 
 
-def _cmd_experiment(experiment_id: str, plot: bool = False) -> int:
+def _cmd_experiment(experiment_id: str, plot: bool = False, seed: int | None = None) -> int:
     from repro.experiments import run_experiment
 
-    print(run_experiment(experiment_id).render(plot=plot))
+    print(run_experiment(experiment_id, seed=seed).render(plot=plot))
     return 0
 
 
@@ -211,10 +234,20 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                             choices=["balanced", "equal"])
     run_parser.add_argument("--gantt", action="store_true",
                             help="print an ASCII Gantt chart of the run")
+    run_parser.add_argument("--seed", type=int, default=0,
+                            help="experiment seed (inputs + fault coins)")
+    run_parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                            help="inject faults from a JSON FaultPlan file")
+    run_parser.add_argument("--send-timeout", type=float, default=None,
+                            help="per-send delivery timeout in seconds")
+    run_parser.add_argument("--retries", type=int, default=0,
+                            help="retransmissions per send (needs --send-timeout)")
     experiment_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment_parser.add_argument("id")
     experiment_parser.add_argument("--plot", action="store_true",
                                    help="render as an ASCII line plot")
+    experiment_parser.add_argument("--seed", type=int, default=None,
+                                   help="override the experiment seed")
 
     args = parser.parse_args(argv)
     try:
@@ -229,10 +262,12 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         if args.command == "run":
             return _cmd_run(
                 args.collective, args.preset, args.n, args.root,
-                args.workload, args.gantt,
+                args.workload, args.gantt, seed=args.seed,
+                faults=args.faults, retries=args.retries,
+                send_timeout=args.send_timeout,
             )
         if args.command == "experiment":
-            return _cmd_experiment(args.id, plot=args.plot)
+            return _cmd_experiment(args.id, plot=args.plot, seed=args.seed)
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")
     return 0  # pragma: no cover - argparse guarantees a command

@@ -38,6 +38,9 @@ from repro.model.cost import CostLedger, h_relation
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_broadcast
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["allreduce_program", "run_allreduce", "predict_allreduce_cost"]
 
 
@@ -102,9 +105,15 @@ def run_allreduce(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the all-reduce and predict its cost."""
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     root_pid = resolve_root(runtime, root)
     result = runtime.run(allreduce_program, width, root_pid, strategy, seed)
     cpu_rates = [m.cpu_rate for m in runtime.topology.machines]

@@ -28,6 +28,9 @@ from repro.model.predict import default_counts
 from repro.util.rng import RngStream
 from repro.util.units import BYTES_PER_INT
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["alltoall_program", "run_alltoall", "predict_alltoall_cost", "block_counts"]
 
 
@@ -90,9 +93,15 @@ def run_alltoall(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the total exchange and predict its cost."""
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     counts = split_counts(runtime, n, workload)
     result = runtime.run(alltoall_program, counts, seed)
     predicted = predict_alltoall_cost(runtime.params, n, counts=counts)

@@ -12,6 +12,9 @@ from repro.hbsplib.runtime import HbspResult, HbspRuntime
 from repro.model.cost import CostLedger
 from repro.util.rng import RngStream
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["CollectiveOutcome", "make_runtime", "make_items", "concat_payloads"]
 
 
@@ -64,9 +67,24 @@ def make_runtime(
     *,
     scores: t.Mapping[str, float] | None = None,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int = 0,
+    delivery: t.Any | None = None,
 ) -> HbspRuntime:
-    """A fresh runtime for one measured collective run."""
-    return HbspRuntime(topology, scores=scores, trace=trace)
+    """A fresh runtime for one measured collective run.
+
+    With ``faults`` a fresh :class:`~repro.faults.Injector` is built
+    (even for an empty plan, which is guaranteed bit-identical to no
+    plan at all); ``delivery`` sets the default send policy.
+    """
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import Injector
+
+        injector = Injector(faults, seed=fault_seed)
+    return HbspRuntime(
+        topology, scores=scores, trace=trace, injector=injector, delivery=delivery
+    )
 
 
 def make_items(seed: int, pid: int, count: int) -> np.ndarray:

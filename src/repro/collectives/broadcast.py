@@ -38,6 +38,9 @@ from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_broadcast
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["broadcast_program", "run_broadcast", "predict_broadcast_cost"]
 
 #: Tag space: level * _TAG_STRIDE + share index; full copies use
@@ -157,6 +160,9 @@ def run_broadcast(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the one-to-all broadcast and predict its cost.
 
@@ -164,7 +170,10 @@ def run_broadcast(
     applies everywhere).  ``balanced_shares`` distributes first-phase
     shares by the ``c_j`` fractions instead of equally (Fig. 4(b)).
     """
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     root_pid = resolve_root(runtime, root)
     result = runtime.run(broadcast_program, n, root_pid, phases, balanced_shares, seed)
     fractions = (

@@ -36,6 +36,9 @@ from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_gather
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["gather_program", "run_gather", "predict_gather_cost"]
 
 
@@ -78,6 +81,9 @@ def run_gather(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the gather on the simulated machine and predict its cost.
 
@@ -85,7 +91,10 @@ def run_gather(
     / slowest / explicit pid) and ``workload`` (equal / balanced /
     explicit per-pid counts).
     """
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     root_pid = resolve_root(runtime, root)
     counts = split_counts(runtime, n, workload)
     result = runtime.run(gather_program, counts, root_pid, seed)

@@ -29,6 +29,9 @@ from repro.model.cost import CostLedger, h_relation
 from repro.model.params import HBSPParams
 from repro.util.units import BYTES_PER_INT
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["reduce_program", "run_reduce", "predict_reduce_cost"]
 
 #: CPU work units charged per combined item.
@@ -71,9 +74,15 @@ def run_reduce(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the reduction on the simulated machine and predict its cost."""
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     root_pid = resolve_root(runtime, root)
     result = runtime.run(reduce_program, width, root_pid, seed)
     cpu_rates = [m.cpu_rate for m in runtime.topology.machines]

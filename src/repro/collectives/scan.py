@@ -26,6 +26,9 @@ from repro.model.cost import CostLedger, h_relation
 from repro.model.params import HBSPParams
 from repro.util.units import BYTES_PER_INT
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["scan_program", "run_scan", "predict_scan_cost"]
 
 #: CPU work units charged per combined item.
@@ -59,9 +62,15 @@ def run_scan(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the prefix-sum scan and predict its cost."""
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     result = runtime.run(scan_program, width, seed)
     cpu_rates = [m.cpu_rate for m in runtime.topology.machines]
     predicted = predict_scan_cost(runtime.params, width, cpu_rates=cpu_rates)

@@ -31,6 +31,9 @@ from repro.model.params import HBSPParams
 from repro.model.predict import default_counts
 from repro.util.units import BYTES_PER_INT
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["scatter_program", "run_scatter", "predict_scatter_cost"]
 
 
@@ -92,9 +95,15 @@ def run_scatter(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    delivery: t.Any | None = None,
 ) -> CollectiveOutcome:
     """Run the scatter on the simulated machine and predict its cost."""
-    runtime = make_runtime(topology, scores=scores, trace=trace)
+    runtime = make_runtime(
+        topology, scores=scores, trace=trace, faults=faults,
+        fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+    )
     root_pid = resolve_root(runtime, root)
     counts = split_counts(runtime, n, workload)
     result = runtime.run(scatter_program, counts, root_pid, seed)

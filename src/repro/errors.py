@@ -17,6 +17,9 @@ __all__ = [
     "PvmError",
     "TaskNotFound",
     "MailboxClosed",
+    "FaultError",
+    "FaultPlanError",
+    "TimeoutError",
     "HbspError",
     "SuperstepError",
     "PartitionError",
@@ -76,6 +79,35 @@ class TaskNotFound(PvmError, KeyError):
 
 class MailboxClosed(PvmError):
     """A receive was attempted on a task whose mailbox has been closed."""
+
+
+class FaultError(PvmError):
+    """Base class for errors caused by injected faults.
+
+    Raised by the fault-injection subsystem (:mod:`repro.faults`) and by
+    the runtime robustness machinery built on top of it.
+    """
+
+
+class FaultPlanError(FaultError, ValueError):
+    """A declarative fault plan is malformed or names unknown entities."""
+
+
+class TimeoutError(FaultError):  # noqa: A001 - deliberate shadow, scoped to repro.errors
+    """A send exceeded its delivery timeout after exhausting all retries.
+
+    Carries the endpoints and the attempt count so programs can react
+    (e.g. re-route around a crashed machine).
+    """
+
+    def __init__(self, message: str, *, src: int | None = None,
+                 dst: int | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        #: Task ids of the endpoints, when known.
+        self.src = src
+        self.dst = dst
+        #: Number of delivery attempts made (1 + retries).
+        self.attempts = attempts
 
 
 class HbspError(ReproError):

@@ -9,7 +9,8 @@ from the command line.
 
 Experiment ids (see DESIGN.md §4): ``table1``, ``fig3a``, ``fig3b``,
 ``fig4a``, ``fig4b``, ``sec4-bcast-phases``, ``sec4-gather-hierarchy``,
-``model-vs-sim``, ``ablations``, ``scaling``, ``bsp-vs-hbsp``, ``sensitivity``.
+``model-vs-sim``, ``ablations``, ``scaling``, ``bsp-vs-hbsp``,
+``sensitivity``, ``robustness``.
 """
 
 from repro.experiments.improvement import ExperimentReport, improvement_factor
@@ -32,6 +33,7 @@ from repro.experiments.analysis import (
     table1_parameters,
 )
 from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
+from repro.experiments.robustness import robustness_plans, robustness_report
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
 from repro.experiments.runner import EXPERIMENTS, run_experiment
@@ -55,6 +57,8 @@ __all__ = [
     "app_scaling",
     "bsp_vs_hbsp",
     "calibration_sensitivity",
+    "robustness_plans",
+    "robustness_report",
     "EXPERIMENTS",
     "run_experiment",
 ]

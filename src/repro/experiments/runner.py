@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import typing as t
 
 from repro.errors import ExperimentError
@@ -22,6 +23,7 @@ from repro.experiments.fig4_broadcast import (
     fig4b_broadcast_balance,
 )
 from repro.experiments.improvement import ExperimentReport
+from repro.experiments.robustness import robustness_report
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -39,11 +41,16 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "scaling": app_scaling,
     "bsp-vs-hbsp": bsp_vs_hbsp,
     "sensitivity": calibration_sensitivity,
+    "robustness": robustness_report,
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentReport:
-    """Run one experiment by id; raises for unknown ids."""
+def run_experiment(experiment_id: str, *, seed: int | None = None) -> ExperimentReport:
+    """Run one experiment by id; raises for unknown ids.
+
+    ``seed`` overrides the experiment's default seed for experiments
+    that accept one (raises for those that don't).
+    """
     try:
         factory = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -51,7 +58,13 @@ def run_experiment(experiment_id: str) -> ExperimentReport:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return factory()
+    if seed is None:
+        return factory()
+    if "seed" not in inspect.signature(factory).parameters:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} does not accept a seed"
+        )
+    return factory(seed=seed)
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -66,12 +79,16 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         default=["all"],
         help=f"experiment id(s) or 'all'; known: {', '.join(sorted(EXPERIMENTS))}",
     )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment seed (for experiments that accept one)",
+    )
     args = parser.parse_args(argv)
     wanted = list(args.experiment)
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)
     for experiment_id in wanted:
-        report = run_experiment(experiment_id)
+        report = run_experiment(experiment_id, seed=args.seed)
         print(report.render())
         print()
     return 0

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and background load for the simulator.
+
+The paper's testbed is a *non-dedicated* cluster of ten workstations:
+machine speeds and link behaviour fluctuate under other users' load.
+This package injects that reality into the otherwise quiet simulated
+machine, reproducibly:
+
+* :class:`FaultPlan` — a declarative, JSON-serialisable schedule of
+  machine slowdowns/pauses, link degradations, stochastic message
+  drops/delays, and stochastic background CPU load;
+* :class:`Injector` — compiles a plan against one
+  :class:`~repro.pvm.VirtualMachine`, drawing every coin from named
+  :class:`~repro.util.rng.RngStream`\\ s so a (plan, seed) pair always
+  produces the same simulation, and an *empty* plan is bit-identical
+  to a fault-free run;
+* :class:`~repro.pvm.DeliveryPolicy` (re-exported) — the runtime
+  robustness semantics that survive the faults: per-send timeouts with
+  bounded exponential-backoff retries, or explicit at-most-once.
+
+See ``docs/faults.md`` for the plan schema and the determinism and
+retry guarantees, and :mod:`repro.experiments.robustness` for the
+experiment that re-runs the paper's Figure 3/4 comparisons under
+straggler and congestion plans.
+"""
+
+from repro.errors import FaultError, FaultPlanError, TimeoutError
+from repro.faults.injector import Injector
+from repro.faults.plan import (
+    BackgroundLoad,
+    FaultPlan,
+    LinkDegradation,
+    MachinePause,
+    MachineSlowdown,
+    MessageFaults,
+    congestion_plan,
+    flaky_network_plan,
+    straggler_plan,
+)
+from repro.faults.timeline import Timeline, Window
+from repro.pvm.delivery import DeliveryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "Injector",
+    "DeliveryPolicy",
+    "MachineSlowdown",
+    "MachinePause",
+    "LinkDegradation",
+    "MessageFaults",
+    "BackgroundLoad",
+    "Timeline",
+    "Window",
+    "straggler_plan",
+    "congestion_plan",
+    "flaky_network_plan",
+    "FaultError",
+    "FaultPlanError",
+    "TimeoutError",
+]

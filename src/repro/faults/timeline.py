@@ -1,0 +1,104 @@
+"""Piecewise-constant slowdown timelines.
+
+A :class:`Timeline` answers "how long does ``nominal`` seconds of work
+take when it starts at time ``t``?" for a machine or link whose
+effective speed varies over scheduled fault windows.  Factors from
+overlapping windows multiply; a factor of ``math.inf`` models a full
+pause (no progress until the window ends).
+
+The empty timeline is the identity — :meth:`Timeline.stretch` returns
+``nominal`` unchanged, bit-for-bit, which is what makes an empty
+:class:`~repro.faults.FaultPlan` reproduce fault-free runs exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.errors import FaultPlanError
+
+__all__ = ["Window", "Timeline"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Window:
+    """One slowdown interval: work inside it takes ``factor`` times longer.
+
+    ``end`` may be ``math.inf`` for a permanent degradation, but only
+    with a finite factor — a permanent pause could never finish.
+    """
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultPlanError(f"window start must be >= 0, got {self.start!r}")
+        if self.end <= self.start:
+            raise FaultPlanError(
+                f"window end must be > start, got [{self.start!r}, {self.end!r})"
+            )
+        if self.factor <= 0:
+            raise FaultPlanError(f"window factor must be > 0, got {self.factor!r}")
+        if math.isinf(self.factor) and math.isinf(self.end):
+            raise FaultPlanError("a pause window (factor=inf) must end")
+
+    def active_at(self, time: float) -> bool:
+        """True when ``time`` falls inside the half-open window."""
+        return self.start <= time < self.end
+
+
+class Timeline:
+    """A multiplicative slowdown profile built from fault windows."""
+
+    def __init__(self, windows: t.Iterable[Window] = ()) -> None:
+        self.windows = tuple(sorted(windows, key=lambda w: (w.start, w.end)))
+        self._bounds = sorted(
+            {w.start for w in self.windows}
+            | {w.end for w in self.windows if not math.isinf(w.end)}
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+    def factor_at(self, time: float) -> float:
+        """Combined slowdown factor at ``time`` (1.0 outside all windows)."""
+        factor = 1.0
+        for window in self.windows:
+            if window.active_at(time):
+                factor *= window.factor
+        return factor
+
+    def stretch(self, start: float, nominal: float) -> float:
+        """Actual duration of ``nominal`` seconds of work starting at ``start``.
+
+        Work proceeds at rate ``1/factor(t)``; the stretch integrates
+        that rate across window boundaries.  With no windows (or zero
+        work) the nominal duration is returned unchanged.
+        """
+        if not self.windows or nominal <= 0:
+            return nominal
+        time = start
+        remaining = nominal
+        for bound in self._bounds:
+            if bound <= time:
+                continue
+            factor = self.factor_at(time)
+            if math.isinf(factor):
+                time = bound  # paused: the clock advances, the work does not
+                continue
+            segment = bound - time
+            if remaining * factor <= segment:
+                return (time + remaining * factor) - start
+            remaining -= segment / factor
+            time = bound
+        factor = self.factor_at(time)
+        if math.isinf(factor):  # pragma: no cover - Window forbids endless pauses
+            raise FaultPlanError("work started inside an endless pause")
+        return (time + remaining * factor) - start
+
+    def __repr__(self) -> str:
+        return f"Timeline({len(self.windows)} windows)"

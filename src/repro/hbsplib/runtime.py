@@ -77,6 +77,15 @@ class HbspRuntime:
         paper's noisy-measurement setting.
     trace:
         Enable structured tracing (costs simulation speed).
+    injector:
+        Optional fresh :class:`~repro.faults.Injector` attaching a
+        fault plan (slowdowns, pauses, link degradation, message
+        faults, background load) to the simulated machine.
+    delivery:
+        Default :class:`~repro.pvm.DeliveryPolicy` for every send —
+        per-send timeout with bounded exponential-backoff retries, or
+        explicit at-most-once.  ``None`` keeps the classic
+        fire-and-forget fast path.
 
     A fresh runtime (with a fresh virtual clock) should be used per
     measured program run; :meth:`run` enforces this.
@@ -89,11 +98,14 @@ class HbspRuntime:
         scores: t.Mapping[str, float] | None = None,
         trace: bool = False,
         serialize_nic: bool = True,
+        injector: t.Any | None = None,
+        delivery: t.Any | None = None,
     ) -> None:
         self.tree = HBSPTree(topology)
         self.topology = self.tree.topology  # normalised
         self.vm = VirtualMachine(
-            self.topology, trace=trace, serialize_nic=serialize_nic
+            self.topology, trace=trace, serialize_nic=serialize_nic,
+            injector=injector, delivery=delivery,
         )
         self.engine = self.vm.engine
         self.scores = dict(scores) if scores is not None else true_scores(self.topology)

@@ -11,14 +11,25 @@ the corresponding substrate here.  It provides:
   cross the network of the lowest common ancestor cluster, are drained
   through the receiver's NIC (serialising when many senders target one
   receiver), and *unpacked* on the receiver's CPU;
-* typed/tagged message matching on mailboxes.
+* typed/tagged message matching on mailboxes;
+* per-send :class:`DeliveryPolicy` robustness semantics — timeouts
+  with bounded exponential-backoff retransmission, or at-most-once —
+  exercised by the :mod:`repro.faults` injector.
 
 Self-sends are free and instantaneous — "a processor does not send
 data to itself" (Section 5.2).
 """
 
+from repro.pvm.delivery import DeliveryPolicy
 from repro.pvm.message import Message, payload_nbytes
 from repro.pvm.task import Task
 from repro.pvm.vm import Host, VirtualMachine
 
-__all__ = ["Message", "payload_nbytes", "Task", "Host", "VirtualMachine"]
+__all__ = [
+    "DeliveryPolicy",
+    "Message",
+    "payload_nbytes",
+    "Task",
+    "Host",
+    "VirtualMachine",
+]

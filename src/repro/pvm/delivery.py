@@ -1,0 +1,111 @@
+"""Delivery guarantees for PVM sends under faults.
+
+Real PVM over UDP offers best-effort delivery; TCP-backed routes retry
+transparently.  :class:`DeliveryPolicy` makes that choice explicit for
+the simulated runtime:
+
+* **at-most-once** (the default, ``DeliveryPolicy.at_most_once()``) —
+  a send is packed and injected exactly once; if the fault layer drops
+  the message it is silently lost (the sender's delivery event still
+  resolves so BSP flushes cannot deadlock on a ghost).
+* **retry(n)** (``DeliveryPolicy.retry(n, timeout=...)``) — the sender
+  arms a per-send timeout; if delivery is not confirmed in time, the
+  message is re-injected after a bounded exponential backoff, up to
+  ``n`` retries.  Retransmissions re-pay NIC injection (the payload is
+  already packed), and receivers suppress duplicates, so the guarantee
+  is effectively exactly-once or a :class:`repro.errors.TimeoutError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ValidationError
+
+__all__ = ["DeliveryPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryPolicy:
+    """How hard a send tries to get its message delivered.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds to wait for delivery confirmation before declaring an
+        attempt lost.  ``None`` means wait forever (no retries).
+    retries:
+        Maximum number of retransmissions after the first attempt.
+    backoff_base:
+        Delay before the first retransmission; defaults to ``timeout``.
+    backoff_factor:
+        Multiplier applied to the backoff after every retry (bounded
+        exponential backoff).
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff_base: float | None = None
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValidationError(f"timeout must be > 0, got {self.timeout!r}")
+        if self.retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {self.retries!r}")
+        if self.retries > 0 and self.timeout is None:
+            raise ValidationError("retries > 0 requires a finite timeout")
+        if self.backoff_base is not None and self.backoff_base < 0:
+            raise ValidationError(
+                f"backoff_base must be >= 0, got {self.backoff_base!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    @classmethod
+    def at_most_once(cls) -> "DeliveryPolicy":
+        """Fire-and-forget: one attempt, dropped messages stay lost."""
+        return cls()
+
+    @classmethod
+    def retry(
+        cls,
+        retries: int,
+        *,
+        timeout: float,
+        backoff_base: float | None = None,
+        backoff_factor: float = 2.0,
+    ) -> "DeliveryPolicy":
+        """Timeout-armed sends with up to ``retries`` retransmissions."""
+        return cls(
+            timeout=timeout,
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_factor=backoff_factor,
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total delivery attempts: the first send plus every retry."""
+        return 1 + self.retries
+
+    @property
+    def armed(self) -> bool:
+        """True when sends watch a timeout (the reliable path)."""
+        return self.timeout is not None
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Backoff before retransmission ``retry_index`` (0-based)."""
+        base = self.backoff_base if self.backoff_base is not None else self.timeout or 0.0
+        return base * self.backoff_factor**retry_index
+
+    def __repr__(self) -> str:
+        if not self.armed:
+            return "DeliveryPolicy(at-most-once)"
+        return (
+            f"DeliveryPolicy(timeout={self.timeout:g}, retries={self.retries}, "
+            f"backoff={self.backoff_base if self.backoff_base is not None else self.timeout:g}"
+            f"x{self.backoff_factor:g})"
+        )

@@ -64,6 +64,9 @@ class Message:
         Wire size the simulator charged for this message.
     sent_at / delivered_at:
         Virtual timestamps of the send call and mailbox arrival.
+    uid:
+        Unique per-send id, set only on the reliable (retry) path so
+        receivers can suppress duplicate retransmissions.
     """
 
     src: int
@@ -73,6 +76,7 @@ class Message:
     nbytes: int
     sent_at: float
     delivered_at: float
+    uid: int | None = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:

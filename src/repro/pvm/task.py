@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.errors import PvmError
+from repro.errors import PvmError, TimeoutError
 from repro.pvm.message import Message, payload_nbytes
-from repro.sim.events import Event
+from repro.sim.events import AnyOf, Event
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import NetworkSpec
+    from repro.pvm.delivery import DeliveryPolicy
     from repro.pvm.vm import Host, VirtualMachine
 
 __all__ = ["Task"]
@@ -52,6 +54,8 @@ class Task:
         from repro.sim.resources import Store
 
         self.mailbox = Store(vm.engine, name=f"{name}.mailbox")
+        #: Uids already delivered here (suppresses retransmit duplicates).
+        self._delivered_uids: set[int] = set()
         #: Statistics: (messages, bytes) sent and received.
         self.sent_messages = 0
         self.sent_bytes = 0
@@ -67,6 +71,7 @@ class Task:
         *,
         tag: int = 0,
         nbytes: int | None = None,
+        policy: "DeliveryPolicy | None" = None,
     ) -> t.Generator[Event, t.Any, Event]:
         """Send ``payload`` to task ``dst``; returns the delivery event.
 
@@ -74,6 +79,14 @@ class Task:
         returns once the message has been packed and injected; the
         returned event succeeds (with the :class:`Message`) when the
         message lands in the destination mailbox.
+
+        ``policy`` (default: the machine's ``delivery`` policy) selects
+        the delivery guarantee under injected faults.  With an *armed*
+        policy the send watches a timeout and retransmits with bounded
+        exponential backoff; the returned event then fails with
+        :class:`~repro.errors.TimeoutError` once every attempt is
+        exhausted.  Without one, a dropped message resolves the event
+        with ``None`` (at-most-once: the sender never learns).
         """
         vm = self.vm
         engine = vm.engine
@@ -112,6 +125,8 @@ class Task:
 
         network, level = vm.route(self.host, target.host)
         multiplier = vm.topology.pair_multiplier(self.host.machine_id, target.host.machine_id)
+        if policy is None:
+            policy = vm.delivery
 
         # 1. pack on the sender CPU
         pack = self.host.spec.pack_time(size)
@@ -121,6 +136,8 @@ class Task:
 
         # 2. inject through the sender NIC
         inject = size * network.effective_gap(self.host.spec.nic_gap) * multiplier
+        if vm.injector is not None:
+            inject = vm.injector.transfer_time(network.name, engine.now, inject)
         start = engine.now
         yield from self.host.nic_out.occupy(inject)
         vm.trace.emit(
@@ -131,21 +148,148 @@ class Task:
         # 3 + 4. wire latency then drain at the receiver, in background.
         done = engine.event(name=f"{self.name}->{target.name}")
 
-        def delivery() -> t.Generator[Event, t.Any, None]:
-            yield engine.timeout(network.latency)
-            drain = size * network.effective_gap(target.host.spec.nic_gap) * multiplier
-            start = engine.now
-            yield from target.host.nic_in.occupy(drain)
-            vm.trace.emit(
-                engine.now, "drain", target.name, engine.now - start,
-                nbytes=size, src=self.tid, network=network.name,
+        if policy is None or not policy.armed:
+            # Fire-and-forget: one attempt; `done` resolves at delivery
+            # (or with None at a fault-layer drop).
+            engine.process(
+                self._delivery(target, network, multiplier, size, payload, tag,
+                               sent_at, uid=None, arrival=done, attempt=0),
+                name=f"deliver:{self.name}->{target.name}",
             )
-            message = Message(self.tid, dst, tag, payload, size, sent_at, engine.now)
-            target.mailbox.put(message)
-            done.succeed(message)
+            return done
 
-        engine.process(delivery(), name=f"deliver:{self.name}->{target.name}")
+        # Reliable path: watch a timeout, retransmit with backoff, and
+        # fail `done` with TimeoutError once attempts are exhausted.
+        uid = vm.take_uid()
+        arrival = engine.event(name=f"{self.name}->{target.name}#0")
+        engine.process(
+            self._delivery(target, network, multiplier, size, payload, tag,
+                           sent_at, uid=uid, arrival=arrival, attempt=0),
+            name=f"deliver:{self.name}->{target.name}#0",
+        )
+        monitor = engine.process(
+            self._retry_monitor(target, network, multiplier, size, payload, tag,
+                                sent_at, uid, policy, arrival, done),
+            name=f"retry:{self.name}->{target.name}",
+        )
+        vm._fault_processes.append(monitor)
         return done
+
+    def _delivery(
+        self,
+        target: "Task",
+        network: "NetworkSpec",
+        multiplier: float,
+        size: int,
+        payload: t.Any,
+        tag: int,
+        sent_at: float,
+        *,
+        uid: int | None,
+        arrival: Event,
+        attempt: int,
+    ) -> t.Generator[Event, t.Any, None]:
+        """One delivery attempt: wire latency, receiver drain, mailbox put.
+
+        With a fault injector the message may be dropped (the attempt
+        vanishes; ``arrival`` resolves with ``None`` only on the
+        fire-and-forget path, where ``uid`` is None) or delayed.
+        Retransmissions (``uid`` set) are suppressed at the receiver if
+        an earlier attempt already landed.
+        """
+        vm = self.vm
+        engine = vm.engine
+        injector = vm.injector
+        latency = network.latency
+        if injector is not None:
+            dropped, extra_delay = injector.message_fate(network.name, engine.now)
+            if dropped:
+                vm.trace.emit(
+                    engine.now, "drop", self.name, 0.0,
+                    dst=target.tid, nbytes=size, attempt=attempt,
+                )
+                if uid is None:
+                    arrival.succeed(None)
+                return
+            latency += injector.extra_latency(network.name, engine.now) + extra_delay
+        yield engine.timeout(latency)
+        drain = size * network.effective_gap(target.host.spec.nic_gap) * multiplier
+        if injector is not None:
+            drain = injector.transfer_time(network.name, engine.now, drain)
+        start = engine.now
+        yield from target.host.nic_in.occupy(drain)
+        vm.trace.emit(
+            engine.now, "drain", target.name, engine.now - start,
+            nbytes=size, src=self.tid, network=network.name,
+        )
+        if uid is not None:
+            if uid in target._delivered_uids:
+                return  # a prior attempt already delivered this send
+            target._delivered_uids.add(uid)
+        message = Message(self.tid, target.tid, tag, payload, size, sent_at, engine.now, uid)
+        target.mailbox.put(message)
+        arrival.succeed(message)
+
+    def _retry_monitor(
+        self,
+        target: "Task",
+        network: "NetworkSpec",
+        multiplier: float,
+        size: int,
+        payload: t.Any,
+        tag: int,
+        sent_at: float,
+        uid: int,
+        policy: "DeliveryPolicy",
+        first_arrival: Event,
+        done: Event,
+    ) -> t.Generator[Event, t.Any, None]:
+        """Timeout/retransmit loop backing one reliable send.
+
+        Each round waits ``policy.timeout`` for *any* outstanding
+        attempt to land (late originals count); on expiry the payload
+        is re-injected through the sender NIC after a bounded
+        exponential backoff.  Exhaustion fails ``done``.
+        """
+        vm = self.vm
+        engine = vm.engine
+        arrivals = [first_arrival]
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                backoff = policy.backoff_for(attempt - 1)
+                if backoff > 0:
+                    yield engine.timeout(backoff)
+                inject = size * network.effective_gap(self.host.spec.nic_gap) * multiplier
+                if vm.injector is not None:
+                    inject = vm.injector.transfer_time(network.name, engine.now, inject)
+                start = engine.now
+                yield from self.host.nic_out.occupy(inject)
+                vm.trace.emit(
+                    engine.now, "inject", self.name, engine.now - start,
+                    nbytes=size, dst=target.tid, network=network.name, retry=attempt,
+                )
+                arrival = engine.event(name=f"{self.name}->{target.name}#{attempt}")
+                engine.process(
+                    self._delivery(target, network, multiplier, size, payload, tag,
+                                   sent_at, uid=uid, arrival=arrival, attempt=attempt),
+                    name=f"deliver:{self.name}->{target.name}#{attempt}",
+                )
+                arrivals.append(arrival)
+            timer = engine.timeout(policy.timeout)
+            yield AnyOf(engine, (*arrivals, timer), name=f"{self.name}.sendwait")
+            delivered = next((a for a in arrivals if a.triggered and a.ok), None)
+            if delivered is not None:
+                done.succeed(delivered.value)
+                return
+            vm.trace.emit(
+                engine.now, "timeout", self.name, 0.0,
+                dst=target.tid, nbytes=size, attempt=attempt,
+            )
+        done.fail(TimeoutError(
+            f"send {self.name} -> {target.name} undelivered after "
+            f"{policy.max_attempts} attempt(s) of {policy.timeout:g}s each",
+            src=self.tid, dst=target.tid, attempts=policy.max_attempts,
+        ))
 
     def recv(
         self,

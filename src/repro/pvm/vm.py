@@ -13,6 +13,7 @@ import typing as t
 from repro.cluster.network import NetworkSpec
 from repro.cluster.topology import ClusterTopology
 from repro.errors import PvmError, TaskNotFound
+from repro.pvm.delivery import DeliveryPolicy
 from repro.pvm.task import Task
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
@@ -57,6 +58,13 @@ class VirtualMachine:
         Optionally share an existing simulation engine.
     trace:
         Enable structured tracing of pack/inject/drain/unpack/compute.
+    injector:
+        Optional fresh :class:`~repro.faults.Injector`; attaches its
+        fault plan (time-varying rates, message drops/delays,
+        background load) to this machine.
+    delivery:
+        Default :class:`~repro.pvm.DeliveryPolicy` for every send
+        (``None`` = the classic fire-and-forget fast path).
     """
 
     def __init__(
@@ -66,6 +74,8 @@ class VirtualMachine:
         engine: Engine | None = None,
         trace: bool = False,
         serialize_nic: bool = True,
+        injector: "t.Any | None" = None,
+        delivery: "DeliveryPolicy | None" = None,
     ) -> None:
         self.topology = topology
         self.engine = engine if engine is not None else Engine()
@@ -76,6 +86,13 @@ class VirtualMachine:
         self.hosts = [Host(self, mid) for mid in range(topology.num_machines)]
         self._tasks: dict[int, Task] = {}
         self._next_tid = 1  # PVM tids start above 0
+        self.delivery = delivery
+        self.injector = injector
+        self._next_uid = 0
+        #: Retry monitors spawned by reliable sends; killed at run end.
+        self._fault_processes: list[t.Any] = []
+        if injector is not None:
+            injector.attach(self)
 
     # -- tasks -------------------------------------------------------------------
     def spawn(
@@ -130,13 +147,31 @@ class VirtualMachine:
         return self.topology.route(src.machine_id, dst.machine_id)
 
     # -- execution --------------------------------------------------------------------
+    def take_uid(self) -> int:
+        """Next unique message id (for receiver-side duplicate suppression)."""
+        self._next_uid += 1
+        return self._next_uid
+
     def run(self, until: float | None = None) -> float:
         """Run the simulation; returns the final virtual time.
 
         Raises :class:`~repro.errors.DeadlockError` if tasks block
         forever (e.g. a receive nobody answers).
+
+        With an injector or a delivery policy active, the clock stops
+        when every task has finished instead of when the queue drains —
+        background-load hogs and armed retry timers must not inflate
+        the measured makespan — and leftover fault processes are killed.
         """
-        return self.engine.run(until=until)
+        if self.injector is None and self.delivery is None:
+            return self.engine.run(until=until)
+        targets = [t.process for t in self._tasks.values() if t.process is not None]
+        time = self.engine.run_until(targets, until=until)
+        for process in self._fault_processes:
+            process.kill()
+        if self.injector is not None:
+            self.injector.shutdown()
+        return time
 
     def results(self) -> dict[int, t.Any]:
         """Return values of all finished tasks, keyed by tid."""

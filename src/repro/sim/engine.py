@@ -106,6 +106,54 @@ class Engine:
             )
         return self.now
 
+    def run_until(
+        self,
+        events: t.Sequence[Event],
+        *,
+        until: float | None = None,
+        check_deadlock: bool = True,
+    ) -> float:
+        """Run until every event in ``events`` has triggered.
+
+        Unlike :meth:`run`, the queue is allowed to hold untriggered
+        work when this returns — the fault-injection layer uses it to
+        stop the clock at program completion instead of waiting out
+        background-load processes and retry timers.  If the queue
+        drains first with the targets untriggered, the usual deadlock
+        check applies.
+        """
+        targets = tuple(events)
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until!r} is in the past (now={self.now!r})")
+        # Count completions via callbacks so the loop stays O(1) per
+        # step (scanning all targets each step would tax large runs).
+        pending = sum(1 for event in targets if not event.triggered)
+
+        def _one_done(_event: Event) -> None:
+            nonlocal pending
+            pending -= 1
+
+        for event in targets:
+            if not event.triggered:
+                event.add_callback(_one_done)
+        while self._queue:
+            if pending == 0 and all(event.triggered for event in targets):
+                return self.now
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            self.step()
+        if all(event.triggered for event in targets):
+            return self.now
+        if check_deadlock and self._live_processes:
+            blocked = tuple(sorted(repr(p) for p in self._live_processes))
+            raise DeadlockError(
+                f"simulation deadlocked: {len(blocked)} process(es) still blocked",
+                blocked=blocked,
+            )
+        return self.now
+
     @property
     def events_processed(self) -> int:
         """Total number of events processed so far (a progress metric)."""

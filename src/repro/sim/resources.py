@@ -45,6 +45,12 @@ class Resource:
         #: Cumulative busy time integral (for utilisation statistics).
         self._busy_time = 0.0
         self._last_change = 0.0
+        #: Optional hold-time transform ``(start, nominal) -> actual``
+        #: applied by :meth:`occupy` at grant time.  The fault-injection
+        #: layer installs piecewise slowdown timelines here so that CPU
+        #: and NIC charges become time-varying; ``None`` (the default)
+        #: keeps holds at their nominal duration.
+        self.time_scale: t.Callable[[float, float], float] | None = None
 
     # -- accounting ----------------------------------------------------------
     def _note_change(self) -> None:
@@ -93,9 +99,15 @@ class Resource:
             self._in_use -= 1
 
     def occupy(self, duration: float) -> t.Generator[Event, t.Any, None]:
-        """Generator helper: hold one unit for ``duration`` virtual time."""
+        """Generator helper: hold one unit for ``duration`` virtual time.
+
+        With a :attr:`time_scale` installed the hold is stretched by the
+        transform, evaluated at the moment the unit is granted.
+        """
         yield self.request()
         try:
+            if self.time_scale is not None:
+                duration = self.time_scale(self.engine.now, duration)
             yield self.engine.timeout(duration)
         finally:
             self.release()

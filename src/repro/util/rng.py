@@ -66,6 +66,20 @@ class RngStream:
             return 1.0
         return float(self.generator.lognormal(mean=0.0, sigma=float(sigma)))
 
+    def uniform(self) -> float:
+        """One uniform draw in [0, 1) — used for per-message fault coins."""
+        return float(self.generator.random())
+
+    def exponential(self, mean: float) -> float:
+        """One exponential draw with the given mean (0 if ``mean <= 0``).
+
+        Models memoryless burst/idle phases of non-dedicated-cluster
+        background load.
+        """
+        if mean <= 0:
+            return 0.0
+        return float(self.generator.exponential(float(mean)))
+
     def shuffled(self, items: list) -> list:
         """Return a new list with ``items`` in shuffled order."""
         out = list(items)

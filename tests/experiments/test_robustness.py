@@ -1,0 +1,48 @@
+"""Tests for the robustness (fault-injection) experiment."""
+
+import math
+
+from repro.experiments.robustness import robustness_plans, robustness_report
+
+
+class TestPlans:
+    def test_scenario_table(self):
+        from repro.cluster import ucf_testbed
+
+        plans = robustness_plans(ucf_testbed(4))
+        assert set(plans) == {"baseline", "straggler", "congestion", "flaky"}
+        assert plans["baseline"][0].is_empty
+        assert plans["flaky"][1] is not None  # flaky pairs with a retry policy
+
+
+class TestReport:
+    def test_small_sweep_finite_and_deterministic(self):
+        reports = [
+            robustness_report(processor_counts=(2, 4), size_kb=25, seed=1)
+            for _ in range(2)
+        ]
+        report = reports[0]
+        assert report.experiment_id == "robustness"
+        # 4 metric blocks x 4 scenarios
+        assert len(report.series) == 16
+        for label, points in report.series.items():
+            for p, factor in points.items():
+                assert math.isfinite(factor) and factor > 0, (label, p)
+        assert reports[0].series == reports[1].series
+
+    def test_baseline_matches_fault_free_figures(self):
+        from repro.cluster import ucf_testbed
+        from repro.collectives import RootPolicy, WorkloadPolicy, run_gather
+        from repro.experiments.improvement import improvement_factor
+        from repro.util.units import BYTES_PER_INT, kb
+
+        report = robustness_report(processor_counts=(4,), size_kb=25, seed=1)
+        n = kb(25) // BYTES_PER_INT
+        topology = ucf_testbed(4)
+        t_s = run_gather(topology, n, root=RootPolicy.SLOWEST,
+                         workload=WorkloadPolicy.EQUAL, seed=1).time
+        t_f = run_gather(topology, n, root=RootPolicy.FASTEST,
+                         workload=WorkloadPolicy.EQUAL, seed=1).time
+        assert report.series["gather Ts/Tf [baseline]"][4] == (
+            improvement_factor(t_s, t_f)
+        )

@@ -21,6 +21,7 @@ class TestRegistry:
             "scaling",
             "bsp-vs-hbsp",
             "sensitivity",
+            "robustness",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -31,6 +32,15 @@ class TestRegistry:
     def test_run_experiment_returns_report(self):
         report = run_experiment("table1")
         assert report.experiment_id == "table1"
+
+    def test_seed_rejected_for_seedless_experiments(self):
+        with pytest.raises(ExperimentError, match="does not accept a seed"):
+            run_experiment("table1", seed=1)
+
+    def test_robustness_accepts_a_seed(self):
+        import inspect
+
+        assert "seed" in inspect.signature(EXPERIMENTS["robustness"]).parameters
 
 
 class TestCli:

@@ -1,0 +1,127 @@
+"""Integration tests: injected faults change simulated runs, deterministically."""
+
+import pytest
+
+from repro.cluster import ucf_testbed
+from repro.collectives import run_broadcast, run_gather
+from repro.errors import FaultError
+from repro.faults import (
+    BackgroundLoad,
+    FaultPlan,
+    Injector,
+    MachinePause,
+    congestion_plan,
+    straggler_plan,
+)
+
+N = 2560  # 10 KB of int32 items: fast but non-trivial
+
+
+@pytest.fixture
+def topology():
+    return ucf_testbed(4)
+
+
+def root_machine(topology):
+    """The fastest machine hosts the default root and stays busy all run."""
+    return topology.machines[0].name
+
+
+class TestAttachment:
+    def test_injector_is_single_use(self, topology):
+        injector = Injector(straggler_plan(root_machine(topology)), seed=0)
+        run_gather(topology, N)  # unrelated run, fresh runtime
+        from repro.hbsplib import HbspRuntime
+
+        HbspRuntime(topology, injector=injector)
+        with pytest.raises(FaultError, match="already attached"):
+            HbspRuntime(topology, injector=injector)
+
+    def test_plan_validated_at_attach(self, topology):
+        with pytest.raises(FaultError):
+            run_gather(topology, N, faults=straggler_plan("no-such-machine"))
+
+    def test_fault_marks_traced(self, topology):
+        outcome = run_gather(
+            topology, N, trace=True,
+            faults=straggler_plan(root_machine(topology), factor=2.0),
+        )
+        marks = [r for r in outcome.result.trace.records if r.category == "fault"]
+        assert len(marks) == 1
+        assert marks[0].detail["kind"] == "machine_slowdown"
+
+
+class TestEffects:
+    def test_straggler_slows_the_run(self, topology):
+        base = run_gather(topology, N, seed=1).time
+        slow = run_gather(
+            topology, N, seed=1,
+            faults=straggler_plan(root_machine(topology), factor=4.0),
+        ).time
+        assert slow > base
+
+    def test_congestion_slows_the_run(self, topology):
+        network = topology.clusters[0].network.name
+        base = run_broadcast(topology, N, seed=1).time
+        slow = run_broadcast(
+            topology, N, seed=1,
+            faults=congestion_plan(network, gap_factor=3.0, extra_latency=2e-3),
+        ).time
+        assert slow > base
+
+    def test_pause_stalls_the_run(self, topology):
+        base = run_gather(topology, N, seed=1).time
+        paused = run_gather(
+            topology, N, seed=1,
+            faults=FaultPlan(MachinePause(root_machine(topology),
+                                          start=base / 2, duration=base)),
+        ).time
+        # The root freezes mid-run for one whole baseline-makespan.
+        assert paused > base
+
+    def test_background_load_steals_cpu(self, topology):
+        base = run_gather(topology, N, seed=1).time
+        loaded = run_gather(
+            topology, N, seed=1,
+            faults=FaultPlan(BackgroundLoad(root_machine(topology), intensity=0.8,
+                                            start=0.0, duration=10 * base,
+                                            burst_mean=base / 5)),
+        ).time
+        assert loaded > base
+
+    def test_hogs_do_not_inflate_makespan(self, topology):
+        # The background window extends far beyond the program; the
+        # makespan must stop with the tasks, not with the hog.
+        base = run_gather(topology, N, seed=1).time
+        loaded = run_gather(
+            topology, N, seed=1,
+            faults=FaultPlan(BackgroundLoad(root_machine(topology), intensity=0.5,
+                                            start=0.0, duration=1000 * base,
+                                            burst_mean=base / 5)),
+        ).time
+        assert loaded < 100 * base
+
+
+class TestDeterminism:
+    def test_same_seed_same_makespan(self, topology):
+        plan = FaultPlan(BackgroundLoad(root_machine(topology), intensity=0.6,
+                                        start=0.0, duration=1.0, burst_mean=1e-4))
+        times = {
+            run_gather(topology, N, seed=1, faults=plan, fault_seed=7).time
+            for _ in range(3)
+        }
+        assert len(times) == 1
+
+    def test_different_fault_seed_differs(self, topology):
+        plan = FaultPlan(BackgroundLoad(root_machine(topology), intensity=0.6,
+                                        start=0.0, duration=1.0, burst_mean=1e-4))
+        a = run_gather(topology, N, seed=1, faults=plan, fault_seed=1).time
+        b = run_gather(topology, N, seed=1, faults=plan, fault_seed=2).time
+        assert a != b
+
+    def test_fault_seed_defaults_to_seed(self, topology):
+        plan = FaultPlan(BackgroundLoad(root_machine(topology), intensity=0.6,
+                                        start=0.0, duration=1.0, burst_mean=1e-4))
+        a = run_gather(topology, N, seed=5, faults=plan).time
+        b = run_gather(topology, N, seed=5, faults=plan, fault_seed=5).time
+        assert a == b

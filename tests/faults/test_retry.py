@@ -1,0 +1,158 @@
+"""Delivery-guarantee tests: timeouts, retries, and at-most-once drops."""
+
+import pytest
+
+from repro.cluster import ucf_testbed
+from repro.errors import TimeoutError, ValidationError
+from repro.faults import DeliveryPolicy, FaultPlan, Injector, MessageFaults
+from repro.pvm import Message, VirtualMachine
+
+
+def make_vm(plan=None, *, seed=0, delivery=None):
+    injector = Injector(plan, seed=seed) if plan is not None else None
+    return VirtualMachine(ucf_testbed(2), injector=injector, delivery=delivery)
+
+
+def sender(task, dst, policy=None):
+    done = yield from task.send(dst, b"x" * 100, policy=policy)
+    try:
+        message = yield done
+    except TimeoutError as error:
+        return ("timeout", error.attempts)
+    return ("delivered", message)
+
+
+def receiver(task):
+    message = yield from task.recv()
+    return message
+
+
+def quiet_receiver(task):
+    # A receiver that doesn't insist on a message (at-most-once tests).
+    yield task.sleep(0.0)
+
+
+class TestDeliveryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DeliveryPolicy(retries=2)  # retries need a timeout
+        with pytest.raises(ValidationError):
+            DeliveryPolicy(timeout=0.0)
+        with pytest.raises(ValidationError):
+            DeliveryPolicy(timeout=1.0, retries=-1)
+        with pytest.raises(ValidationError):
+            DeliveryPolicy(timeout=1.0, retries=1, backoff_factor=0.5)
+
+    def test_at_most_once_is_unarmed(self):
+        policy = DeliveryPolicy.at_most_once()
+        assert not policy.armed
+        assert policy.max_attempts == 1
+
+    def test_retry_policy(self):
+        policy = DeliveryPolicy.retry(3, timeout=0.5)
+        assert policy.armed
+        assert policy.max_attempts == 4
+        # backoff defaults to the timeout, doubling per retry
+        assert policy.backoff_for(0) == pytest.approx(0.5)
+        assert policy.backoff_for(2) == pytest.approx(2.0)
+
+    def test_explicit_backoff_base(self):
+        policy = DeliveryPolicy.retry(2, timeout=1.0, backoff_base=0.1,
+                                      backoff_factor=3.0)
+        assert policy.backoff_for(0) == pytest.approx(0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.3)
+
+
+class TestFaultFreeDelivery:
+    def test_plain_send_recv(self):
+        vm = make_vm()
+        rx = vm.spawn(receiver, 1)
+        vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        message = rx.process.value
+        assert isinstance(message, Message) and message.nbytes == 100
+
+    def test_armed_policy_without_faults_still_delivers(self):
+        vm = make_vm(delivery=DeliveryPolicy.retry(2, timeout=10.0))
+        rx = vm.spawn(receiver, 1)
+        tx = vm.spawn(sender, 0, rx.tid)
+        time = vm.run()
+        status, message = tx.process.value
+        assert status == "delivered"
+        assert message.uid is not None
+        # The generous un-expired timer must not stretch the makespan.
+        assert time < 1.0
+
+
+class TestAtMostOnce:
+    def test_drop_resolves_event_with_none(self):
+        vm = make_vm(FaultPlan(MessageFaults(drop_prob=1.0)))
+        rx = vm.spawn(quiet_receiver, 1)
+        tx = vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        status, message = tx.process.value
+        assert status == "delivered" and message is None
+        assert vm.injector.dropped_messages == 1
+
+
+class TestRetry:
+    def test_retry_survives_certain_drop_window(self):
+        # Every message in the first 10 ms is dropped; the retransmit
+        # after the timeout lands.
+        plan = FaultPlan(MessageFaults(drop_prob=1.0, duration=0.010))
+        policy = DeliveryPolicy.retry(3, timeout=0.012)
+        vm = make_vm(plan, delivery=policy)
+        rx = vm.spawn(receiver, 1)
+        tx = vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        status, message = tx.process.value
+        assert status == "delivered"
+        assert rx.process.value.payload == message.payload
+        assert vm.injector.dropped_messages >= 1
+
+    def test_exhausted_retries_raise_timeout_error(self):
+        plan = FaultPlan(MessageFaults(drop_prob=1.0))
+        policy = DeliveryPolicy.retry(2, timeout=0.01)
+        vm = make_vm(plan, delivery=policy)
+        rx = vm.spawn(quiet_receiver, 1)
+        tx = vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        status, attempts = tx.process.value
+        assert status == "timeout" and attempts == 3
+        assert vm.injector.dropped_messages == 3
+
+    def test_late_original_beats_retransmit(self):
+        # The original is merely delayed past the timeout; the monitor
+        # must notice its late arrival instead of timing out.
+        plan = FaultPlan(MessageFaults(delay_prob=1.0, delay_mean=0.05))
+        policy = DeliveryPolicy.retry(5, timeout=0.002)
+        vm = make_vm(plan, seed=3, delivery=policy)
+        rx = vm.spawn(receiver, 1)
+        tx = vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        status, _message = tx.process.value
+        assert status == "delivered"
+
+    def test_duplicates_suppressed_at_receiver(self):
+        # Heavy delays force retransmits; several attempts may land but
+        # the receiver must consume exactly one copy.
+        plan = FaultPlan(MessageFaults(delay_prob=1.0, delay_mean=0.05))
+        policy = DeliveryPolicy.retry(5, timeout=0.002)
+        vm = make_vm(plan, seed=3, delivery=policy)
+        rx = vm.spawn(receiver, 1)
+        vm.spawn(sender, 0, rx.tid)
+        vm.run()
+        assert rx.received_messages == 1
+        assert len(rx.mailbox.peek_all()) == 0
+
+    def test_retry_determinism(self):
+        plan = FaultPlan(MessageFaults(drop_prob=0.5, delay_prob=0.5,
+                                       delay_mean=0.01))
+        policy = DeliveryPolicy.retry(4, timeout=0.005)
+        times = set()
+        for _ in range(2):
+            vm = make_vm(plan, seed=11, delivery=policy)
+            rx = vm.spawn(receiver, 1)
+            vm.spawn(sender, 0, rx.tid)
+            times.add(vm.run())
+        assert len(times) == 1

@@ -1,0 +1,101 @@
+"""Unit tests for piecewise-constant slowdown timelines."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FaultPlanError
+from repro.faults import Timeline, Window
+
+
+class TestWindow:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            Window(-1.0, 2.0, 2.0)
+        with pytest.raises(FaultPlanError):
+            Window(2.0, 2.0, 2.0)  # end must be > start
+        with pytest.raises(FaultPlanError):
+            Window(0.0, 1.0, 0.0)  # factor must be > 0
+        with pytest.raises(FaultPlanError):
+            Window(0.0, math.inf, math.inf)  # endless pause
+
+    def test_active_at_half_open(self):
+        window = Window(1.0, 2.0, 3.0)
+        assert not window.active_at(0.5)
+        assert window.active_at(1.0)
+        assert window.active_at(1.999)
+        assert not window.active_at(2.0)
+
+    def test_permanent_window_allowed(self):
+        assert Window(0.0, math.inf, 2.0).active_at(1e9)
+
+
+class TestStretch:
+    def test_empty_timeline_is_bit_identity(self):
+        timeline = Timeline()
+        for nominal in (0.0, 1e-9, 0.1234567891234, 7.25):
+            assert timeline.stretch(3.0, nominal) == nominal
+
+    def test_outside_windows_unchanged(self):
+        timeline = Timeline([Window(10.0, 20.0, 4.0)])
+        assert timeline.stretch(0.0, 5.0) == 5.0
+        assert timeline.stretch(20.0, 5.0) == 5.0
+
+    def test_fully_inside_window(self):
+        timeline = Timeline([Window(0.0, 100.0, 4.0)])
+        assert timeline.stretch(1.0, 2.0) == pytest.approx(8.0)
+
+    def test_crossing_into_window(self):
+        # 1s of work at t=9: 1s nominal splits into 1s plain + none,
+        # but only 1s fits before t=10... actually 1s of the work runs
+        # [9, 10) at factor 1 leaving 0 -> exactly 1.0.
+        timeline = Timeline([Window(10.0, 20.0, 2.0)])
+        assert timeline.stretch(9.0, 1.0) == pytest.approx(1.0)
+        # 2s of work at t=9: 1s plain, then 1s remaining at factor 2.
+        assert timeline.stretch(9.0, 2.0) == pytest.approx(3.0)
+
+    def test_crossing_out_of_window(self):
+        timeline = Timeline([Window(0.0, 10.0, 2.0)])
+        # 6s of work at t=0: [0, 10) covers 5s of progress, the last
+        # second finishes at full speed after the window.
+        assert timeline.stretch(0.0, 6.0) == pytest.approx(11.0)
+
+    def test_pause_window(self):
+        timeline = Timeline([Window(5.0, 8.0, math.inf)])
+        # Work starting inside the pause waits for the restart.
+        assert timeline.stretch(6.0, 1.0) == pytest.approx(3.0)
+        # Work crossing into the pause stalls for its full length.
+        assert timeline.stretch(4.0, 2.0) == pytest.approx(5.0)
+
+    def test_overlapping_windows_multiply(self):
+        timeline = Timeline([Window(0.0, 10.0, 2.0), Window(0.0, 10.0, 3.0)])
+        assert timeline.factor_at(1.0) == pytest.approx(6.0)
+        assert timeline.stretch(0.0, 1.0) == pytest.approx(6.0)
+
+    def test_permanent_degradation(self):
+        timeline = Timeline([Window(2.0, math.inf, 3.0)])
+        assert timeline.stretch(5.0, 4.0) == pytest.approx(12.0)
+
+    @given(
+        start=st.floats(min_value=0, max_value=50),
+        nominal=st.floats(min_value=0, max_value=10),
+        w_start=st.floats(min_value=0, max_value=50),
+        w_len=st.floats(min_value=0.1, max_value=50),
+        factor=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_slowdowns_never_speed_up(self, start, nominal, w_start, w_len, factor):
+        timeline = Timeline([Window(w_start, w_start + w_len, factor)])
+        actual = timeline.stretch(start, nominal)
+        assert actual >= nominal - 1e-12
+
+    @given(
+        start=st.floats(min_value=0, max_value=20),
+        a=st.floats(min_value=0, max_value=5),
+        b=st.floats(min_value=0, max_value=5),
+    )
+    def test_monotone_in_nominal(self, start, a, b):
+        timeline = Timeline([Window(1.0, 4.0, 3.0), Window(2.0, 6.0, 2.0)])
+        lo, hi = sorted((a, b))
+        assert timeline.stretch(start, lo) <= timeline.stretch(start, hi) + 1e-12

@@ -15,6 +15,7 @@ import repro.bytemark
 import repro.cluster
 import repro.collectives
 import repro.experiments
+import repro.faults
 import repro.hbsplib
 import repro.model
 import repro.pvm
@@ -28,6 +29,7 @@ PACKAGES = [
     repro.cluster,
     repro.collectives,
     repro.experiments,
+    repro.faults,
     repro.hbsplib,
     repro.model,
     repro.pvm,
@@ -53,6 +55,13 @@ class TestExports:
             "HbspRuntime",
             "calibrate",
             "HBSPTree",
+            "FaultPlan",
+            "Injector",
+            "DeliveryPolicy",
+            "FaultError",
+            "TimeoutError",
+            "Trace",
+            "TraceRecord",
         ):
             assert name in repro.__all__
 
