@@ -1,0 +1,308 @@
+"""Standalone benchmark harness: ``python benchmarks/bench_runner.py``.
+
+Emits two machine-readable artifacts next to this file's repo root:
+
+``BENCH_substrate.json``
+    Microbenchmarks of the simulation substrate (event churn, resource
+    contention, mailbox churn, one full collective) — the single-core
+    hot paths the ``repro.perf`` work optimised.
+
+``BENCH_sweep.json``
+    Wall-clock of the full experiment sweep (``python -m
+    repro.experiments all``), serial and parallel, against the recorded
+    pre-optimisation seed baseline.
+
+Modes:
+
+``--quick``
+    CI-sized run: fewer iterations and a reduced experiment subset;
+    results land under a ``"quick"`` key so they are never compared
+    against full-run numbers.
+``--check``
+    Compare against the committed artifacts and exit non-zero on a
+    >25% wall-clock regression (the CI gate).
+
+Timings use the median of ``--runs`` subprocess invocations; the
+committed artifacts also record the host CPU count, because parallel
+speedups are meaningless without it (a 1-CPU container *loses* time
+at ``--jobs 4`` to pool overhead, and the JSON says so).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Wall-clock of ``python -m repro.experiments all`` at the seed commit
+#: (pre-``repro.perf``), median of 3 on the reference 1-CPU container.
+SEED_BASELINE_SECONDS = 5.918
+
+#: Reduced experiment subset for ``--quick`` (CI smoke).
+QUICK_EXPERIMENTS = ["fig3a", "fig4a", "model-vs-sim"]
+
+#: Regression gate: fail ``--check`` beyond this slowdown factor.
+REGRESSION_LIMIT = 1.25
+
+
+# -- substrate microbenchmarks -------------------------------------------------
+def _bench_timeout_churn(n: int) -> dict:
+    from repro.sim.engine import Engine
+
+    def chain(engine, count):
+        for _ in range(count):
+            yield engine.timeout(0.001)
+
+    engine = Engine()
+    engine.process(chain(engine, n))
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "engine_timeout_churn",
+        "what": f"one process yielding {n} back-to-back timeouts",
+        "events": engine.events_processed,
+        "seconds": elapsed,
+        "events_per_second": engine.events_processed / elapsed,
+    }
+
+
+def _bench_resource_contention(processes: int, rounds: int) -> dict:
+    from repro.sim.engine import Engine
+    from repro.sim.resources import Resource
+
+    def worker(resource, count):
+        for _ in range(count):
+            yield from resource.occupy(0.01)
+
+    engine = Engine()
+    cpu = Resource(engine, capacity=1, name="cpu")
+    for _ in range(processes):
+        engine.process(worker(cpu, rounds))
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "resource_contention",
+        "what": f"{processes} processes x {rounds} holds of one capacity-1 resource",
+        "events": engine.events_processed,
+        "seconds": elapsed,
+        "events_per_second": engine.events_processed / elapsed,
+    }
+
+
+def _bench_store_churn(pairs: int, messages: int) -> dict:
+    from repro.sim.engine import Engine
+    from repro.sim.resources import Store
+
+    def producer(engine, store, count):
+        for i in range(count):
+            yield engine.timeout(0.001)
+            store.put(i)
+
+    def consumer(store, count):
+        for _ in range(count):
+            yield store.get()
+
+    engine = Engine()
+    for _ in range(pairs):
+        store = Store(engine)
+        engine.process(producer(engine, store, messages))
+        engine.process(consumer(store, messages))
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "store_churn",
+        "what": f"{pairs} producer/consumer pairs x {messages} messages",
+        "events": engine.events_processed,
+        "seconds": elapsed,
+        "events_per_second": engine.events_processed / elapsed,
+    }
+
+
+def _bench_gather_collective(n: int) -> dict:
+    from repro.cluster.presets import ucf_testbed
+    from repro.collectives import RootPolicy, run_gather
+
+    topology = ucf_testbed(10)
+    start = time.perf_counter()
+    outcome = run_gather(topology, n, root=RootPolicy.FASTEST, seed=0)
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "gather_collective",
+        "what": f"run_gather(testbed(10), n={n}, fastest root)",
+        "simulated_time": outcome.time,
+        "seconds": elapsed,
+    }
+
+
+def run_substrate(quick: bool, repeats: int) -> list[dict]:
+    scale = 1 if quick else 4
+    benches = [
+        lambda: _bench_timeout_churn(10_000 * scale),
+        lambda: _bench_resource_contention(20, 100 * scale),
+        lambda: _bench_store_churn(10, 200 * scale),
+        lambda: _bench_gather_collective(25_600 * scale),
+    ]
+    results = []
+    for bench in benches:
+        rounds = [bench() for _ in range(repeats)]
+        best = min(rounds, key=lambda r: r["seconds"])
+        best["repeats"] = repeats
+        results.append(best)
+        print(f"  {best['name']:22s} {best['seconds']*1e3:8.1f} ms"
+              + (f"  ({best['events_per_second']:,.0f} events/s)"
+                 if "events_per_second" in best else ""))
+    return results
+
+
+# -- sweep wall-clock ----------------------------------------------------------
+def _time_sweep(experiments: list[str], jobs: int, runs: int) -> list[float]:
+    command = [sys.executable, "-m", "repro.experiments", *experiments]
+    if jobs != 1:
+        command += ["--jobs", str(jobs)]
+    timings = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = subprocess.run(
+            command, capture_output=True, text=True,
+            env=dict(os.environ, PYTHONPATH=str(SRC)),
+        )
+        elapsed = time.perf_counter() - start
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"sweep failed (rc={result.returncode}):\n{result.stderr[-2000:]}"
+            )
+        timings.append(elapsed)
+    return timings
+
+
+def run_sweep(quick: bool, runs: int, parallel_jobs: int) -> dict:
+    experiments = QUICK_EXPERIMENTS if quick else ["all"]
+    label = " ".join(experiments)
+    print(f"  timing: python -m repro.experiments {label}  (x{runs})")
+    serial = _time_sweep(experiments, 1, runs)
+    print(f"    serial: {', '.join(f'{s:.3f}s' for s in serial)}")
+    parallel = _time_sweep(experiments, parallel_jobs, runs)
+    print(f"    --jobs {parallel_jobs}: "
+          f"{', '.join(f'{s:.3f}s' for s in parallel)}")
+    entry = {
+        "experiments": label,
+        "runs": runs,
+        "serial_seconds": round(statistics.median(serial), 3),
+        "serial_all_runs": [round(s, 3) for s in serial],
+        "parallel_jobs": parallel_jobs,
+        "parallel_seconds": round(statistics.median(parallel), 3),
+    }
+    if not quick:
+        entry["seed_baseline_seconds"] = SEED_BASELINE_SECONDS
+        entry["speedup_vs_seed"] = round(
+            SEED_BASELINE_SECONDS / entry["serial_seconds"], 2
+        )
+    return entry
+
+
+# -- artifacts -----------------------------------------------------------------
+def _machine_info() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
+
+
+def check_regression(artifact: Path, current: float, key: str, scope: str) -> bool:
+    """True if ``current`` regresses >25% against the committed number."""
+    if not artifact.exists():
+        print(f"  no committed {artifact.name}; skipping the gate")
+        return False
+    committed = json.loads(artifact.read_text())
+    baseline = committed.get(scope, {}).get(key)
+    if not baseline:
+        print(f"  committed {artifact.name} has no {scope}.{key}; "
+              "skipping the gate")
+        return False
+    ratio = current / baseline
+    verdict = "REGRESSION" if ratio > REGRESSION_LIMIT else "ok"
+    print(f"  {key}: {current:.3f}s vs committed {baseline:.3f}s "
+          f"({ratio:.2f}x) -> {verdict}")
+    return ratio > REGRESSION_LIMIT
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (reduced subset, fewer repeats)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25% regression vs the committed JSON")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="sweep timing repetitions (median is reported)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel sweep timing")
+    parser.add_argument("--output-dir", type=Path, default=REPO_ROOT,
+                        help="where to write the BENCH_*.json artifacts")
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(SRC))
+    repeats = 1 if args.quick else 3
+    runs = 1 if args.quick else args.runs
+
+    print("substrate microbenchmarks:")
+    substrate = run_substrate(args.quick, repeats)
+    print("experiment sweep:")
+    sweep_entry = run_sweep(args.quick, runs, args.jobs)
+
+    scope = "quick" if args.quick else "full"
+    machine = _machine_info()
+    substrate_doc = {
+        "benchmark": "repro.sim substrate microbenchmarks",
+        "machine": machine,
+        scope: {bench.pop("name"): bench for bench in substrate},
+    }
+    sweep_doc = {
+        "benchmark": "python -m repro.experiments wall-clock",
+        "machine": machine,
+        "note": (
+            "parallel timings on a 1-CPU host are expected to be slower "
+            "than serial (pool overhead with no cores to fan over); the "
+            "headline speedup is serial vs the recorded seed baseline"
+        ),
+        scope: sweep_entry,
+    }
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    substrate_path = args.output_dir / "BENCH_substrate.json"
+    sweep_path = args.output_dir / "BENCH_sweep.json"
+    regressed = False
+    if args.check:
+        print("regression gate (limit "
+              f"{(REGRESSION_LIMIT - 1) * 100:.0f}%):")
+        regressed = check_regression(
+            sweep_path, sweep_entry["serial_seconds"], "serial_seconds", scope
+        )
+    else:
+        # Preserve the other scope ("full" vs "quick") when present so a
+        # --quick run never clobbers the committed full-run numbers.
+        for path, doc in ((substrate_path, substrate_doc),
+                          (sweep_path, sweep_doc)):
+            if path.exists():
+                previous = json.loads(path.read_text())
+                for key in ("full", "quick"):
+                    if key in previous and key not in doc:
+                        doc[key] = previous[key]
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {path}")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ Layered architecture (bottom-up):
 * :mod:`repro.hbsplib` — the BSPlib-style programming library;
 * :mod:`repro.collectives` — gather, broadcast, and the extended toolkit;
 * :mod:`repro.faults` — deterministic fault injection and background load;
+* :mod:`repro.perf` — parallel sweep execution with deterministic merge;
 * :mod:`repro.experiments` — the harness regenerating every figure/table.
 
 Quickstart::
@@ -61,6 +62,7 @@ from repro.collectives import (
 )
 from repro.hbsplib import HbspContext, HbspResult, HbspRuntime
 from repro.model import HBSPParams, HBSPTree, CostLedger, calibrate
+from repro.perf import SimJob, SimResult, SweepExecutor, evaluate, sweep
 
 __version__ = "1.0.0"
 
@@ -92,6 +94,11 @@ __all__ = [
     "HBSPTree",
     "CostLedger",
     "calibrate",
+    "SimJob",
+    "SimResult",
+    "SweepExecutor",
+    "evaluate",
+    "sweep",
     "FaultPlan",
     "Injector",
     "DeliveryPolicy",

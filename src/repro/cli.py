@@ -205,10 +205,18 @@ def _cmd_run(
     return 0
 
 
-def _cmd_experiment(experiment_id: str, plot: bool = False, seed: int | None = None) -> int:
+def _cmd_experiment(
+    experiment_id: str,
+    plot: bool = False,
+    seed: int | None = None,
+    jobs: int = 1,
+) -> int:
     from repro.experiments import run_experiment
+    from repro.perf import sweep
 
-    print(run_experiment(experiment_id, seed=seed).render(plot=plot))
+    with sweep(jobs=jobs):
+        report = run_experiment(experiment_id, seed=seed)
+    print(report.render(plot=plot))
     return 0
 
 
@@ -248,6 +256,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                                    help="render as an ASCII line plot")
     experiment_parser.add_argument("--seed", type=int, default=None,
                                    help="override the experiment seed")
+    experiment_parser.add_argument("--jobs", type=int, default=1,
+                                   help="worker processes for the simulation "
+                                   "sweep (output is bit-identical)")
 
     args = parser.parse_args(argv)
     try:
@@ -267,7 +278,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 send_timeout=args.send_timeout,
             )
         if args.command == "experiment":
-            return _cmd_experiment(args.id, plot=args.plot, seed=args.seed)
+            return _cmd_experiment(
+                args.id, plot=args.plot, seed=args.seed, jobs=args.jobs
+            )
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")
     return 0  # pragma: no cover - argparse guarantees a command

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing as t
 
 import numpy as np
@@ -67,6 +68,7 @@ def make_runtime(
     *,
     scores: t.Mapping[str, float] | None = None,
     trace: bool = False,
+    serialize_nic: bool = True,
     faults: "FaultPlan | None" = None,
     fault_seed: int = 0,
     delivery: t.Any | None = None,
@@ -75,7 +77,9 @@ def make_runtime(
 
     With ``faults`` a fresh :class:`~repro.faults.Injector` is built
     (even for an empty plan, which is guaranteed bit-identical to no
-    plan at all); ``delivery`` sets the default send policy.
+    plan at all); ``delivery`` sets the default send policy;
+    ``serialize_nic=False`` is the ablation that gives NIC ports
+    unlimited parallel channels.
     """
     injector = None
     if faults is not None:
@@ -83,8 +87,15 @@ def make_runtime(
 
         injector = Injector(faults, seed=fault_seed)
     return HbspRuntime(
-        topology, scores=scores, trace=trace, injector=injector, delivery=delivery
+        topology, scores=scores, trace=trace, serialize_nic=serialize_nic,
+        injector=injector, delivery=delivery,
     )
+
+
+@functools.lru_cache(maxsize=512)
+def _items_cached(seed: int, pid: int, count: int) -> np.ndarray:
+    stream = RngStream(seed, "items", pid)
+    return stream.uniform_ints(count, high=2**31 - 1).astype(np.int32)
 
 
 def make_items(seed: int, pid: int, count: int) -> np.ndarray:
@@ -93,9 +104,13 @@ def make_items(seed: int, pid: int, count: int) -> np.ndarray:
     The paper's inputs are uniformly distributed integers; we generate
     them as ``int32`` (4-byte items) from a stream derived from the
     experiment seed and the pid, so inputs don't depend on schedule.
+
+    Generation dominates the profile of large sweeps, and paired runs
+    (``T_s`` vs ``T_f`` on the same grid point) regenerate identical
+    inputs — a small LRU memoises the draw; callers get a private copy
+    so in-place mutation cannot leak between simulations.
     """
-    stream = RngStream(seed, "items", pid)
-    return stream.uniform_ints(count, high=2**31 - 1).astype(np.int32)
+    return _items_cached(int(seed), int(pid), int(count)).copy()
 
 
 def concat_payloads(arrays: t.Iterable[np.ndarray]) -> np.ndarray:

@@ -81,6 +81,7 @@ def run_gather(
     scores: t.Mapping[str, float] | None = None,
     seed: int = 0,
     trace: bool = False,
+    serialize_nic: bool = True,
     faults: "FaultPlan | None" = None,
     fault_seed: int | None = None,
     delivery: t.Any | None = None,
@@ -89,10 +90,12 @@ def run_gather(
 
     Parameters mirror the paper's experimental knobs: ``root`` (fastest
     / slowest / explicit pid) and ``workload`` (equal / balanced /
-    explicit per-pid counts).
+    explicit per-pid counts); ``serialize_nic=False`` is the ablation
+    switch of :mod:`repro.experiments.ablations`.
     """
     runtime = make_runtime(
-        topology, scores=scores, trace=trace, faults=faults,
+        topology, scores=scores, trace=trace, serialize_nic=serialize_nic,
+        faults=faults,
         fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
     )
     root_pid = resolve_root(runtime, root)

@@ -22,10 +22,9 @@ from repro.bytemark.suite import simulate_scores, true_scores
 from repro.cluster.machine import MachineSpec
 from repro.cluster.presets import ucf_testbed
 from repro.cluster.topology import Cluster, ClusterTopology
-from repro.collectives.gather import gather_program
-from repro.collectives.schedules import RootPolicy, WorkloadPolicy, resolve_root, split_counts
+from repro.collectives.schedules import RootPolicy, WorkloadPolicy
 from repro.experiments.improvement import ExperimentReport, improvement_factor
-from repro.hbsplib.runtime import HbspRuntime
+from repro.perf import SimJob, evaluate
 from repro.util.units import BYTES_PER_INT, kb
 
 __all__ = [
@@ -52,7 +51,7 @@ def symmetric_pack_topology(topology: ClusterTopology) -> ClusterTopology:
     return ClusterTopology(t.cast(Cluster, rebuild(topology.root)))
 
 
-def _gather_time(
+def _gather_job(
     topology: ClusterTopology,
     n: int,
     *,
@@ -61,11 +60,11 @@ def _gather_time(
     scores: t.Mapping[str, float] | None = None,
     serialize_nic: bool = True,
     seed: int = 0,
-) -> float:
-    runtime = HbspRuntime(topology, scores=scores, serialize_nic=serialize_nic)
-    root_pid = resolve_root(runtime, root)
-    counts = split_counts(runtime, n, workload)
-    return runtime.run(gather_program, counts, root_pid, seed).time
+) -> SimJob:
+    return SimJob.collective(
+        "gather", topology, n, root=root, workload=workload,
+        scores=scores, serialize_nic=serialize_nic, seed=seed,
+    )
 
 
 def _items(size_kb: int) -> int:
@@ -79,15 +78,20 @@ def ablation_pack_asymmetry(size_kb: int = 500, *, seed: int = 0) -> dict[str, f
     (factor < 1) must disappear when packing is symmetric.
     """
     n = _items(size_kb)
-    out = {}
-    for label, topology in (
+    variants = (
         ("with", ucf_testbed(2)),
         ("without", symmetric_pack_topology(ucf_testbed(2))),
-    ):
-        t_s = _gather_time(topology, n, root=RootPolicy.SLOWEST, seed=seed)
-        t_f = _gather_time(topology, n, root=RootPolicy.FASTEST, seed=seed)
-        out[label] = improvement_factor(t_s, t_f)
-    return out
+    )
+    jobs = [
+        _gather_job(topology, n, root=root, seed=seed)
+        for _label, topology in variants
+        for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST)
+    ]
+    results = evaluate(jobs)
+    return {
+        label: improvement_factor(results[2 * i].time, results[2 * i + 1].time)
+        for i, (label, _topology) in enumerate(variants)
+    }
 
 
 def ablation_nic_serialization(
@@ -104,12 +108,15 @@ def ablation_nic_serialization(
     that cost onto the root's CPU.
     """
     n = _items(size_kb)
-    out = {}
-    for label, serialize in (("with", True), ("without", False)):
-        out[label] = _gather_time(
+    jobs = [
+        _gather_job(
             ucf_testbed(p), n, root=RootPolicy.FASTEST,
             serialize_nic=serialize, seed=seed,
         )
+        for serialize in (True, False)
+    ]
+    results = evaluate(jobs)
+    out = {"with": results[0].time, "without": results[1].time}
     out["contention_cost"] = out["with"] / out["without"]
     return out
 
@@ -125,21 +132,23 @@ def ablation_rank_noise(
     """
     n = _items(size_kb)
     topology = ucf_testbed(p)
-    out = {}
-    for label, scores in (
+    variants = (
         ("noisy", simulate_scores(topology, noise_sigma=noise_sigma, seed=2001)),
         ("clean", true_scores(topology)),
-    ):
-        t_u = _gather_time(
+    )
+    jobs = [
+        _gather_job(
             topology, n, root=RootPolicy.FASTEST,
-            workload=WorkloadPolicy.EQUAL, scores=scores, seed=seed,
+            workload=workload, scores=scores, seed=seed,
         )
-        t_b = _gather_time(
-            topology, n, root=RootPolicy.FASTEST,
-            workload=WorkloadPolicy.BALANCED, scores=scores, seed=seed,
-        )
-        out[label] = improvement_factor(t_u, t_b)
-    return out
+        for _label, scores in variants
+        for workload in (WorkloadPolicy.EQUAL, WorkloadPolicy.BALANCED)
+    ]
+    results = evaluate(jobs)
+    return {
+        label: improvement_factor(results[2 * i].time, results[2 * i + 1].time)
+        for i, (label, _scores) in enumerate(variants)
+    }
 
 
 def ablation_report(*, seed: int = 0) -> ExperimentReport:

@@ -20,16 +20,8 @@ from repro.cluster.presets import (
     two_lans,
     ucf_testbed,
 )
-from repro.collectives import (
-    run_allgather,
-    run_alltoall,
-    run_broadcast,
-    run_gather,
-    run_reduce,
-    run_scan,
-    run_scatter,
-)
 from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.perf import SimJob, evaluate
 from repro.model.params import calibrate
 from repro.model.predict import (
     paper_broadcast_hbsp1_one_phase,
@@ -100,15 +92,20 @@ def sec4_broadcast_phases(
     analytic appendix.
     """
     n = _items(size_kb)
+    regimes = (("r_s=1.25", 1.25), ("r_s=4", 4.0), ("r_s=12", 12.0))
+    grid = [(label, slow, p) for label, slow in regimes for p in processor_counts]
+    jobs = []
+    for _label, nic_slowdown, p in grid:
+        topology = flat_cluster(p, nic_slowdown=nic_slowdown)
+        for phases in ("one", "two"):
+            jobs.append(
+                SimJob.collective("broadcast", topology, n, phases=phases, seed=seed)
+            )
+    results = evaluate(jobs)
     series: dict[str, dict[int, float]] = {}
-    for label, nic_slowdown in (("r_s=1.25", 1.25), ("r_s=4", 4.0), ("r_s=12", 12.0)):
-        sim_points: dict[int, float] = {}
-        for p in processor_counts:
-            topology = flat_cluster(p, nic_slowdown=nic_slowdown)
-            t_one = run_broadcast(topology, n, phases="one", seed=seed).time
-            t_two = run_broadcast(topology, n, phases="two", seed=seed).time
-            sim_points[p] = improvement_factor(t_one, t_two)
-        series[f"sim {label}"] = sim_points
+    for index, (label, _slow, p) in enumerate(grid):
+        t_one, t_two = results[2 * index].time, results[2 * index + 1].time
+        series.setdefault(f"sim {label}", {})[p] = improvement_factor(t_one, t_two)
 
     # Analytic appendix: the paper's simplified HBSP^1 formulas and the
     # HBSP^2 super2-step comparison in both regimes.
@@ -211,25 +208,34 @@ def sec4_gather_hierarchy(
         "campus-sync", gap=8e-8, latency=5e-3, sync_base=2e-2, sync_per_member=2e-3
     )
     hier = two_lans(5, backbone=slow_sync_backbone)
-    series: dict[str, dict[float, float]] = {"hier/flat": {}, "oversized/balanced": {}}
-    for size_kb in sizes_kb:
-        n = _items(size_kb)
-        t_flat = run_gather(flat, n, seed=seed).time
-        t_hier = run_gather(hier, n, seed=seed).time
-        series["hier/flat"][size_kb] = t_hier / t_flat
+    testbed = ucf_testbed(6)
+    p = testbed.num_machines
+    # The oversized-share pathology pins half the items on the slowest
+    # machine; that pid is a property of the topology's calibration, so
+    # resolve it once without simulating anything.
+    from repro.hbsplib.runtime import HbspRuntime
 
+    slow = HbspRuntime(testbed).slowest_pid
+    grid = list(sizes_kb)
+    jobs = []
+    for size_kb in grid:
+        n = _items(size_kb)
+        jobs.append(SimJob.collective("gather", flat, n, seed=seed))
+        jobs.append(SimJob.collective("gather", hier, n, seed=seed))
+        jobs.append(SimJob.collective("gather", testbed, n, seed=seed))
         # Oversized share: give the slowest machine 50% of the items.
-        topology = ucf_testbed(6)
-        balanced = run_gather(topology, n, seed=seed)
-        p = topology.num_machines
-        slow = balanced.runtime.slowest_pid
         counts = [0] * p
         counts[slow] = n // 2
         rest, extra = divmod(n - counts[slow], p - 1)
         others = [j for j in range(p) if j != slow]
         for idx, j in enumerate(others):
             counts[j] = rest + (1 if idx < extra else 0)
-        oversized = run_gather(topology, n, workload=counts, seed=seed)
+        jobs.append(SimJob.collective("gather", testbed, n, workload=counts, seed=seed))
+    results = evaluate(jobs)
+    series: dict[str, dict[float, float]] = {"hier/flat": {}, "oversized/balanced": {}}
+    for index, size_kb in enumerate(grid):
+        t_flat, t_hier, balanced, oversized = results[4 * index:4 * index + 4]
+        series["hier/flat"][size_kb] = t_hier.time / t_flat.time
         series["oversized/balanced"][size_kb] = oversized.time / balanced.time
 
     # Analytic appendix: per-level ledger of the hierarchical gather.
@@ -250,6 +256,31 @@ def sec4_gather_hierarchy(
     )
 
 
+def _rankdata(values: t.Sequence[float]) -> np.ndarray:
+    """Ranks 1..n with ties sharing their average rank."""
+    arr = np.asarray(values, dtype=np.float64)
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=np.float64)
+    start = 0
+    while start < arr.size:
+        stop = start
+        while stop + 1 < arr.size and arr[order[stop + 1]] == arr[order[start]]:
+            stop += 1
+        ranks[order[start:stop + 1]] = (start + stop) / 2 + 1
+        start = stop + 1
+    return ranks
+
+
+def _spearman(x: t.Sequence[float], y: t.Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson's on tie-averaged ranks).
+
+    Equivalent to ``scipy.stats.spearmanr`` for 1-D samples, without
+    dragging in the scipy import — which would otherwise dominate this
+    experiment's wall time.
+    """
+    return float(np.corrcoef(_rankdata(x), _rankdata(y))[0, 1])
+
+
 def model_fidelity(
     size_kb: int = 250,
     *,
@@ -262,35 +293,40 @@ def model_fidelity(
     Spearman rank correlation between the two across cases (the
     'predictability' the HBSP model family aims for).
     """
-    from scipy import stats
-
     n = _items(size_kb)
-    cases: list[tuple[str, t.Callable[..., t.Any], tuple, dict]] = [
-        ("gather", run_gather, (n,), {}),
-        ("broadcast-1p", run_broadcast, (n,), {"phases": "one"}),
-        ("broadcast-2p", run_broadcast, (n,), {"phases": "two"}),
-        ("scatter", run_scatter, (n,), {}),
-        ("reduce", run_reduce, (n // 10,), {}),
-        ("allgather", run_allgather, (n,), {"strategy": "direct"}),
-        ("alltoall", run_alltoall, (n,), {}),
-        ("scan", run_scan, (n // 10,), {}),
+    cases: list[tuple[str, str, int, dict]] = [
+        ("gather", "gather", n, {}),
+        ("broadcast-1p", "broadcast", n, {"phases": "one"}),
+        ("broadcast-2p", "broadcast", n, {"phases": "two"}),
+        ("scatter", "scatter", n, {}),
+        ("reduce", "reduce", n // 10, {}),
+        ("allgather", "allgather", n, {"strategy": "direct"}),
+        ("alltoall", "alltoall", n, {}),
+        ("scan", "scan", n // 10, {}),
     ]
-    series: dict[str, dict[str, float]] = {}
-    notes: list[str] = []
-    for topo_label, topology in (
+    topologies = (
         ("HBSP^1 testbed", ucf_testbed(8)),
         ("HBSP^2 fig1", smp_sgi_lan()),
-    ):
+    )
+    jobs = [
+        SimJob.collective(op, topology, count, seed=seed, **kwargs)
+        for _topo_label, topology in topologies
+        for _name, op, count, kwargs in cases
+    ]
+    results = evaluate(jobs)
+    series: dict[str, dict[str, float]] = {}
+    notes: list[str] = []
+    for block, (topo_label, _topology) in enumerate(topologies):
         simulated: list[float] = []
         predicted: list[float] = []
         points: dict[str, float] = {}
-        for name, runner, args, kwargs in cases:
-            outcome = runner(topology, *args, seed=seed, **kwargs)
-            simulated.append(outcome.time)
-            predicted.append(outcome.predicted_time)
-            points[name] = outcome.time / outcome.predicted_time
+        for offset, (name, _op, _count, _kwargs) in enumerate(cases):
+            result = results[block * len(cases) + offset]
+            simulated.append(result.time)
+            predicted.append(result.predicted_time)
+            points[name] = result.time / result.predicted_time
         series[topo_label] = points
-        rho = float(stats.spearmanr(simulated, predicted).statistic)
+        rho = _spearman(simulated, predicted)
         notes.append(f"{topo_label}: Spearman rank correlation sim~pred = {rho:.3f}")
     notes.append(
         "ratios > 1 are expected: the model omits pack/unpack CPU time and "

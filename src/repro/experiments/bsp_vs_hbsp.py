@@ -20,73 +20,51 @@ model's two design rules per workload.
 
 from __future__ import annotations
 
-import typing as t
-
-from repro.apps import run_histogram, run_jacobi, run_matvec, run_sample_sort
 from repro.cluster.presets import ucf_testbed
-from repro.collectives import (
-    RootPolicy,
-    WorkloadPolicy,
-    run_broadcast,
-    run_gather,
-    run_scatter,
-)
+from repro.collectives import RootPolicy, WorkloadPolicy
 from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.perf import SimJob, evaluate
 
 __all__ = ["bsp_vs_hbsp"]
 
 
-def _workloads() -> dict[str, t.Callable[..., t.Any]]:
-    def gather(topology, *, root, workload):
-        return run_gather(topology, 128_000, root=root, workload=workload).time
-
-    def scatter(topology, *, root, workload):
-        return run_scatter(topology, 128_000, root=root, workload=workload).time
-
-    def broadcast(topology, *, root, workload):
-        return run_broadcast(
-            topology, 128_000, root=root,
-            balanced_shares=(workload is WorkloadPolicy.BALANCED),
-        ).time
-
-    def sample_sort(topology, *, root, workload):
-        return run_sample_sort(topology, 300_000, root=root, workload=workload).time
-
-    def matvec(topology, *, root, workload):
-        return run_matvec(topology, 1_200, root=root, workload=workload).time
-
-    def histogram(topology, *, root, workload):
-        return run_histogram(topology, 3_000_000, root=root, workload=workload).time
-
-    def jacobi(topology, *, root, workload):
-        return run_jacobi(
-            topology, 800_000, max_iterations=15, check_every=100,
-            root=root, workload=workload,
-        ).time
-
+def _workload_jobs(topology, *, root, workload) -> dict[str, SimJob]:
+    balanced = workload is WorkloadPolicy.BALANCED
     return {
-        "gather": gather,
-        "scatter": scatter,
-        "broadcast": broadcast,
-        "sample_sort": sample_sort,
-        "matvec": matvec,
-        "histogram": histogram,
-        "jacobi": jacobi,
+        "gather": SimJob.collective(
+            "gather", topology, 128_000, root=root, workload=workload),
+        "scatter": SimJob.collective(
+            "scatter", topology, 128_000, root=root, workload=workload),
+        "broadcast": SimJob.collective(
+            "broadcast", topology, 128_000, root=root, balanced_shares=balanced),
+        "sample_sort": SimJob.app(
+            "sample_sort", topology, 300_000, root=root, workload=workload),
+        "matvec": SimJob.app(
+            "matvec", topology, 1_200, root=root, workload=workload),
+        "histogram": SimJob.app(
+            "histogram", topology, 3_000_000, root=root, workload=workload),
+        "jacobi": SimJob.app(
+            "jacobi", topology, 800_000, max_iterations=15, check_every=100,
+            root=root, workload=workload),
     }
 
 
 def bsp_vs_hbsp(p: int = 10) -> ExperimentReport:
     """``T_bsp / T_hbsp`` per workload on the p-machine testbed."""
     topology = ucf_testbed(p)
+    bsp = _workload_jobs(
+        topology, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
+    )
+    hbsp = _workload_jobs(
+        topology, root=RootPolicy.FASTEST, workload=WorkloadPolicy.BALANCED
+    )
+    names = list(bsp)
+    results = evaluate([bsp[name] for name in names] + [hbsp[name] for name in names])
     series: dict[str, dict[str, float]] = {"T_bsp/T_hbsp": {}}
-    for name, runner in _workloads().items():
-        t_bsp = runner(
-            topology, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
+    for index, name in enumerate(names):
+        series["T_bsp/T_hbsp"][name] = improvement_factor(
+            results[index].time, results[len(names) + index].time
         )
-        t_hbsp = runner(
-            topology, root=RootPolicy.FASTEST, workload=WorkloadPolicy.BALANCED
-        )
-        series["T_bsp/T_hbsp"][name] = improvement_factor(t_bsp, t_hbsp)
     return ExperimentReport(
         experiment_id="bsp-vs-hbsp",
         title="The value of the HBSP^k design rules, per workload",

@@ -17,8 +17,9 @@ import typing as t
 
 from repro.bytemark.suite import simulate_scores
 from repro.cluster.presets import ucf_testbed
-from repro.collectives import RootPolicy, WorkloadPolicy, run_gather
+from repro.collectives import RootPolicy, WorkloadPolicy
 from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.perf import SimJob, evaluate
 from repro.util.units import BYTES_PER_INT, kb
 
 __all__ = [
@@ -55,22 +56,22 @@ def fig3a_gather_root(
 
     Equal workloads; only the root changes (``P_s`` vs ``P_f``).
     """
+    grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
+    jobs = []
+    for size_kb, p in grid:
+        topology = ucf_testbed(p)
+        for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+            jobs.append(
+                SimJob.collective(
+                    "gather", topology, _items(size_kb), root=root,
+                    workload=WorkloadPolicy.EQUAL, seed=seed,
+                )
+            )
+    results = evaluate(jobs)
     series: dict[str, dict[int, float]] = {}
-    for size_kb in sizes_kb:
-        n = _items(size_kb)
-        points: dict[int, float] = {}
-        for p in processor_counts:
-            topology = ucf_testbed(p)
-            t_s = run_gather(
-                topology, n, root=RootPolicy.SLOWEST,
-                workload=WorkloadPolicy.EQUAL, seed=seed,
-            ).time
-            t_f = run_gather(
-                topology, n, root=RootPolicy.FASTEST,
-                workload=WorkloadPolicy.EQUAL, seed=seed,
-            ).time
-            points[p] = improvement_factor(t_s, t_f)
-        series[f"{size_kb} KB"] = points
+    for index, (size_kb, p) in enumerate(grid):
+        t_s, t_f = results[2 * index].time, results[2 * index + 1].time
+        series.setdefault(f"{size_kb} KB", {})[p] = improvement_factor(t_s, t_f)
     return ExperimentReport(
         experiment_id="fig3a",
         title="Gather performance, T_s/T_f (fast root vs slow root)",
@@ -97,25 +98,23 @@ def fig3b_gather_balance(
     The fastest processor is always the root; the workload is either
     equal (``T_u``) or proportional to noisy BYTEmark scores (``T_b``).
     """
-    series: dict[str, dict[int, float]] = {}
-    for size_kb in sizes_kb:
-        n = _items(size_kb)
-        points: dict[int, float] = {}
-        for p in processor_counts:
-            topology = ucf_testbed(p)
-            scores = simulate_scores(
-                topology, noise_sigma=noise_sigma, seed=score_seed
+    grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
+    jobs = []
+    for size_kb, p in grid:
+        topology = ucf_testbed(p)
+        scores = simulate_scores(topology, noise_sigma=noise_sigma, seed=score_seed)
+        for workload in (WorkloadPolicy.EQUAL, WorkloadPolicy.BALANCED):
+            jobs.append(
+                SimJob.collective(
+                    "gather", topology, _items(size_kb), root=RootPolicy.FASTEST,
+                    workload=workload, scores=scores, seed=seed,
+                )
             )
-            t_u = run_gather(
-                topology, n, root=RootPolicy.FASTEST,
-                workload=WorkloadPolicy.EQUAL, scores=scores, seed=seed,
-            ).time
-            t_b = run_gather(
-                topology, n, root=RootPolicy.FASTEST,
-                workload=WorkloadPolicy.BALANCED, scores=scores, seed=seed,
-            ).time
-            points[p] = improvement_factor(t_u, t_b)
-        series[f"{size_kb} KB"] = points
+    results = evaluate(jobs)
+    series: dict[str, dict[int, float]] = {}
+    for index, (size_kb, p) in enumerate(grid):
+        t_u, t_b = results[2 * index].time, results[2 * index + 1].time
+        series.setdefault(f"{size_kb} KB", {})[p] = improvement_factor(t_u, t_b)
     return ExperimentReport(
         experiment_id="fig3b",
         title="Gather performance, T_u/T_b (balanced vs equal workloads)",

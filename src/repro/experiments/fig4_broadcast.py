@@ -17,7 +17,8 @@ import typing as t
 
 from repro.bytemark.suite import simulate_scores
 from repro.cluster.presets import ucf_testbed
-from repro.collectives import RootPolicy, run_broadcast
+from repro.collectives import RootPolicy
+from repro.perf import SimJob, evaluate
 from repro.experiments.fig3_gather import (
     DEFAULT_NOISE_SIGMA,
     PROBLEM_SIZES_KB,
@@ -36,20 +37,22 @@ def fig4a_broadcast_root(
     seed: int = 0,
 ) -> ExperimentReport:
     """Fig. 4(a): two-phase broadcast ``T_s/T_f`` vs ``p``."""
+    grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
+    jobs = []
+    for size_kb, p in grid:
+        topology = ucf_testbed(p)
+        for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+            jobs.append(
+                SimJob.collective(
+                    "broadcast", topology, _items(size_kb), root=root,
+                    phases="two", seed=seed,
+                )
+            )
+    results = evaluate(jobs)
     series: dict[str, dict[int, float]] = {}
-    for size_kb in sizes_kb:
-        n = _items(size_kb)
-        points: dict[int, float] = {}
-        for p in processor_counts:
-            topology = ucf_testbed(p)
-            t_s = run_broadcast(
-                topology, n, root=RootPolicy.SLOWEST, phases="two", seed=seed
-            ).time
-            t_f = run_broadcast(
-                topology, n, root=RootPolicy.FASTEST, phases="two", seed=seed
-            ).time
-            points[p] = improvement_factor(t_s, t_f)
-        series[f"{size_kb} KB"] = points
+    for index, (size_kb, p) in enumerate(grid):
+        t_s, t_f = results[2 * index].time, results[2 * index + 1].time
+        series.setdefault(f"{size_kb} KB", {})[p] = improvement_factor(t_s, t_f)
     return ExperimentReport(
         experiment_id="fig4a",
         title="Broadcast performance, T_s/T_f (fast root vs slow root)",
@@ -77,25 +80,23 @@ def fig4b_broadcast_balance(
     noisy BYTEmark ``c_j`` (``P_j`` receives ``c_j·n`` in phase one);
     ``T_u`` uses equal shares.
     """
-    series: dict[str, dict[int, float]] = {}
-    for size_kb in sizes_kb:
-        n = _items(size_kb)
-        points: dict[int, float] = {}
-        for p in processor_counts:
-            topology = ucf_testbed(p)
-            scores = simulate_scores(
-                topology, noise_sigma=noise_sigma, seed=score_seed
+    grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
+    jobs = []
+    for size_kb, p in grid:
+        topology = ucf_testbed(p)
+        scores = simulate_scores(topology, noise_sigma=noise_sigma, seed=score_seed)
+        for balanced in (False, True):
+            jobs.append(
+                SimJob.collective(
+                    "broadcast", topology, _items(size_kb), root=RootPolicy.FASTEST,
+                    phases="two", balanced_shares=balanced, scores=scores, seed=seed,
+                )
             )
-            t_u = run_broadcast(
-                topology, n, root=RootPolicy.FASTEST, phases="two",
-                balanced_shares=False, scores=scores, seed=seed,
-            ).time
-            t_b = run_broadcast(
-                topology, n, root=RootPolicy.FASTEST, phases="two",
-                balanced_shares=True, scores=scores, seed=seed,
-            ).time
-            points[p] = improvement_factor(t_u, t_b)
-        series[f"{size_kb} KB"] = points
+    results = evaluate(jobs)
+    series: dict[str, dict[int, float]] = {}
+    for index, (size_kb, p) in enumerate(grid):
+        t_u, t_b = results[2 * index].time, results[2 * index + 1].time
+        series.setdefault(f"{size_kb} KB", {})[p] = improvement_factor(t_u, t_b)
     return ExperimentReport(
         experiment_id="fig4b",
         title="Broadcast performance, T_u/T_b (balanced vs equal shares)",

@@ -28,8 +28,9 @@ from __future__ import annotations
 import typing as t
 
 from repro.cluster.presets import ucf_testbed
-from repro.collectives import RootPolicy, WorkloadPolicy, run_broadcast, run_gather
+from repro.collectives import RootPolicy, WorkloadPolicy
 from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.perf import SimJob, evaluate
 from repro.faults import (
     DeliveryPolicy,
     FaultPlan,
@@ -98,39 +99,51 @@ def robustness_report(
     the fault-free figures at this size.
     """
     n = _items(size_kb)
-    series: dict[str, dict[int, float]] = {}
+    # Six sims per (p, scenario) grid point: gather {slow root, fast
+    # root, balanced}, broadcast {slow root, fast root, balanced}.
+    grid: list[tuple[int, str]] = []
+    jobs: list[SimJob] = []
     for p in processor_counts:
         topology = ucf_testbed(p)
         for label, (plan, delivery) in robustness_plans(topology).items():
+            grid.append((p, label))
             kwargs: dict[str, t.Any] = dict(
                 seed=seed, faults=plan, fault_seed=seed, delivery=delivery
             )
-            # gather T_s/T_f (equal workloads, slow vs fast root)
-            t_s = run_gather(topology, n, root=RootPolicy.SLOWEST,
-                             workload=WorkloadPolicy.EQUAL, **kwargs).time
-            t_f = run_gather(topology, n, root=RootPolicy.FASTEST,
-                             workload=WorkloadPolicy.EQUAL, **kwargs).time
-            series.setdefault(f"gather Ts/Tf [{label}]", {})[p] = (
-                improvement_factor(t_s, t_f)
-            )
-            # gather T_u/T_b (fast root, equal vs balanced workloads)
-            t_b = run_gather(topology, n, root=RootPolicy.FASTEST,
-                             workload=WorkloadPolicy.BALANCED, **kwargs).time
-            series.setdefault(f"gather Tu/Tb [{label}]", {})[p] = (
-                improvement_factor(t_f, t_b)
-            )
-            # broadcast T_s/T_f
-            b_s = run_broadcast(topology, n, root=RootPolicy.SLOWEST, **kwargs).time
-            b_f = run_broadcast(topology, n, root=RootPolicy.FASTEST, **kwargs).time
-            series.setdefault(f"bcast Ts/Tf [{label}]", {})[p] = (
-                improvement_factor(b_s, b_f)
-            )
-            # broadcast T_u/T_b (fast root, equal vs balanced shares)
-            b_b = run_broadcast(topology, n, root=RootPolicy.FASTEST,
-                                balanced_shares=True, **kwargs).time
-            series.setdefault(f"bcast Tu/Tb [{label}]", {})[p] = (
-                improvement_factor(b_f, b_b)
-            )
+            jobs.append(SimJob.collective(
+                "gather", topology, n, root=RootPolicy.SLOWEST,
+                workload=WorkloadPolicy.EQUAL, **kwargs))
+            jobs.append(SimJob.collective(
+                "gather", topology, n, root=RootPolicy.FASTEST,
+                workload=WorkloadPolicy.EQUAL, **kwargs))
+            jobs.append(SimJob.collective(
+                "gather", topology, n, root=RootPolicy.FASTEST,
+                workload=WorkloadPolicy.BALANCED, **kwargs))
+            jobs.append(SimJob.collective(
+                "broadcast", topology, n, root=RootPolicy.SLOWEST, **kwargs))
+            jobs.append(SimJob.collective(
+                "broadcast", topology, n, root=RootPolicy.FASTEST, **kwargs))
+            jobs.append(SimJob.collective(
+                "broadcast", topology, n, root=RootPolicy.FASTEST,
+                balanced_shares=True, **kwargs))
+    results = evaluate(jobs)
+    series: dict[str, dict[int, float]] = {}
+    for index, (p, label) in enumerate(grid):
+        t_s, t_f, t_b, b_s, b_f, b_b = (
+            result.time for result in results[6 * index:6 * index + 6]
+        )
+        series.setdefault(f"gather Ts/Tf [{label}]", {})[p] = (
+            improvement_factor(t_s, t_f)
+        )
+        series.setdefault(f"gather Tu/Tb [{label}]", {})[p] = (
+            improvement_factor(t_f, t_b)
+        )
+        series.setdefault(f"bcast Ts/Tf [{label}]", {})[p] = (
+            improvement_factor(b_s, b_f)
+        )
+        series.setdefault(f"bcast Tu/Tb [{label}]", {})[p] = (
+            improvement_factor(b_f, b_b)
+        )
     return ExperimentReport(
         experiment_id="robustness",
         title=(

@@ -44,6 +44,15 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "robustness": robustness_report,
 }
 
+#: Experiments whose factory takes a ``seed`` keyword — resolved once
+#: at registry-build time so ``run_experiment`` stays signature-free
+#: on its hot path.
+_ACCEPTS_SEED: frozenset[str] = frozenset(
+    experiment_id
+    for experiment_id, factory in EXPERIMENTS.items()
+    if "seed" in inspect.signature(factory).parameters
+)
+
 
 def run_experiment(experiment_id: str, *, seed: int | None = None) -> ExperimentReport:
     """Run one experiment by id; raises for unknown ids.
@@ -60,7 +69,7 @@ def run_experiment(experiment_id: str, *, seed: int | None = None) -> Experiment
         ) from None
     if seed is None:
         return factory()
-    if "seed" not in inspect.signature(factory).parameters:
+    if experiment_id not in _ACCEPTS_SEED:
         raise ExperimentError(
             f"experiment {experiment_id!r} does not accept a seed"
         )
@@ -83,12 +92,22 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "--seed", type=int, default=None,
         help="override the experiment seed (for experiments that accept one)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the simulation sweeps (default: serial); "
+        "output is bit-identical at any value",
+    )
     args = parser.parse_args(argv)
     wanted = list(args.experiment)
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)
-    for experiment_id in wanted:
-        report = run_experiment(experiment_id, seed=args.seed)
-        print(report.render())
-        print()
+    # One executor for the whole invocation (even serially): experiments
+    # sharing grid points simulate them once.
+    from repro.perf import sweep
+
+    with sweep(jobs=args.jobs):
+        for experiment_id in wanted:
+            report = run_experiment(experiment_id, seed=args.seed)
+            print(report.render())
+            print()
     return 0

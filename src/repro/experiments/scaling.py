@@ -21,26 +21,24 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.apps import run_histogram, run_jacobi, run_matvec, run_sample_sort
 from repro.cluster.presets import ucf_testbed
 from repro.experiments.improvement import ExperimentReport
+from repro.perf import SimJob, evaluate
 
 __all__ = ["app_scaling"]
 
-#: Per-application runner and problem size for the sweep.
-_APPS: dict[str, tuple[t.Callable[..., t.Any], dict]] = {
-    "sample_sort": (run_sample_sort, {"n": 200_000}),
-    "matvec": (run_matvec, {"n": 1_000}),
-    "histogram": (run_histogram, {"n": 2_000_000}),
-    "jacobi": (run_jacobi, {"n": 500_000, "max_iterations": 10, "check_every": 100}),
+#: Per-application problem-size configuration for the sweep.
+_APPS: dict[str, dict] = {
+    "sample_sort": {"n": 200_000},
+    "matvec": {"n": 1_000},
+    "histogram": {"n": 2_000_000},
+    "jacobi": {"n": 500_000, "max_iterations": 10, "check_every": 100},
 }
 
 
-def _run(app: str, topology) -> float:
-    runner, config = _APPS[app]
-    config = dict(config)
-    n = config.pop("n")
-    return runner(topology, n, **config).time
+def _job(app: str, topology) -> SimJob:
+    config = dict(_APPS[app])
+    return SimJob.app(app, topology, config.pop("n"), **config)
 
 
 def app_scaling(
@@ -56,14 +54,21 @@ def app_scaling(
     """
     if metric not in ("speedup", "efficiency"):
         raise ValueError(f"metric must be 'speedup' or 'efficiency', got {metric!r}")
-    baselines = {app: _run(app, ucf_testbed(1)) for app in apps}
-    series: dict[str, dict[int, float]] = {app: {} for app in apps}
+    apps = tuple(apps)
+    jobs = [_job(app, ucf_testbed(1)) for app in apps]
     for p in processor_counts:
+        topology = ucf_testbed(p)
+        jobs.extend(_job(app, topology) for app in apps)
+    results = evaluate(jobs)
+    baselines = {app: results[index].time for index, app in enumerate(apps)}
+    series: dict[str, dict[int, float]] = {app: {} for app in apps}
+    for block, p in enumerate(processor_counts):
         topology = ucf_testbed(p)
         fastest_rate = max(m.cpu_rate for m in topology.machines)
         capacity = sum(m.cpu_rate for m in topology.machines) / fastest_rate
-        for app in apps:
-            speedup = baselines[app] / _run(app, topology)
+        for offset, app in enumerate(apps):
+            time = results[(1 + block) * len(apps) + offset].time
+            speedup = baselines[app] / time
             series[app][p] = speedup if metric == "speedup" else speedup / capacity
     return ExperimentReport(
         experiment_id="scaling",

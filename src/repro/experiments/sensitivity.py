@@ -15,19 +15,14 @@ headline findings under swept calibrations:
 
 from __future__ import annotations
 
-import dataclasses
 import typing as t
 
 from repro.cluster.machine import MachineSpec
 from repro.cluster.presets import ETHERNET_100
 from repro.cluster.topology import Cluster, ClusterTopology
-from repro.collectives import (
-    RootPolicy,
-    WorkloadPolicy,
-    run_broadcast,
-    run_gather,
-)
+from repro.collectives import RootPolicy, WorkloadPolicy
 from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.perf import SimJob, evaluate
 
 __all__ = ["calibration_sensitivity"]
 
@@ -56,22 +51,24 @@ def _cluster(
     return ClusterTopology(Cluster("lan", ETHERNET_100, machines))
 
 
-def _findings(topology_large: ClusterTopology, topology_p2: ClusterTopology) -> dict[str, float]:
+def _finding_jobs(
+    topology_large: ClusterTopology, topology_p2: ClusterTopology
+) -> list[SimJob]:
+    """Six sims per calibration: gather@p, gather@2, bcast@p pairs."""
     n = 128_000
-    g_s = run_gather(
-        topology_large, n, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
-    ).time
-    g_f = run_gather(
-        topology_large, n, root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL
-    ).time
-    g2_s = run_gather(
-        topology_p2, n, root=RootPolicy.SLOWEST, workload=WorkloadPolicy.EQUAL
-    ).time
-    g2_f = run_gather(
-        topology_p2, n, root=RootPolicy.FASTEST, workload=WorkloadPolicy.EQUAL
-    ).time
-    b_s = run_broadcast(topology_large, n, root=RootPolicy.SLOWEST).time
-    b_f = run_broadcast(topology_large, n, root=RootPolicy.FASTEST).time
+    jobs = []
+    for topology in (topology_large, topology_p2):
+        for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+            jobs.append(SimJob.collective(
+                "gather", topology, n, root=root, workload=WorkloadPolicy.EQUAL
+            ))
+    for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+        jobs.append(SimJob.collective("broadcast", topology_large, n, root=root))
+    return jobs
+
+
+def _findings(results: t.Sequence) -> dict[str, float]:
+    g_s, g_f, g2_s, g2_f, b_s, b_f = (result.time for result in results)
     return {
         "gather@p": improvement_factor(g_s, g_f),
         "gather@2": improvement_factor(g2_s, g2_f),
@@ -90,12 +87,13 @@ def calibration_sensitivity(p: int = 8) -> ExperimentReport:
         "pack 2x costlier": {"pack_cost": 4.0},
         "pack = unpack": {"pack_cost": 1.4, "unpack_cost": 1.4},
     }
+    jobs = []
+    for overrides in sweeps.values():
+        jobs.extend(_finding_jobs(_cluster(p, **overrides), _cluster(2, **overrides)))
+    results = evaluate(jobs)
     series: dict[str, dict[str, float]] = {}
-    for label, overrides in sweeps.items():
-        findings = _findings(
-            _cluster(p, **overrides), _cluster(2, **overrides)
-        )
-        series[label] = findings
+    for index, label in enumerate(sweeps):
+        series[label] = _findings(results[6 * index:6 * index + 6])
     return ExperimentReport(
         experiment_id="sensitivity",
         title=f"Headline findings vs calibration knobs (p={p})",

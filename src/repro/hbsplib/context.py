@@ -215,10 +215,12 @@ class HbspContext:
         barrier = self.runtime.barrier_for(self.pid, level)
         start = self.task.now
         yield barrier.wait()
-        self.runtime.vm.trace.emit(
-            self.task.now, "sync", f"pid{self.pid}",
-            self.task.now - start, level=level, superstep=self.superstep,
-        )
+        trace = self.runtime.vm.trace
+        if trace.enabled:
+            trace.emit(
+                self.task.now, "sync", f"pid{self.pid}",
+                self.task.now - start, level=level, superstep=self.superstep,
+            )
         # 3. BSP delivery: everything in the mailbox becomes available;
         #    one-sided puts are applied instead of queued.
         yield from self._collect()
@@ -232,19 +234,25 @@ class HbspContext:
         return taken
 
     def _collect(self) -> t.Generator[Event, t.Any, None]:
+        task = self.task
+        host = task.host
+        unpack_time = host.spec.unpack_time
+        trace = self.runtime.vm.trace
+        available = self._available
         while True:
-            message = self.task.try_recv()
+            message = task.try_recv()
             if message is None:
                 break
-            unpack = self.task.host.spec.unpack_time(message.nbytes)
+            unpack = unpack_time(message.nbytes)
             if unpack > 0:
-                start = self.task.now
-                yield from self.task.host.cpu.occupy(unpack)
-                self.runtime.vm.trace.emit(
-                    self.task.now, "unpack", self.task.name,
-                    self.task.now - start, nbytes=message.nbytes, src=message.src,
-                )
-            self._available.append(message)
+                start = task.now
+                yield from host.cpu.occupy(unpack)
+                if trace.enabled:
+                    trace.emit(
+                        task.now, "unpack", task.name,
+                        task.now - start, nbytes=message.nbytes, src=message.src,
+                    )
+            available.append(message)
 
     def messages(
         self,

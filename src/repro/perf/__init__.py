@@ -1,0 +1,24 @@
+"""Parallel sweep execution and result caching for experiments.
+
+The experiment harness decomposes its sweeps into independent,
+picklable :class:`SimJob`s and evaluates them through a
+:class:`SweepExecutor` — serially by default, or fanned across a
+process pool with ``python -m repro.experiments --jobs N``.  Parallel
+output is guaranteed bit-identical to serial output; see
+:mod:`repro.perf.executor` for the contract and docs/performance.md
+for the user-facing story.
+"""
+
+from repro.perf.executor import SweepExecutor, current_executor, evaluate, sweep
+from repro.perf.job import APP_OPS, COLLECTIVE_OPS, SimJob, SimResult
+
+__all__ = [
+    "APP_OPS",
+    "COLLECTIVE_OPS",
+    "SimJob",
+    "SimResult",
+    "SweepExecutor",
+    "current_executor",
+    "evaluate",
+    "sweep",
+]

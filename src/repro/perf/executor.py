@@ -1,0 +1,183 @@
+"""The parallel sweep executor: fan out :class:`SimJob`s, merge in order.
+
+Determinism contract
+--------------------
+
+``evaluate(jobs)`` returns one :class:`~repro.perf.job.SimResult` per
+job, **in job order**, and the results are bit-identical whatever the
+worker count:
+
+* every simulation is a pure function of its job (all randomness is
+  seeded through the job's configuration), so *where* it runs cannot
+  change *what* it returns;
+* results are keyed by the job's content hash and re-assembled in the
+  caller's submission order, so completion order cannot leak into the
+  output.
+
+Caching
+-------
+
+Three layers, all keyed by the job content hash:
+
+* the executor memo — results live for the executor's lifetime, so a
+  sweep that revisits a grid point (or two experiments sharing one)
+  simulates it once;
+* per-call dedupe — duplicate jobs inside one ``evaluate`` batch are
+  submitted once;
+* the per-process worker cache — a worker that receives a hash it has
+  already simulated answers from memory (cheap insurance when the same
+  executor evaluates overlapping batches).
+
+Seeds are part of the hash (they are ordinary job kwargs), so entries
+can never be served across differing seeds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import typing as t
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.perf.job import SimJob, SimResult
+
+__all__ = ["SweepExecutor", "sweep", "current_executor", "evaluate"]
+
+#: Worker-process result cache (content hash -> result).  Module-global
+#: so it persists for the worker's lifetime within a pool.
+_worker_cache: dict[str, SimResult] = {}
+
+
+def _execute_job(item: tuple[str, SimJob]) -> tuple[str, SimResult]:
+    """Pool target: run one job (or answer from the worker cache)."""
+    key, job = item
+    result = _worker_cache.get(key)
+    if result is None:
+        _worker_cache[key] = result = job.run()
+    return key, result
+
+
+class SweepExecutor:
+    """Evaluates batches of simulation jobs, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (the default) runs everything in
+        the calling process — no pool, no pickling, still cached.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self._memo: dict[str, SimResult] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        #: Lookups answered from the memo (includes in-batch duplicates).
+        self.cache_hits = 0
+        #: Unique configurations actually simulated.
+        self.cache_misses = 0
+
+    # -- pool management -----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Forked workers inherit the parent's warm caches (items
+            # LRU, calibrations); fall back to the platform default
+            # where fork is unavailable.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (the memo stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: t.Any) -> None:
+        self.close()
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, jobs: t.Iterable[SimJob]) -> list[SimResult]:
+        """Run every job, returning results in job order.
+
+        Duplicate and previously-seen configurations are served from
+        the memo; the rest run serially or across the pool.  The
+        returned list is deterministic — see the module docstring.
+        """
+        ordered = list(jobs)
+        keys = [job.content_hash for job in ordered]
+        memo = self._memo
+        pending: dict[str, SimJob] = {}
+        for key, job in zip(keys, ordered):
+            if key not in memo and key not in pending:
+                pending[key] = job
+        self.cache_misses += len(pending)
+        self.cache_hits += len(keys) - len(pending)
+        if pending:
+            if self.jobs == 1:
+                for key, job in pending.items():
+                    memo[key] = job.run()
+            else:
+                # Ordered merge: results land in the memo keyed by
+                # hash, and the output list is rebuilt from the
+                # caller's key order, so worker scheduling can't
+                # reorder anything.
+                for key, result in self._ensure_pool().map(
+                    _execute_job, list(pending.items())
+                ):
+                    memo[key] = result
+        return [memo[key] for key in keys]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepExecutor(jobs={self.jobs}, cached={len(self._memo)}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )
+
+
+#: The active executor installed by :func:`sweep` (None = inline).
+_current: SweepExecutor | None = None
+
+
+def current_executor() -> SweepExecutor | None:
+    """The executor installed by the innermost active :func:`sweep`."""
+    return _current
+
+
+@contextlib.contextmanager
+def sweep(jobs: int = 1) -> t.Iterator[SweepExecutor]:
+    """Install a :class:`SweepExecutor` for the dynamic extent.
+
+    Every :func:`evaluate` call inside the block shares the executor's
+    memo, so experiments run back-to-back reuse each other's grid
+    points.  ``jobs=1`` still installs the shared memo — the parallel
+    pool is only spun up for ``jobs > 1``.
+    """
+    global _current
+    previous = _current
+    executor = SweepExecutor(jobs=jobs)
+    _current = executor
+    try:
+        yield executor
+    finally:
+        _current = previous
+        executor.close()
+
+
+def evaluate(jobs: t.Iterable[SimJob]) -> list[SimResult]:
+    """Evaluate jobs through the active :func:`sweep` executor.
+
+    Outside any ``sweep`` block the batch runs inline in this process
+    with per-batch dedupe only — no state outlives the call, which
+    keeps direct experiment invocations (and tests) isolated.
+    """
+    if _current is not None:
+        return _current.evaluate(jobs)
+    return SweepExecutor(jobs=1).evaluate(jobs)

@@ -47,7 +47,7 @@ def payload_nbytes(payload: t.Any) -> int:
     return 64
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Message:
     """One delivered message.
 

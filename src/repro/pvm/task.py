@@ -46,6 +46,12 @@ class Task:
     receives the task object as its first argument.
     """
 
+    __slots__ = (
+        "vm", "tid", "host", "name", "mailbox", "_delivered_uids",
+        "_link_names", "sent_messages", "sent_bytes",
+        "received_messages", "received_bytes", "process",
+    )
+
     def __init__(self, vm: "VirtualMachine", tid: int, host: "Host", name: str) -> None:
         self.vm = vm
         self.tid = tid
@@ -56,12 +62,24 @@ class Task:
         self.mailbox = Store(vm.engine, name=f"{name}.mailbox")
         #: Uids already delivered here (suppresses retransmit duplicates).
         self._delivered_uids: set[int] = set()
+        #: Cached per-destination event/process labels (f-strings are
+        #: too expensive to rebuild on every send).
+        self._link_names: dict[int, tuple[str, str]] = {}
         #: Statistics: (messages, bytes) sent and received.
         self.sent_messages = 0
         self.sent_bytes = 0
         self.received_messages = 0
         self.received_bytes = 0
         self.process: t.Any = None  # set by VirtualMachine.spawn
+
+    def _names_for(self, target: "Task") -> tuple[str, str]:
+        """Cached ``(arrival, delivery-process)`` labels for a destination."""
+        names = self._link_names.get(target.tid)
+        if names is None:
+            link = f"{self.name}->{target.name}"
+            names = (link, "deliver:" + link)
+            self._link_names[target.tid] = names
+        return names
 
     # -- communication -------------------------------------------------------
     def send(
@@ -90,6 +108,7 @@ class Task:
         """
         vm = self.vm
         engine = vm.engine
+        trace = vm.trace
         target = vm.task(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         if size < 0:
@@ -106,47 +125,53 @@ class Task:
             done.succeed(message)
             return done
 
-        if target.host is self.host:
+        host = self.host
+        spec = host.spec
+        if target.host is host:
             # Same-host IPC between distinct tasks: packed through the
             # daemon on the shared CPU, but never touches the NIC or
             # the wire.
-            pack = self.host.spec.pack_time(size)
+            pack = spec.pack_time(size)
             start = engine.now
-            yield from self.host.cpu.occupy(pack)
-            vm.trace.emit(
-                engine.now, "pack", self.name, engine.now - start,
-                nbytes=size, dst=dst, local=True,
-            )
+            yield from host.cpu.occupy(pack)
+            if trace.enabled:
+                trace.emit(
+                    engine.now, "pack", self.name, engine.now - start,
+                    nbytes=size, dst=dst, local=True,
+                )
             message = Message(self.tid, dst, tag, payload, size, sent_at, engine.now)
             target.mailbox.put(message)
             done = engine.event(name=f"{self.name}.local-send")
             done.succeed(message)
             return done
 
-        network, level = vm.route(self.host, target.host)
-        multiplier = vm.topology.pair_multiplier(self.host.machine_id, target.host.machine_id)
+        network, level = vm.route(host, target.host)
+        multiplier = vm.topology.pair_multiplier(host.machine_id, target.host.machine_id)
         if policy is None:
             policy = vm.delivery
 
         # 1. pack on the sender CPU
-        pack = self.host.spec.pack_time(size)
+        pack = spec.pack_time(size)
         start = engine.now
-        yield from self.host.cpu.occupy(pack)
-        vm.trace.emit(engine.now, "pack", self.name, engine.now - start, nbytes=size, dst=dst)
+        yield from host.cpu.occupy(pack)
+        if trace.enabled:
+            trace.emit(engine.now, "pack", self.name, engine.now - start, nbytes=size, dst=dst)
 
         # 2. inject through the sender NIC
-        inject = size * network.effective_gap(self.host.spec.nic_gap) * multiplier
+        inject = size * network.effective_gap(spec.nic_gap) * multiplier
         if vm.injector is not None:
             inject = vm.injector.transfer_time(network.name, engine.now, inject)
         start = engine.now
-        yield from self.host.nic_out.occupy(inject)
-        vm.trace.emit(
-            engine.now, "inject", self.name, engine.now - start,
-            nbytes=size, dst=dst, network=network.name, level=level,
-        )
+        yield from host.nic_out.occupy(inject)
+        if trace.enabled:
+            trace.emit(
+                engine.now, "inject", self.name, engine.now - start,
+                nbytes=size, dst=dst, network=network.name, level=level,
+            )
 
         # 3 + 4. wire latency then drain at the receiver, in background.
-        done = engine.event(name=f"{self.name}->{target.name}")
+        arrival_name, deliver_name = self._names_for(target)
+        done = engine.event(name=arrival_name)
 
         if policy is None or not policy.armed:
             # Fire-and-forget: one attempt; `done` resolves at delivery
@@ -154,7 +179,7 @@ class Task:
             engine.process(
                 self._delivery(target, network, multiplier, size, payload, tag,
                                sent_at, uid=None, arrival=done, attempt=0),
-                name=f"deliver:{self.name}->{target.name}",
+                name=deliver_name,
             )
             return done
 
@@ -199,15 +224,17 @@ class Task:
         """
         vm = self.vm
         engine = vm.engine
+        trace = vm.trace
         injector = vm.injector
         latency = network.latency
         if injector is not None:
             dropped, extra_delay = injector.message_fate(network.name, engine.now)
             if dropped:
-                vm.trace.emit(
-                    engine.now, "drop", self.name, 0.0,
-                    dst=target.tid, nbytes=size, attempt=attempt,
-                )
+                if trace.enabled:
+                    trace.emit(
+                        engine.now, "drop", self.name, 0.0,
+                        dst=target.tid, nbytes=size, attempt=attempt,
+                    )
                 if uid is None:
                     arrival.succeed(None)
                 return
@@ -218,10 +245,11 @@ class Task:
             drain = injector.transfer_time(network.name, engine.now, drain)
         start = engine.now
         yield from target.host.nic_in.occupy(drain)
-        vm.trace.emit(
-            engine.now, "drain", target.name, engine.now - start,
-            nbytes=size, src=self.tid, network=network.name,
-        )
+        if trace.enabled:
+            trace.emit(
+                engine.now, "drain", target.name, engine.now - start,
+                nbytes=size, src=self.tid, network=network.name,
+            )
         if uid is not None:
             if uid in target._delivered_uids:
                 return  # a prior attempt already delivered this send
@@ -300,32 +328,35 @@ class Task:
 
         A generator: ``msg = yield from task.recv(...)``.
         """
-        message: Message = yield self.mailbox.get(
-            lambda m: m.matches(source, tag)
-        )
+        if source is None and tag is None:
+            message: Message = yield self.mailbox.get()
+        else:
+            message = yield self.mailbox.get(lambda m: m.matches(source, tag))
         unpack = self.host.spec.unpack_time(message.nbytes)
         if unpack > 0:
-            start = self.vm.engine.now
+            engine = self.vm.engine
+            start = engine.now
             yield from self.host.cpu.occupy(unpack)
-            self.vm.trace.emit(
-                self.vm.engine.now, "unpack", self.name,
-                self.vm.engine.now - start, nbytes=message.nbytes, src=message.src,
-            )
+            trace = self.vm.trace
+            if trace.enabled:
+                trace.emit(
+                    engine.now, "unpack", self.name,
+                    engine.now - start, nbytes=message.nbytes, src=message.src,
+                )
         self.received_messages += 1
         self.received_bytes += message.nbytes
         return message
 
     def try_recv(self, source: int | None = None, tag: int | None = None) -> Message | None:
         """Non-blocking probe-and-take (``pvm_nrecv``); no unpack charge."""
-        for message in self.mailbox.peek_all():
-            if message.matches(source, tag):
-                # Re-get deterministically through the store.
-                event = self.mailbox.get(lambda m: m is message)
-                assert event.triggered
-                self.received_messages += 1
-                self.received_bytes += message.nbytes
-                return message
-        return None
+        if source is None and tag is None:
+            message = self.mailbox.try_take()
+        else:
+            message = self.mailbox.try_take(lambda m: m.matches(source, tag))
+        if message is not None:
+            self.received_messages += 1
+            self.received_bytes += message.nbytes
+        return message
 
     # -- computation -----------------------------------------------------------
     def compute(self, work: float) -> t.Generator[Event, t.Any, None]:
@@ -334,11 +365,12 @@ class Task:
         A generator: ``yield from task.compute(...)``.
         """
         duration = self.host.spec.compute_time(work)
-        start = self.vm.engine.now
+        engine = self.vm.engine
+        start = engine.now
         yield from self.host.cpu.occupy(duration)
-        self.vm.trace.emit(
-            self.vm.engine.now, "compute", self.name, self.vm.engine.now - start, work=work
-        )
+        trace = self.vm.trace
+        if trace.enabled:
+            trace.emit(engine.now, "compute", self.name, engine.now - start, work=work)
 
     def sleep(self, duration: float) -> Event:
         """An event that fires after ``duration`` (idle wait, no CPU)."""

@@ -6,12 +6,33 @@ import heapq
 import typing as t
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
 
 __all__ = ["Engine"]
+
+#: Cached Process class (imported lazily once; process.py imports this
+#: module at load time, so a top-level import would be circular).
+_process_cls = None
+
+
+class _Shim:
+    """A minimal queue entry that just runs a function when processed.
+
+    :meth:`Engine.call_soon` uses it instead of a full :class:`Event`;
+    the engine only ever calls ``_process()`` on queue entries, so this
+    skips the callback-list, value and name plumbing entirely.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: t.Callable[[], None]) -> None:
+        self.fn = fn
+
+    def _process(self) -> None:
+        self.fn()
 
 
 class Engine:
@@ -42,10 +63,14 @@ class Engine:
     # -- event plumbing -----------------------------------------------------
     def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event to be processed ``delay`` from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+            at = self.now + delay
+        else:
+            at = self.now
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        heapq.heappush(self._queue, (at, self._seq, event))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending :class:`Event` bound to this engine."""
@@ -53,21 +78,21 @@ class Engine:
 
     def timeout(self, delay: float, value: t.Any = None, name: str = "") -> Event:
         """Create an event that succeeds ``delay`` units from now."""
-        from repro.sim.events import Timeout
-
         return Timeout(self, delay, value=value, name=name)
 
     def call_soon(self, func: t.Callable[[], None]) -> None:
         """Run ``func()`` at the current time, after already-queued events."""
-        shim = Event(self, "call_soon")
-        shim.add_callback(lambda _ev: func())
-        shim.succeed()
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now, self._seq, _Shim(func)))
 
     def process(self, generator: t.Generator, name: str = "") -> "Process":
         """Start a new process from a generator; see :class:`Process`."""
-        from repro.sim.process import Process
+        global _process_cls
+        if _process_cls is None:
+            from repro.sim.process import Process
 
-        return Process(self, generator, name=name)
+            _process_cls = Process
+        return _process_cls(self, generator, name=name)
 
     # -- running ------------------------------------------------------------
     def step(self) -> None:
@@ -90,12 +115,20 @@ class Engine:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until!r} is in the past (now={self.now!r})")
-        while self._queue:
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self.now = until
-                return self.now
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self.now = until
+                    return self.now
+                time, _seq, event = pop(queue)
+                self.now = time
+                processed += 1
+                event._process()
+        finally:
+            self._events_processed += processed
         if until is not None:
             self.now = until
         if check_deadlock and self._live_processes:
@@ -126,7 +159,10 @@ class Engine:
         if until is not None and until < self.now:
             raise SimulationError(f"until={until!r} is in the past (now={self.now!r})")
         # Count completions via callbacks so the loop stays O(1) per
-        # step (scanning all targets each step would tax large runs).
+        # step; the counter alone decides completion (every counted
+        # target gets exactly one _one_done callback, which only fires
+        # after the event triggered), so no per-step re-scan of the
+        # target list is needed.
         pending = sum(1 for event in targets if not event.triggered)
 
         def _one_done(_event: Event) -> None:
@@ -136,15 +172,23 @@ class Engine:
         for event in targets:
             if not event.triggered:
                 event.add_callback(_one_done)
-        while self._queue:
-            if pending == 0 and all(event.triggered for event in targets):
-                return self.now
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self.now = until
-                return self.now
-            self.step()
-        if all(event.triggered for event in targets):
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if pending == 0:
+                    return self.now
+                if until is not None and queue[0][0] > until:
+                    self.now = until
+                    return self.now
+                time, _seq, event = pop(queue)
+                self.now = time
+                processed += 1
+                event._process()
+        finally:
+            self._events_processed += processed
+        if pending == 0:
             return self.now
         if check_deadlock and self._live_processes:
             blocked = tuple(sorted(repr(p) for p in self._live_processes))

@@ -18,6 +18,7 @@ event is processed.
 from __future__ import annotations
 
 import typing as t
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -96,15 +97,20 @@ class Event:
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: t.Any = None) -> "Event":
         """Mark the event successful and enqueue its callbacks."""
-        if self.triggered:
+        if self._value is not UNSET or self._exception is not None:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
-        self.engine._enqueue_event(self)
+        # Inlined Engine._enqueue_event(self) — this is the hottest
+        # trigger path in the simulator (every grant, delivery and
+        # process completion lands here).
+        engine = self.engine
+        engine._seq += 1
+        heappush(engine._queue, (engine.now, engine._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Mark the event failed; waiting processes will see ``exception``."""
-        if self.triggered:
+        if self._value is not UNSET or self._exception is not None:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
@@ -145,17 +151,37 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds after ``delay`` units of virtual time."""
+    """An event that succeeds after ``delay`` units of virtual time.
+
+    The hot path of every simulation: holds, barrier costs, wire
+    latencies and retry timers all come through here, so construction
+    stays allocation-light — the descriptive ``timeout(...)`` label is
+    only rendered on demand by :meth:`__repr__`, never eagerly.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: t.Any = None, name: str = "") -> None:
         if delay < 0:
             raise SimulationError(f"Timeout delay must be >= 0, got {delay!r}")
-        super().__init__(engine, name or f"timeout({delay:.6g})")
-        self.delay = float(delay)
+        # Inlined Event.__init__ + Engine._enqueue_event: a Timeout is
+        # born triggered, so both collapse to slot stores and one push.
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
+        self._exception = None
+        self._processed = False
+        delay = float(delay)
+        self.delay = delay
         self._value = value if value is not None else delay
-        engine._enqueue_event(self, delay=self.delay)
+        engine._seq += 1
+        heappush(engine._queue, (engine.now + delay, engine._seq, self))
+
+    def __repr__(self) -> str:
+        if not self.name:
+            state = "processed" if self._processed else "triggered"
+            return f"<timeout({self.delay:.6g}) {state} at t={self.engine.now:.6g}>"
+        return super().__repr__()
 
 
 class _Condition(Event):

@@ -40,6 +40,7 @@ class Resource:
         self.engine = engine
         self.capacity = int(capacity)
         self.name = name or "resource"
+        self._request_name = self.name + ".request"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         #: Cumulative busy time integral (for utilisation statistics).
@@ -78,7 +79,7 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that succeeds when a unit is granted."""
-        event = Event(self.engine, f"{self.name}.request")
+        event = Event(self.engine, self._request_name)
         if self._in_use < self.capacity and not self._waiters:
             self._note_change()
             self._in_use += 1
@@ -129,6 +130,7 @@ class Store:
     def __init__(self, engine: Engine, name: str = "") -> None:
         self.engine = engine
         self.name = name or "store"
+        self._get_name = self.name + ".get"
         self._items: deque[t.Any] = deque()
         self._getters: deque[tuple[Event, t.Callable[[t.Any], bool] | None]] = deque()
         self._closed = False
@@ -164,7 +166,7 @@ class Store:
 
     def get(self, predicate: t.Callable[[t.Any], bool] | None = None) -> Event:
         """Return an event yielding the oldest item matching ``predicate``."""
-        event = Event(self.engine, f"{self.name}.get")
+        event = Event(self.engine, self._get_name)
         if self._closed:
             event.fail(self._close_exception)
             return event
@@ -175,6 +177,23 @@ class Store:
                 return event
         self._getters.append((event, predicate))
         return event
+
+    def try_take(self, predicate: t.Callable[[t.Any], bool] | None = None) -> t.Any | None:
+        """Synchronously remove and return the oldest matching item.
+
+        Returns ``None`` when nothing matches — the non-blocking probe
+        path, without the :class:`Event` round-trip of :meth:`get`.
+        """
+        if self._closed:
+            raise SimulationError(f"try_take() on closed store {self.name!r}")
+        items = self._items
+        if predicate is None:
+            return items.popleft() if items else None
+        for i, item in enumerate(items):
+            if predicate(item):
+                del items[i]
+                return item
+        return None
 
     def peek_all(self) -> tuple[t.Any, ...]:
         """Snapshot of currently stored items (oldest first)."""

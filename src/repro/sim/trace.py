@@ -44,7 +44,15 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only trace with simple aggregation queries."""
+    """An append-only trace with simple aggregation queries.
+
+    Hot paths should guard argument evaluation on :attr:`enabled`
+    (``if trace.enabled: trace.emit(...)``) so a disabled trace costs a
+    single attribute read per candidate record — :meth:`emit` still
+    no-ops defensively either way.
+    """
+
+    __slots__ = ("enabled", "records")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled

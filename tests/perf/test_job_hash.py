@@ -1,0 +1,132 @@
+"""Properties of the SimJob content hash.
+
+The hash is the cache key for every layer of the sweep executor, so it
+must be canonical (spelling order cannot matter), discriminating (any
+configuration change must change it) and process-independent (no
+``PYTHONHASHSEED`` or ``id()`` leakage).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import flat_cluster, ucf_testbed
+from repro.collectives import RootPolicy, WorkloadPolicy
+from repro.errors import ReproError
+from repro.perf import APP_OPS, COLLECTIVE_OPS, SimJob
+from repro.perf.job import content_tokens
+
+
+def _hash(job: SimJob) -> str:
+    return job.content_hash
+
+
+class TestCanonical:
+    def test_kwarg_spelling_order_is_irrelevant(self):
+        topology = ucf_testbed(4)
+        a = SimJob.collective(
+            "gather", topology, 1000, root=RootPolicy.FASTEST, seed=7
+        )
+        b = SimJob.collective(
+            "gather", topology, 1000, seed=7, root=RootPolicy.FASTEST
+        )
+        assert _hash(a) == _hash(b)
+
+    def test_equal_topologies_hash_equally(self):
+        a = SimJob.collective("gather", ucf_testbed(4), 1000, seed=0)
+        b = SimJob.collective("gather", ucf_testbed(4), 1000, seed=0)
+        assert a.topology is not b.topology
+        assert _hash(a) == _hash(b)
+
+    def test_dict_kwarg_insertion_order_is_irrelevant(self):
+        out_ab: list[bytes] = []
+        out_ba: list[bytes] = []
+        content_tokens({"a": 1, "b": 2}, out_ab)
+        content_tokens({"b": 2, "a": 1}, out_ba)
+        assert b"".join(out_ab) == b"".join(out_ba)
+
+    def test_hash_is_pythonhashseed_independent(self):
+        script = (
+            "from repro.cluster.presets import ucf_testbed\n"
+            "from repro.perf import SimJob\n"
+            "from repro.collectives import RootPolicy\n"
+            "job = SimJob.collective('gather', ucf_testbed(4), 1000,\n"
+            "                        root=RootPolicy.FASTEST, seed=3)\n"
+            "print(job.content_hash)\n"
+        )
+        digests = set()
+        for hashseed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env.setdefault("PYTHONPATH", "src")
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestDiscriminating:
+    def test_every_field_feeds_the_hash(self):
+        topology = ucf_testbed(4)
+        base = SimJob.collective("gather", topology, 1000, seed=0)
+        variants = [
+            SimJob.collective("scatter", topology, 1000, seed=0),
+            SimJob.collective("gather", flat_cluster(4), 1000, seed=0),
+            SimJob.collective("gather", ucf_testbed(5), 1000, seed=0),
+            SimJob.collective("gather", topology, 1001, seed=0),
+            SimJob.collective("gather", topology, 1000, seed=1),
+            SimJob.collective("gather", topology, 1000, seed=0,
+                              root=RootPolicy.SLOWEST),
+        ]
+        digests = {_hash(base), *(_hash(v) for v in variants)}
+        assert len(digests) == len(variants) + 1
+
+    def test_enum_members_are_distinguished(self):
+        topology = ucf_testbed(4)
+        a = SimJob.collective("gather", topology, 1000,
+                              workload=WorkloadPolicy.EQUAL)
+        b = SimJob.collective("gather", topology, 1000,
+                              workload=WorkloadPolicy.BALANCED)
+        assert _hash(a) != _hash(b)
+
+    def test_int_and_float_do_not_collide(self):
+        out_int: list[bytes] = []
+        out_float: list[bytes] = []
+        content_tokens(1, out_int)
+        content_tokens(1.0, out_float)
+        assert b"".join(out_int) != b"".join(out_float)
+
+    def test_array_content_and_dtype_feed_the_hash(self):
+        def digest(array):
+            out: list[bytes] = []
+            content_tokens(array, out)
+            return b"".join(out)
+
+        base = digest(np.array([1, 2, 3], dtype=np.int32))
+        assert digest(np.array([1, 2, 4], dtype=np.int32)) != base
+        assert digest(np.array([1, 2, 3], dtype=np.int64)) != base
+
+
+class TestValidation:
+    def test_unknown_ops_raise(self):
+        topology = ucf_testbed(2)
+        with pytest.raises(ReproError, match="unknown collective"):
+            SimJob.collective("sample_sort", topology, 10)
+        with pytest.raises(ReproError, match="unknown app"):
+            SimJob.app("gather", topology, 10)
+
+    def test_op_registries_are_disjoint(self):
+        assert not set(COLLECTIVE_OPS) & set(APP_OPS)
+
+    def test_unsupported_kwarg_types_raise(self):
+        job = SimJob.collective(
+            "gather", ucf_testbed(2), 10, callback=lambda: None
+        )
+        with pytest.raises(ReproError, match="cannot content-hash"):
+            job.content_hash

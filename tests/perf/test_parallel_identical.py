@@ -1,0 +1,43 @@
+"""End-to-end determinism: parallel sweeps render byte-identical reports.
+
+These are the property tests backing the ``--jobs`` flag's contract —
+the rendered experiment artifacts (including the seeded robustness
+report, whose fault coins are schedule-sensitive by construction) must
+be byte-for-byte identical whatever the worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3_gather import fig3a_gather_root
+from repro.experiments.robustness import robustness_report
+from repro.perf import sweep
+
+
+def _render(factory, jobs: int) -> str:
+    with sweep(jobs=jobs):
+        return factory().render()
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_fig3a_report_is_byte_identical_under_parallelism(jobs):
+    def factory():
+        return fig3a_gather_root(sizes_kb=[100], processor_counts=[2, 3])
+
+    assert _render(factory, jobs) == _render(factory, 1)
+
+
+@pytest.mark.parametrize("jobs", [4])
+def test_seeded_robustness_report_is_byte_identical_under_parallelism(jobs):
+    def factory():
+        return robustness_report(processor_counts=(2,), seed=3)
+
+    assert _render(factory, jobs) == _render(factory, 1)
+
+
+def test_repeated_serial_renders_are_stable():
+    def factory():
+        return robustness_report(processor_counts=(2,), seed=3)
+
+    assert _render(factory, 1) == _render(factory, 1)
