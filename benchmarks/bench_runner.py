@@ -10,7 +10,14 @@ Emits two machine-readable artifacts next to this file's repo root:
 ``BENCH_sweep.json``
     Wall-clock of the full experiment sweep (``python -m
     repro.experiments all``), serial and parallel, against the recorded
-    pre-optimisation seed baseline.
+    pre-optimisation seed baseline — plus a cold/warm pair against a
+    fresh persistent cache (the warm run must not be slower, and its
+    output must be byte-identical).
+
+``BENCH_kernels.json``
+    Scalar ``predict_*`` loop vs one vectorized
+    ``repro.model.kernels`` evaluation over the same grid (the ledgers
+    are bit-identical; only the wall-clock differs).
 
 Modes:
 
@@ -37,6 +44,7 @@ import platform
 import statistics
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -52,6 +60,14 @@ QUICK_EXPERIMENTS = ["fig3a", "fig4a", "model-vs-sim"]
 
 #: Regression gate: fail ``--check`` beyond this slowdown factor.
 REGRESSION_LIMIT = 1.25
+
+#: Minimum vectorized-vs-scalar speedup ``--check`` accepts.
+KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: A warm-cache run may exceed the cold run by at most this factor
+#: before ``--check`` fails (small head-room for timer noise; the real
+#: expectation is warm << cold).
+WARM_CACHE_LIMIT = 1.05
 
 
 # -- substrate microbenchmarks -------------------------------------------------
@@ -167,11 +183,22 @@ def run_substrate(quick: bool, repeats: int) -> list[dict]:
 
 
 # -- sweep wall-clock ----------------------------------------------------------
-def _time_sweep(experiments: list[str], jobs: int, runs: int) -> list[float]:
-    command = [sys.executable, "-m", "repro.experiments", *experiments]
+def _time_sweep(
+    experiments: list[str],
+    jobs: int,
+    runs: int,
+    cache_args: tuple[str, ...] = ("--no-cache",),
+) -> tuple[list[float], list[str]]:
+    """Timings and captured stdout of ``runs`` sweep subprocesses.
+
+    Default ``--no-cache`` keeps the regression-comparable timings
+    measuring the simulator, not the persistent cache (and comparable
+    to the pre-cache seed baseline).
+    """
+    command = [sys.executable, "-m", "repro.experiments", *experiments, *cache_args]
     if jobs != 1:
         command += ["--jobs", str(jobs)]
-    timings = []
+    timings, outputs = [], []
     for _ in range(runs):
         start = time.perf_counter()
         result = subprocess.run(
@@ -184,16 +211,17 @@ def _time_sweep(experiments: list[str], jobs: int, runs: int) -> list[float]:
                 f"sweep failed (rc={result.returncode}):\n{result.stderr[-2000:]}"
             )
         timings.append(elapsed)
-    return timings
+        outputs.append(result.stdout)
+    return timings, outputs
 
 
 def run_sweep(quick: bool, runs: int, parallel_jobs: int) -> dict:
     experiments = QUICK_EXPERIMENTS if quick else ["all"]
     label = " ".join(experiments)
     print(f"  timing: python -m repro.experiments {label}  (x{runs})")
-    serial = _time_sweep(experiments, 1, runs)
+    serial, _ = _time_sweep(experiments, 1, runs)
     print(f"    serial: {', '.join(f'{s:.3f}s' for s in serial)}")
-    parallel = _time_sweep(experiments, parallel_jobs, runs)
+    parallel, _ = _time_sweep(experiments, parallel_jobs, runs)
     print(f"    --jobs {parallel_jobs}: "
           f"{', '.join(f'{s:.3f}s' for s in parallel)}")
     entry = {
@@ -209,6 +237,92 @@ def run_sweep(quick: bool, runs: int, parallel_jobs: int) -> dict:
         entry["speedup_vs_seed"] = round(
             SEED_BASELINE_SECONDS / entry["serial_seconds"], 2
         )
+    return entry
+
+
+def run_cache(quick: bool) -> dict:
+    """Cold vs warm sweep against a fresh persistent cache."""
+    experiments = QUICK_EXPERIMENTS if quick else ["all"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold, cold_out = _time_sweep(experiments, 1, 1, ("--cache-dir", tmp))
+        warm, warm_out = _time_sweep(experiments, 1, 1, ("--cache-dir", tmp))
+    entry = {
+        "experiments": " ".join(experiments),
+        "cold_seconds": round(cold[0], 3),
+        "warm_seconds": round(warm[0], 3),
+        "warm_over_cold": round(warm[0] / cold[0], 2),
+        "outputs_identical": cold_out[0] == warm_out[0],
+    }
+    print(f"    cold: {entry['cold_seconds']:.3f}s  "
+          f"warm: {entry['warm_seconds']:.3f}s  "
+          f"({entry['warm_over_cold']:.2f}x, outputs identical: "
+          f"{entry['outputs_identical']})")
+    return entry
+
+
+# -- analytic kernels ----------------------------------------------------------
+def run_kernels(quick: bool, repeats: int) -> dict:
+    """Scalar ``predict_*`` loop vs one vectorized kernel evaluation.
+
+    Both paths produce the exact same ledger totals (asserted here);
+    the entry records the wall-clock ratio on an identical grid.
+    """
+    import numpy as np
+
+    from repro.cluster.presets import ucf_testbed
+    from repro.model.kernels import BroadcastKernel, GatherKernel
+    from repro.model.params import calibrate
+    from repro.model.predict import predict_broadcast, predict_gather
+
+    params = calibrate(ucf_testbed(10))
+    sizes = [1_000, 16_000, 128_000, 1_000_000]
+    copies = 8 if quick else 64
+    points = [
+        (n, root) for _ in range(copies) for n in sizes for root in range(params.p)
+    ]
+    ns = np.array([n for n, _ in points], dtype=np.int64)
+    roots = np.array([root for _, root in points], dtype=np.int64)
+
+    def scalar_gather():
+        return [predict_gather(params, n, root=root).total for n, root in points]
+
+    def kernel_gather():
+        return GatherKernel(params).evaluate(ns, roots=roots).totals
+
+    def scalar_broadcast():
+        return [
+            predict_broadcast(params, n, root=root, phases="two").total
+            for n, root in points
+        ]
+
+    def kernel_broadcast():
+        return BroadcastKernel(params).evaluate(ns, roots=roots, phases="two").totals
+
+    entry = {}
+    for name, scalar, kernel in (
+        ("gather", scalar_gather, kernel_gather),
+        ("broadcast", scalar_broadcast, kernel_broadcast),
+    ):
+        scalar_s, kernel_s = [], []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scalar_totals = scalar()
+            scalar_s.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            kernel_totals = kernel()
+            kernel_s.append(time.perf_counter() - start)
+        if list(kernel_totals) != scalar_totals:
+            raise RuntimeError(f"{name}: kernel totals diverge from scalar")
+        best_scalar, best_kernel = min(scalar_s), min(kernel_s)
+        entry[name] = {
+            "points": len(points),
+            "scalar_seconds": round(best_scalar, 4),
+            "kernel_seconds": round(best_kernel, 4),
+            "speedup": round(best_scalar / best_kernel, 1),
+        }
+        print(f"  {name:10s} {len(points)} points: scalar "
+              f"{best_scalar * 1e3:7.1f} ms, kernel {best_kernel * 1e3:6.1f} ms "
+              f"({entry[name]['speedup']:.1f}x)")
     return entry
 
 
@@ -258,8 +372,12 @@ def main(argv: list[str] | None = None) -> int:
 
     print("substrate microbenchmarks:")
     substrate = run_substrate(args.quick, repeats)
+    print("analytic kernels (scalar loop vs vectorized):")
+    kernels_entry = run_kernels(args.quick, repeats)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
+    print("  persistent cache (cold vs warm, fresh --cache-dir):")
+    sweep_entry["cache"] = run_cache(args.quick)
 
     scope = "quick" if args.quick else "full"
     machine = _machine_info()
@@ -272,16 +390,28 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "python -m repro.experiments wall-clock",
         "machine": machine,
         "note": (
-            "parallel timings on a 1-CPU host are expected to be slower "
-            "than serial (pool overhead with no cores to fan over); the "
-            "headline speedup is serial vs the recorded seed baseline"
+            "the CLI clamps --jobs to the host's cores (serially on a "
+            "1-CPU host), so the parallel timing matches serial there; "
+            "the headline speedup is serial vs the recorded seed "
+            "baseline; serial/parallel timings use --no-cache (the "
+            "'cache' block times the persistent cache separately)"
         ),
         scope: sweep_entry,
+    }
+    kernels_doc = {
+        "benchmark": "repro.model.kernels vs scalar predict_*",
+        "machine": machine,
+        "note": (
+            "identical grids, bit-identical totals (asserted during the "
+            "run); the speedup is pure vectorization"
+        ),
+        scope: kernels_entry,
     }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
     sweep_path = args.output_dir / "BENCH_sweep.json"
+    kernels_path = args.output_dir / "BENCH_kernels.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -289,11 +419,28 @@ def main(argv: list[str] | None = None) -> int:
         regressed = check_regression(
             sweep_path, sweep_entry["serial_seconds"], "serial_seconds", scope
         )
+        cache = sweep_entry["cache"]
+        warm_ok = (
+            cache["warm_seconds"] <= cache["cold_seconds"] * WARM_CACHE_LIMIT
+            and cache["outputs_identical"]
+        )
+        print(f"  warm cache: {cache['warm_seconds']:.3f}s vs cold "
+              f"{cache['cold_seconds']:.3f}s, outputs identical: "
+              f"{cache['outputs_identical']} -> "
+              f"{'ok' if warm_ok else 'REGRESSION'}")
+        regressed |= not warm_ok
+        for name, bench in kernels_entry.items():
+            kernel_ok = bench["speedup"] >= KERNEL_SPEEDUP_FLOOR
+            print(f"  kernel {name}: {bench['speedup']:.1f}x "
+                  f"(floor {KERNEL_SPEEDUP_FLOOR:.0f}x) -> "
+                  f"{'ok' if kernel_ok else 'REGRESSION'}")
+            regressed |= not kernel_ok
     else:
         # Preserve the other scope ("full" vs "quick") when present so a
         # --quick run never clobbers the committed full-run numbers.
         for path, doc in ((substrate_path, substrate_doc),
-                          (sweep_path, sweep_doc)):
+                          (sweep_path, sweep_doc),
+                          (kernels_path, kernels_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

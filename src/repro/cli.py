@@ -210,11 +210,12 @@ def _cmd_experiment(
     plot: bool = False,
     seed: int | None = None,
     jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> int:
     from repro.experiments import run_experiment
-    from repro.perf import sweep
+    from repro.perf import effective_jobs, sweep
 
-    with sweep(jobs=jobs):
+    with sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir):
         report = run_experiment(experiment_id, seed=seed)
     print(report.render(plot=plot))
     return 0
@@ -259,6 +260,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     experiment_parser.add_argument("--jobs", type=int, default=1,
                                    help="worker processes for the simulation "
                                    "sweep (output is bit-identical)")
+    experiment_parser.add_argument("--cache-dir", default=None,
+                                   help="persist sweep results under this "
+                                   "directory and reuse them across runs")
 
     args = parser.parse_args(argv)
     try:
@@ -279,7 +283,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             )
         if args.command == "experiment":
             return _cmd_experiment(
-                args.id, plot=args.plot, seed=args.seed, jobs=args.jobs
+                args.id, plot=args.plot, seed=args.seed, jobs=args.jobs,
+                cache_dir=args.cache_dir,
             )
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")

@@ -22,14 +22,13 @@ from repro.cluster.presets import (
 )
 from repro.experiments.improvement import ExperimentReport, improvement_factor
 from repro.perf import SimJob, evaluate
+from repro.model.kernels import BroadcastKernel, GatherKernel
 from repro.model.params import calibrate
 from repro.model.predict import (
     paper_broadcast_hbsp1_one_phase,
     paper_broadcast_hbsp1_two_phase,
     paper_broadcast_hbsp2_super2_one_phase,
     paper_broadcast_hbsp2_super2_two_phase,
-    predict_broadcast,
-    predict_gather,
 )
 from repro.util.tables import AsciiTable
 from repro.util.units import BYTES_PER_INT, kb
@@ -106,6 +105,17 @@ def sec4_broadcast_phases(
     for index, (label, _slow, p) in enumerate(grid):
         t_one, t_two = results[2 * index].time, results[2 * index + 1].time
         series.setdefault(f"sim {label}", {})[p] = improvement_factor(t_one, t_two)
+    # Exact-model counterpart of each sim series: both phase schemes of
+    # every calibrated cluster, each topology one batched kernel grid.
+    for label, nic_slowdown, p in grid:
+        params = calibrate(flat_cluster(p, nic_slowdown=nic_slowdown))
+        model = BroadcastKernel(params).evaluate(
+            np.array([n, n], dtype=np.int64), phases=["one", "two"]
+        )
+        m_one, m_two = model.totals
+        series.setdefault(f"model {label}", {})[p] = improvement_factor(
+            float(m_one), float(m_two)
+        )
 
     # Analytic appendix: the paper's simplified HBSP^1 formulas and the
     # HBSP^2 super2-step comparison in both regimes.
@@ -237,10 +247,21 @@ def sec4_gather_hierarchy(
         t_flat, t_hier, balanced, oversized = results[4 * index:4 * index + 4]
         series["hier/flat"][size_kb] = t_hier.time / t_flat.time
         series["oversized/balanced"][size_kb] = oversized.time / balanced.time
+    # Model-side curve: the same hier/flat ratio from the analytic cost
+    # kernels — every size of both machines in one batched pass each.
+    ns = np.array([_items(size_kb) for size_kb in grid], dtype=np.int64)
+    hier_kernel = GatherKernel(calibrate(hier))
+    flat_totals = GatherKernel(calibrate(flat)).evaluate(ns).totals
+    hier_totals = hier_kernel.evaluate(ns).totals
+    series["model hier/flat"] = {
+        size_kb: float(t_hier / t_flat)
+        for size_kb, t_hier, t_flat in zip(grid, hier_totals, flat_totals)
+    }
 
     # Analytic appendix: per-level ledger of the hierarchical gather.
-    params = calibrate(hier)
-    ledger = predict_gather(params, _items(500))
+    ledger = hier_kernel.evaluate(
+        np.array([_items(500)], dtype=np.int64)
+    ).ledger(0)
     return ExperimentReport(
         experiment_id="sec4-gather-hierarchy",
         title="Gather: hierarchy penalty and unbalanced h-relations",

@@ -97,17 +97,62 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         help="worker processes for the simulation sweeps (default: serial); "
         "output is bit-identical at any value",
     )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="persistent result cache location (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps); repeated "
+        "invocations skip already-computed grid points",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache for this invocation",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each experiment and dump the top functions by "
+        "cumulative time",
+    )
+    parser.add_argument(
+        "--profile-limit", type=int, default=15,
+        help="rows to show per experiment with --profile (default: 15)",
+    )
     args = parser.parse_args(argv)
     wanted = list(args.experiment)
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)
     # One executor for the whole invocation (even serially): experiments
     # sharing grid points simulate them once.
-    from repro.perf import sweep
+    from repro.perf import default_cache_dir, effective_jobs, sweep
 
-    with sweep(jobs=args.jobs):
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    with sweep(jobs=effective_jobs(args.jobs), cache_dir=cache_dir):
         for experiment_id in wanted:
-            report = run_experiment(experiment_id, seed=args.seed)
+            if args.profile:
+                report = _profiled(experiment_id, args.seed, args.profile_limit)
+            else:
+                report = run_experiment(experiment_id, seed=args.seed)
             print(report.render())
             print()
     return 0
+
+
+def _profiled(experiment_id: str, seed: int | None, limit: int) -> ExperimentReport:
+    """Run one experiment under cProfile, dumping top-N to stderr."""
+    import cProfile
+    import io
+    import pstats
+    import sys
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        report = run_experiment(experiment_id, seed=seed)
+    finally:
+        profile.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(limit)
+        print(f"--- profile: {experiment_id} (top {limit} by cumulative) ---",
+              file=sys.stderr)
+        print(buffer.getvalue(), file=sys.stderr)
+    return report

@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import typing as t
 
+import numpy as np
+
 from repro.cluster.presets import ucf_testbed
 from repro.experiments.improvement import ExperimentReport
+from repro.model.kernels import BroadcastKernel, GatherKernel
+from repro.model.params import calibrate
 from repro.perf import SimJob, evaluate
+from repro.util.tables import AsciiTable
 
 __all__ = ["app_scaling"]
 
@@ -70,6 +75,23 @@ def app_scaling(
             time = results[(1 + block) * len(apps) + offset].time
             speedup = baselines[app] / time
             series[app][p] = speedup if metric == "speedup" else speedup / capacity
+    # Appendix: what the cost model prices communication at per p —
+    # the analytic gather/broadcast cost (vectorized kernels, no DES)
+    # next to the capacity bound the speedups are judged against.
+    n_comm = 128_000
+    table = AsciiTable(
+        f"analytic communication cost vs p (kernels, n={n_comm} items)",
+        ["p", "capacity bound", "gather seconds", "broadcast seconds"],
+    )
+    ns = np.array([n_comm], dtype=np.int64)
+    for p in processor_counts:
+        topology = ucf_testbed(p)
+        fastest_rate = max(m.cpu_rate for m in topology.machines)
+        capacity = sum(m.cpu_rate for m in topology.machines) / fastest_rate
+        params = calibrate(topology)
+        gather_cost = float(GatherKernel(params).evaluate(ns).totals[0])
+        bcast_cost = float(BroadcastKernel(params).evaluate(ns).totals[0])
+        table.add_row([p, capacity, gather_cost, bcast_cost])
     return ExperimentReport(
         experiment_id="scaling",
         title=f"Application {metric} on the heterogeneous testbed",
@@ -83,5 +105,9 @@ def app_scaling(
             "communication-bound ones (sample_sort's exchange, matvec's "
             "vector all-gather) saturate early — adding one slow machine "
             "at p=2 can even hurt",
+            "the appendix prices the collectives analytically: the "
+            "model's communication cost grows with p while the capacity "
+            "bound saturates — the scissors behind the efficiency fall",
         ],
+        extra=table.render(),
     )

@@ -13,13 +13,23 @@ This package is the paper's primary contribution (Section 3):
   itemised :class:`~repro.model.cost.CostLedger`;
 * :mod:`repro.model.predict` — closed-form costs for every algorithm
   analysed in Section 4 (gather, one-phase and two-phase broadcast, at
-  levels 1, 2, and general k).
+  levels 1, 2, and general k);
+* :mod:`repro.model.kernels` — the same predictions vectorized: whole
+  grids of ``(n, root, workload, phases)`` points in one numpy pass,
+  bit-identical to the scalar predictors.
 """
 
 from repro.model.tree import HBSPNode, HBSPTree
 from repro.model.params import HBSPParams, calibrate
 from repro.model.cost import CostLedger, SuperstepCost, h_relation, superstep_cost
 from repro.model import predict
+from repro.model.kernels import (
+    BroadcastKernel,
+    GatherKernel,
+    KernelGrid,
+    balanced_counts,
+    equal_counts,
+)
 from repro.model.planner import best_broadcast_phases, best_root, hierarchy_penalty
 from repro.model.probe import LinkEstimate, ProbeReport, probe_link, probe_params, probe_sync
 
@@ -33,6 +43,11 @@ __all__ = [
     "h_relation",
     "superstep_cost",
     "predict",
+    "BroadcastKernel",
+    "GatherKernel",
+    "KernelGrid",
+    "balanced_counts",
+    "equal_counts",
     "best_broadcast_phases",
     "best_root",
     "hierarchy_penalty",

@@ -6,6 +6,13 @@ Given calibrated parameters and a problem size, the planner enumerates
 the algorithm's discrete choices (which phase scheme per level, which
 root) and returns the configuration the cost model predicts to be the
 cheapest.  The benchmarks validate the plans against simulation.
+
+The enumeration is batched: every candidate configuration becomes one
+point of a single :mod:`repro.model.kernels` evaluation (all ``2^k``
+phase combinations, or all ``p`` roots, in one vectorized pass) instead
+of a Python loop over scalar ``predict_*`` calls.  The kernels are
+bit-identical to the scalar predictors, so the argmin — and the ledger
+returned for it — are exactly what the scalar enumeration would pick.
 """
 
 from __future__ import annotations
@@ -13,8 +20,11 @@ from __future__ import annotations
 import itertools
 import typing as t
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.model.cost import CostLedger
+from repro.model.kernels import BroadcastKernel, GatherKernel
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_broadcast, predict_gather
 
@@ -30,20 +40,21 @@ def best_broadcast_phases(
     """The per-level one-/two-phase choice with the lowest predicted cost.
 
     Enumerates all ``2^k`` combinations (k is small by construction)
-    and returns ``(phases, predicted_ledger)``.  The choice captures
-    both Section-4.4 regimes: one-phase for tiny fan-outs or when
-    ``r_{i,s} > m``, two-phase otherwise.
+    as one kernel grid and returns ``(phases, predicted_ledger)``.  The
+    choice captures both Section-4.4 regimes: one-phase for tiny
+    fan-outs or when ``r_{i,s} > m``, two-phase otherwise.
     """
     if params.k < 1:
         raise ModelError("broadcast planning needs k >= 1")
-    best: tuple[dict[int, str], CostLedger] | None = None
-    for combo in itertools.product(("one", "two"), repeat=params.k):
-        phases = {level: combo[level - 1] for level in range(1, params.k + 1)}
-        ledger = predict_broadcast(params, n, root=root, phases=phases)
-        if best is None or ledger.total < best[1].total:
-            best = (phases, ledger)
-    assert best is not None
-    return best
+    specs = [
+        {level: combo[level - 1] for level in range(1, params.k + 1)}
+        for combo in itertools.product(("one", "two"), repeat=params.k)
+    ]
+    grid = BroadcastKernel(params).evaluate(
+        np.full(len(specs), n, dtype=np.int64), roots=root, phases=specs
+    )
+    best = int(np.argmin(grid.totals))  # first minimum, like the scalar scan
+    return specs[best], grid.ledger(best)
 
 
 def best_root(
@@ -55,29 +66,32 @@ def best_root(
 ) -> tuple[int, CostLedger]:
     """The root pid with the lowest predicted cost for a collective.
 
-    Supports ``"gather"`` and ``"broadcast"``.  For the gather the
-    model recommends the fastest processor (its drain rate dominates
-    the h-relation); for the broadcast, the choice barely matters —
-    which is itself the paper's finding, visible in the near-tie this
+    Supports ``"gather"`` and ``"broadcast"``.  All ``p`` candidate
+    roots are evaluated as one kernel grid.  For the gather the model
+    recommends the fastest processor (its drain rate dominates the
+    h-relation); for the broadcast, the choice barely matters — which
+    is itself the paper's finding, visible in the near-tie this
     returns.
     """
-    predictors: dict[str, t.Callable[..., CostLedger]] = {
-        "gather": lambda root: predict_gather(params, n, root=root, counts=counts),
-        "broadcast": lambda root: predict_broadcast(params, n, root=root),
-    }
-    try:
-        predictor = predictors[collective]
-    except KeyError:
+    predictors = ("broadcast", "gather")
+    if collective not in predictors:
         raise ModelError(
             f"unknown collective {collective!r}; choose from {sorted(predictors)}"
-        ) from None
-    best: tuple[int, CostLedger] | None = None
-    for root in range(params.p):
-        ledger = predictor(root)
-        if best is None or ledger.total < best[1].total:
-            best = (root, ledger)
-    assert best is not None
-    return best
+        )
+    ns = np.full(params.p, n, dtype=np.int64)
+    roots = np.arange(params.p, dtype=np.int64)
+    if collective == "gather":
+        counts_grid = None
+        if counts is not None:
+            counts_grid = np.broadcast_to(
+                np.asarray(list(counts), dtype=np.int64),
+                (params.p, len(counts)),
+            )
+        grid = GatherKernel(params).evaluate(ns, roots=roots, counts=counts_grid)
+    else:
+        grid = BroadcastKernel(params).evaluate(ns, roots=roots)
+    best = int(np.argmin(grid.totals))
+    return best, grid.ledger(best)
 
 
 def hierarchy_penalty(

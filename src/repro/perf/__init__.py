@@ -7,18 +7,35 @@ process pool with ``python -m repro.experiments --jobs N``.  Parallel
 output is guaranteed bit-identical to serial output; see
 :mod:`repro.perf.executor` for the contract and docs/performance.md
 for the user-facing story.
+
+Results can also persist across invocations: pass ``cache_dir`` to
+:class:`SweepExecutor`/:func:`sweep` (the ``python -m
+repro.experiments`` CLI does so by default) and already-computed grid
+points are answered from the :class:`~repro.perf.diskcache.DiskCache`
+instead of being re-simulated.
 """
 
-from repro.perf.executor import SweepExecutor, current_executor, evaluate, sweep
+from repro.perf.diskcache import CACHE_SCHEMA_VERSION, DiskCache, default_cache_dir
+from repro.perf.executor import (
+    SweepExecutor,
+    current_executor,
+    effective_jobs,
+    evaluate,
+    sweep,
+)
 from repro.perf.job import APP_OPS, COLLECTIVE_OPS, SimJob, SimResult
 
 __all__ = [
     "APP_OPS",
+    "CACHE_SCHEMA_VERSION",
     "COLLECTIVE_OPS",
+    "DiskCache",
     "SimJob",
     "SimResult",
     "SweepExecutor",
     "current_executor",
+    "default_cache_dir",
+    "effective_jobs",
     "evaluate",
     "sweep",
 ]

@@ -1,0 +1,148 @@
+"""Persistent on-disk result cache for the sweep executor.
+
+PR 2's three cache layers (executor memo, per-batch dedupe, worker
+cache) all die with the process; this one survives it.  Results are
+stored one-JSON-file-per-entry under a *versioned* directory, keyed by
+the job's PYTHONHASHSEED-independent content hash, so a repeated
+``python -m repro.experiments`` invocation skips every grid point the
+previous run already simulated.
+
+Exactness
+---------
+
+Entries round-trip :class:`~repro.perf.job.SimResult` through JSON.
+``json`` serialises floats with ``repr`` (the shortest string that
+round-trips) and parses them back with ``float``, so the restored
+``time``/``predicted_time`` are the *same doubles* that were stored —
+warm-cache reports are byte-identical to cold-cache ones, which the
+tests enforce on rendered output.
+
+Invalidation
+------------
+
+Entries live under ``<root>/<version>/`` where the version string is
+``v{CACHE_SCHEMA_VERSION}-{repro.__version__}``.  Bumping either the
+schema constant (entry layout changed) or the package version (the
+simulator's outputs may have changed) orphans the old directory —
+lookups simply miss and the sweep recomputes.  ``wipe()`` (or deleting
+the directory) reclaims the space; nothing else reads it.
+
+Robustness
+----------
+
+The cache is an accelerator, never a correctness dependency: writes go
+to a temp file and ``os.replace`` into place (concurrent sweeps can't
+observe half an entry), and *any* failure to read an entry — missing,
+truncated, corrupted, wrong types, unreadable filesystem — is treated
+as a miss and recomputed.  Write failures (read-only or full disk) are
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.perf.job import SimResult
+
+__all__ = ["CACHE_SCHEMA_VERSION", "DiskCache", "default_cache_dir"]
+
+#: Bump when the on-disk entry layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Where sweep results persist when no ``--cache-dir`` is given.
+
+    ``$REPRO_CACHE_DIR`` if set; else ``$XDG_CACHE_HOME/repro/sweeps``;
+    else ``~/.cache/repro/sweeps``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+class DiskCache:
+    """Content-hash-keyed persistent store of :class:`SimResult`\\ s.
+
+    Parameters
+    ----------
+    root:
+        Cache root; the versioned entry directory is created beneath it
+        lazily, on the first ``put``.
+    version:
+        Override the version-directory name (tests use this to exercise
+        invalidation); default ``v{CACHE_SCHEMA_VERSION}-{__version__}``.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], *, version: str | None = None) -> None:
+        if version is None:
+            from repro import __version__
+
+            version = f"v{CACHE_SCHEMA_VERSION}-{__version__}"
+        self.root = Path(root)
+        self.version = version
+        self.dir = self.root / version
+
+    def _path(self, key: str) -> Path:
+        # Two-character fan-out keeps directory listings sane for large
+        # sweeps without hashing anything new.
+        return self.dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        """The stored result for ``key``, or ``None`` on any failure."""
+        try:
+            data = json.loads(self._path(key).read_text())
+            predicted = data["predicted_time"]
+            return SimResult(
+                name=str(data["name"]),
+                time=float(data["time"]),
+                predicted_time=None if predicted is None else float(predicted),
+                supersteps=int(data["supersteps"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Persist ``result`` atomically; failures are non-fatal."""
+        path = self._path(key)
+        payload = json.dumps(
+            {
+                "name": result.name,
+                "time": result.time,
+                "predicted_time": result.predicted_time,
+                "supersteps": result.supersteps,
+            }
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def wipe(self) -> None:
+        """Delete the whole cache root (all versions)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"DiskCache({str(self.dir)!r}, entries={len(self)})"

@@ -17,7 +17,7 @@ worker count:
 Caching
 -------
 
-Three layers, all keyed by the job content hash:
+Four layers, all keyed by the job content hash:
 
 * the executor memo — results live for the executor's lifetime, so a
   sweep that revisits a grid point (or two experiments sharing one)
@@ -26,7 +26,10 @@ Three layers, all keyed by the job content hash:
   submitted once;
 * the per-process worker cache — a worker that receives a hash it has
   already simulated answers from memory (cheap insurance when the same
-  executor evaluates overlapping batches).
+  executor evaluates overlapping batches);
+* the optional persistent :class:`~repro.perf.diskcache.DiskCache`
+  (``cache_dir=...``) — results survive the process, so repeated
+  invocations skip already-computed grid points entirely.
 
 Seeds are part of the hash (they are ordinary job kwargs), so entries
 can never be served across differing seeds.
@@ -36,12 +39,48 @@ from __future__ import annotations
 
 import contextlib
 import multiprocessing
+import os
+import sys
 import typing as t
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.perf.diskcache import DiskCache
 from repro.perf.job import SimJob, SimResult
 
-__all__ = ["SweepExecutor", "sweep", "current_executor", "evaluate"]
+__all__ = [
+    "SweepExecutor",
+    "sweep",
+    "current_executor",
+    "evaluate",
+    "effective_jobs",
+]
+
+
+def effective_jobs(requested: int) -> int:
+    """Clamp a ``--jobs`` request to what the host can actually use.
+
+    On a 1-CPU host the pool is a pure pessimisation (fork + pickling
+    overhead with no cores to fan over — see BENCH_sweep.json), and
+    more workers than cores just thrash; either way the request is
+    clamped with a one-line warning.  Library callers constructing
+    :class:`SweepExecutor` directly are untouched.
+    """
+    requested = max(1, int(requested))
+    cores = os.cpu_count() or 1
+    if requested > 1 and cores == 1:
+        print(
+            f"warning: --jobs {requested} on a 1-CPU host; running serially",
+            file=sys.stderr,
+        )
+        return 1
+    if requested > cores:
+        print(
+            f"warning: --jobs {requested} exceeds {cores} CPUs; "
+            f"clamping to {cores}",
+            file=sys.stderr,
+        )
+        return cores
+    return requested
 
 #: Worker-process result cache (content hash -> result).  Module-global
 #: so it persists for the worker's lifetime within a pool.
@@ -65,16 +104,32 @@ class SweepExecutor:
     jobs:
         Worker process count.  ``1`` (the default) runs everything in
         the calling process — no pool, no pickling, still cached.
+    cache_dir:
+        Optional root of a persistent :class:`DiskCache`.  ``None``
+        (the default) keeps all caching in-process, exactly as before.
+    cache_version:
+        Override the disk cache's version directory (tests only).
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache_dir: str | os.PathLike[str] | None = None,
+        cache_version: str | None = None,
+    ) -> None:
         self.jobs = max(1, int(jobs))
         self._memo: dict[str, SimResult] = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._disk: DiskCache | None = (
+            None if cache_dir is None else DiskCache(cache_dir, version=cache_version)
+        )
         #: Lookups answered from the memo (includes in-batch duplicates).
         self.cache_hits = 0
         #: Unique configurations actually simulated.
         self.cache_misses = 0
+        #: Unique configurations answered by the persistent disk cache.
+        self.disk_hits = 0
 
     # -- pool management -----------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -118,8 +173,18 @@ class SweepExecutor:
         for key, job in zip(keys, ordered):
             if key not in memo and key not in pending:
                 pending[key] = job
-        self.cache_misses += len(pending)
         self.cache_hits += len(keys) - len(pending)
+        if pending and self._disk is not None:
+            still_pending: dict[str, SimJob] = {}
+            for key, job in pending.items():
+                result = self._disk.get(key)
+                if result is None:
+                    still_pending[key] = job
+                else:
+                    memo[key] = result
+                    self.disk_hits += 1
+            pending = still_pending
+        self.cache_misses += len(pending)
         if pending:
             if self.jobs == 1:
                 for key, job in pending.items():
@@ -133,12 +198,16 @@ class SweepExecutor:
                     _execute_job, list(pending.items())
                 ):
                     memo[key] = result
+            if self._disk is not None:
+                for key in pending:
+                    self._disk.put(key, memo[key])
         return [memo[key] for key in keys]
 
     def __repr__(self) -> str:
         return (
             f"SweepExecutor(jobs={self.jobs}, cached={len(self._memo)}, "
-            f"hits={self.cache_hits}, misses={self.cache_misses})"
+            f"hits={self.cache_hits}, disk_hits={self.disk_hits}, "
+            f"misses={self.cache_misses})"
         )
 
 
@@ -152,17 +221,22 @@ def current_executor() -> SweepExecutor | None:
 
 
 @contextlib.contextmanager
-def sweep(jobs: int = 1) -> t.Iterator[SweepExecutor]:
+def sweep(
+    jobs: int = 1,
+    *,
+    cache_dir: str | os.PathLike[str] | None = None,
+) -> t.Iterator[SweepExecutor]:
     """Install a :class:`SweepExecutor` for the dynamic extent.
 
     Every :func:`evaluate` call inside the block shares the executor's
     memo, so experiments run back-to-back reuse each other's grid
     points.  ``jobs=1`` still installs the shared memo — the parallel
-    pool is only spun up for ``jobs > 1``.
+    pool is only spun up for ``jobs > 1``.  ``cache_dir`` additionally
+    persists results on disk across invocations.
     """
     global _current
     previous = _current
-    executor = SweepExecutor(jobs=jobs)
+    executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir)
     _current = executor
     try:
         yield executor

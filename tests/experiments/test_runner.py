@@ -56,3 +56,31 @@ class TestCli:
 
         assert main(["table1", "table1"]) == 0
         assert capsys.readouterr().out.count("[table1]") == 2
+
+    def test_profile_flag_dumps_stats(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--no-cache", "--profile",
+                     "--profile-limit", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "[table1]" in captured.out  # the report still renders
+        assert "--- profile: table1 (top 5 by cumulative) ---" in captured.err
+        assert "cumulative" in captured.err  # pstats column header
+
+    def test_cache_dir_flag_populates_cache(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig3a", "--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        entries = list(tmp_path.rglob("*.json"))
+        assert entries  # simulated grid points persisted
+
+        assert main(["fig3a", "--cache-dir", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == first  # warm == cold, byte-wise
+
+    def test_no_cache_flag_writes_nothing(self, monkeypatch, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table1", "--no-cache"]) == 0
+        assert list(tmp_path.rglob("*.json")) == []

@@ -1,0 +1,221 @@
+"""The persistent disk cache: hits, invalidation, corruption, identity.
+
+The cache is an accelerator with two hard promises: warm runs render
+byte-identical output to cold runs, and *no* on-disk state — missing,
+truncated, corrupted, or from another version — can ever break a sweep
+(worst case it recomputes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.presets import ucf_testbed
+from repro.collectives import RootPolicy
+from repro.experiments.fig3_gather import fig3a_gather_root
+from repro.perf import (
+    CACHE_SCHEMA_VERSION,
+    DiskCache,
+    SimJob,
+    SimResult,
+    SweepExecutor,
+    default_cache_dir,
+    effective_jobs,
+    sweep,
+)
+
+
+def _gather_job(seed: int = 0, n: int = 500, p: int = 3) -> SimJob:
+    return SimJob.collective(
+        "gather", ucf_testbed(p), n, root=RootPolicy.FASTEST, seed=seed
+    )
+
+
+def _result(name: str = "gather") -> SimResult:
+    return SimResult(name=name, time=1.25, predicted_time=1.5, supersteps=3)
+
+
+class TestDiskCache:
+    def test_round_trip_is_exact(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        stored = SimResult(
+            name="gather", time=0.1 + 0.2, predicted_time=1e-9 / 3.0, supersteps=7
+        )
+        cache.put("ab" + "0" * 62, stored)
+        restored = cache.get("ab" + "0" * 62)
+        assert restored == stored  # same doubles, not approximately
+
+    def test_absent_key_misses(self, tmp_path):
+        assert DiskCache(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_none_predicted_time_round_trips(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        stored = SimResult(name="app", time=2.0, predicted_time=None, supersteps=1)
+        cache.put("cd" + "0" * 62, stored)
+        assert cache.get("cd" + "0" * 62) == stored
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = DiskCache(tmp_path, version="v-old")
+        old.put("ab" + "0" * 62, _result())
+        new = DiskCache(tmp_path, version="v-new")
+        assert new.get("ab" + "0" * 62) is None
+        assert len(old) == 1 and len(new) == 0
+
+    def test_default_version_embeds_schema_constant(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.version.startswith(f"v{CACHE_SCHEMA_VERSION}-")
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",  # empty file
+            '{"name": "gather", "time": 1.2',  # truncated mid-entry
+            "not json at all",
+            '{"name": "gather"}',  # missing keys
+            '{"name": "gather", "time": "soon", '
+            '"predicted_time": null, "supersteps": 1}',  # wrong types
+            '[1, 2, 3]',  # wrong shape
+        ],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, payload):
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, _result())
+        path = cache.dir / key[:2] / f"{key}.json"
+        path.write_text(payload)
+        assert cache.get(key) is None
+
+    def test_put_overwrites_corrupt_entry(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, _result())
+        (cache.dir / key[:2] / f"{key}.json").write_text("garbage")
+        cache.put(key, _result())
+        assert cache.get(key) == _result()
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, _result())
+        leftovers = [
+            p for p in (cache.dir / key[:2]).iterdir() if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_write_failure_is_silent(self, tmp_path):
+        cache = DiskCache(tmp_path / "file-in-the-way")
+        (tmp_path / "file-in-the-way").write_text("")  # mkdir will fail
+        cache.put("ab" + "0" * 62, _result())  # must not raise
+        assert cache.get("ab" + "0" * 62) is None
+
+    def test_wipe_removes_everything(self, tmp_path):
+        cache = DiskCache(tmp_path / "sweeps")
+        cache.put("ab" + "0" * 62, _result())
+        cache.wipe()
+        assert not (tmp_path / "sweeps").exists()
+        assert len(cache) == 0
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"
+
+
+class TestExecutorIntegration:
+    def test_cold_then_warm(self, tmp_path):
+        jobs = [_gather_job(n=n) for n in (300, 600)]
+        cold = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        cold_results = cold.evaluate(jobs)
+        assert cold.disk_hits == 0 and cold.cache_misses == 2
+
+        warm = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        warm_results = warm.evaluate(jobs)
+        assert warm.disk_hits == 2 and warm.cache_misses == 0
+        assert warm_results == cold_results
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        job = _gather_job()
+        cold = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        expected = cold.evaluate([job])
+        key = job.content_hash
+        entry = cold._disk.dir / key[:2] / f"{key}.json"
+        entry.write_text(entry.read_text()[:10])  # truncate in place
+
+        warm = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        assert warm.evaluate([job]) == expected
+        assert warm.disk_hits == 0 and warm.cache_misses == 1
+        # ... and the recompute repaired the entry.
+        assert json.loads(entry.read_text())["supersteps"] >= 1
+
+    def test_version_bump_recomputes(self, tmp_path):
+        job = _gather_job()
+        old = SweepExecutor(jobs=1, cache_dir=tmp_path, cache_version="v-old")
+        expected = old.evaluate([job])
+        new = SweepExecutor(jobs=1, cache_dir=tmp_path, cache_version="v-new")
+        assert new.evaluate([job]) == expected
+        assert new.disk_hits == 0 and new.cache_misses == 1
+
+    def test_memo_still_shields_disk(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        job = _gather_job()
+        executor.evaluate([job, job])
+        executor.evaluate([job])
+        assert executor.cache_misses == 1
+        assert executor.disk_hits == 0  # memo answered, disk never probed
+        assert executor.cache_hits == 2
+
+    def test_counters_unchanged_without_cache_dir(self):
+        executor = SweepExecutor(jobs=1)
+        job = _gather_job()
+        executor.evaluate([job, job])
+        assert executor.disk_hits == 0
+        assert executor.cache_misses == 1 and executor.cache_hits == 1
+
+
+def _render(cache_dir) -> str:
+    with sweep(jobs=1, cache_dir=cache_dir):
+        return fig3a_gather_root(sizes_kb=[100], processor_counts=[2, 3]).render()
+
+
+class TestWarmColdIdentity:
+    def test_warm_render_is_byte_identical_to_cold(self, tmp_path):
+        cold = _render(tmp_path)
+        warm = _render(tmp_path)
+        assert warm == cold
+
+    def test_cached_render_matches_uncached(self, tmp_path):
+        with sweep(jobs=1):
+            uncached = fig3a_gather_root(
+                sizes_kb=[100], processor_counts=[2, 3]
+            ).render()
+        assert _render(tmp_path) == uncached
+
+
+class TestEffectiveJobs:
+    def test_serial_passes_through(self, capsys):
+        assert effective_jobs(1) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_clamps_on_single_cpu_host(self, monkeypatch, capsys):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert effective_jobs(4) == 1
+        assert "1-CPU host" in capsys.readouterr().err
+
+    def test_clamps_to_core_count(self, monkeypatch, capsys):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert effective_jobs(8) == 2
+        assert "clamping to 2" in capsys.readouterr().err
+
+    def test_within_cores_untouched(self, monkeypatch, capsys):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert effective_jobs(3) == 3
+        assert capsys.readouterr().err == ""
+
+    def test_nonpositive_becomes_serial(self):
+        assert effective_jobs(0) == 1
+        assert effective_jobs(-3) == 1
