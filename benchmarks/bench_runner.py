@@ -19,6 +19,11 @@ Emits two machine-readable artifacts next to this file's repo root:
     ``repro.model.kernels`` evaluation over the same grid (the ledgers
     are bit-identical; only the wall-clock differs).
 
+``BENCH_obs.json``
+    Observability overhead (``benchmarks/bench_obs_overhead.py``):
+    in-process experiment runs with observation off vs metrics-on vs
+    spans-on.  ``--check`` gates the metrics-on overhead under 3%.
+
 Modes:
 
 ``--quick``
@@ -367,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="where to write the BENCH_*.json artifacts")
     args = parser.parse_args(argv)
     sys.path.insert(0, str(SRC))
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_obs_overhead
+
     repeats = 1 if args.quick else 3
     runs = 1 if args.quick else args.runs
 
@@ -374,6 +382,8 @@ def main(argv: list[str] | None = None) -> int:
     substrate = run_substrate(args.quick, repeats)
     print("analytic kernels (scalar loop vs vectorized):")
     kernels_entry = run_kernels(args.quick, repeats)
+    print("observability overhead (off vs metrics vs spans):")
+    obs_entry = bench_obs_overhead.run_overhead(args.quick, 3 if args.quick else 5)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -407,11 +417,23 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: kernels_entry,
     }
+    obs_doc = {
+        "benchmark": "repro.obs overhead on in-process experiment runs",
+        "machine": machine,
+        "note": (
+            "off = no active observation (the default path); metrics = "
+            "observe(); spans = observe(spans=True), which turns the DES "
+            "trace on and is recorded unguarded; all three must render "
+            "byte-identical reports"
+        ),
+        scope: obs_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
     sweep_path = args.output_dir / "BENCH_sweep.json"
     kernels_path = args.output_dir / "BENCH_kernels.json"
+    obs_path = args.output_dir / "BENCH_obs.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -435,12 +457,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"(floor {KERNEL_SPEEDUP_FLOOR:.0f}x) -> "
                   f"{'ok' if kernel_ok else 'REGRESSION'}")
             regressed |= not kernel_ok
+        regressed |= bench_obs_overhead.check_overhead(obs_entry)
     else:
         # Preserve the other scope ("full" vs "quick") when present so a
         # --quick run never clobbers the committed full-run numbers.
         for path, doc in ((substrate_path, substrate_doc),
                           (sweep_path, sweep_doc),
-                          (kernels_path, kernels_doc)):
+                          (kernels_path, kernels_doc),
+                          (obs_path, obs_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

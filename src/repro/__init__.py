@@ -14,6 +14,7 @@ Layered architecture (bottom-up):
 * :mod:`repro.collectives` — gather, broadcast, and the extended toolkit;
 * :mod:`repro.faults` — deterministic fault injection and background load;
 * :mod:`repro.perf` — parallel sweep execution with deterministic merge;
+* :mod:`repro.obs` — span tracing, metrics, and superstep cost accounting;
 * :mod:`repro.experiments` — the harness regenerating every figure/table.
 
 Quickstart::
@@ -62,9 +63,21 @@ from repro.collectives import (
 )
 from repro.hbsplib import HbspContext, HbspResult, HbspRuntime
 from repro.model import HBSPParams, HBSPTree, CostLedger, calibrate
+from repro.obs import (
+    MetricsRegistry,
+    Observation,
+    RunObs,
+    Span,
+    SuperstepLedger,
+    Tracer,
+    chrome_trace,
+    current_observation,
+    observe,
+    prometheus_text,
+)
 from repro.perf import SimJob, SimResult, SweepExecutor, evaluate, sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cluster",
@@ -106,5 +119,15 @@ __all__ = [
     "TimeoutError",
     "Trace",
     "TraceRecord",
+    "MetricsRegistry",
+    "Observation",
+    "RunObs",
+    "Span",
+    "SuperstepLedger",
+    "Tracer",
+    "chrome_trace",
+    "current_observation",
+    "observe",
+    "prometheus_text",
     "__version__",
 ]

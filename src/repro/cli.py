@@ -151,7 +151,12 @@ def _cmd_run(
     faults: str | None = None,
     retries: int = 0,
     send_timeout: float | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
+    obs_summary: bool = False,
 ) -> int:
+    import contextlib
+
     from repro import collectives as coll
     from repro.collectives import RootPolicy, WorkloadPolicy
     from repro.util.units import format_time
@@ -187,7 +192,15 @@ def _cmd_run(
         kwargs["workload"] = (
             WorkloadPolicy.EQUAL if workload == "equal" else WorkloadPolicy.BALANCED
         )
-    outcome = runner(topology, n, **kwargs)
+    observation = None
+    with contextlib.ExitStack() as stack:
+        if trace_out or metrics_out or obs_summary:
+            from repro.obs import observe
+
+            observation = stack.enter_context(observe(spans=trace_out is not None))
+        outcome = runner(topology, n, **kwargs)
+    if observation is not None:
+        observation.ingest_outcome(outcome)
     print(f"{outcome.name} on {preset}")
     print(f"simulated: {format_time(outcome.time)}   "
           f"predicted: {format_time(outcome.predicted_time)}   "
@@ -202,6 +215,12 @@ def _cmd_run(
     if gantt:
         print()
         print(outcome.result.trace.gantt())
+    if observation is not None:
+        from repro.experiments.runner import _export_observation
+
+        if obs_summary:
+            print()
+        _export_observation(observation, trace_out, metrics_out, obs_summary)
     return 0
 
 
@@ -211,21 +230,60 @@ def _cmd_experiment(
     seed: int | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
+    obs_summary: bool = False,
 ) -> int:
+    import contextlib
+
     from repro.experiments import run_experiment
     from repro.perf import effective_jobs, sweep
 
-    with sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir):
+    observation = None
+    with contextlib.ExitStack() as stack:
+        if trace_out or metrics_out or obs_summary:
+            from repro.obs import observe
+
+            observation = stack.enter_context(observe(spans=trace_out is not None))
+        stack.enter_context(sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir))
         report = run_experiment(experiment_id, seed=seed)
     print(report.render(plot=plot))
+    if observation is not None:
+        from repro.experiments.runner import _export_observation
+
+        if obs_summary:
+            print()
+        _export_observation(observation, trace_out, metrics_out, obs_summary)
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (see docs/observability.md)."""
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON timeline of the run "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write aggregated metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--obs-summary", action="store_true",
+        help="print the per-superstep predicted-vs-simulated ledger",
+    )
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="HBSP^k reproduction: simulate heterogeneous collectives.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list presets, collectives, experiments")
@@ -251,6 +309,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                             help="per-send delivery timeout in seconds")
     run_parser.add_argument("--retries", type=int, default=0,
                             help="retransmissions per send (needs --send-timeout)")
+    _add_obs_flags(run_parser)
     experiment_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment_parser.add_argument("id")
     experiment_parser.add_argument("--plot", action="store_true",
@@ -263,6 +322,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     experiment_parser.add_argument("--cache-dir", default=None,
                                    help="persist sweep results under this "
                                    "directory and reuse them across runs")
+    _add_obs_flags(experiment_parser)
 
     args = parser.parse_args(argv)
     try:
@@ -280,11 +340,15 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 args.workload, args.gantt, seed=args.seed,
                 faults=args.faults, retries=args.retries,
                 send_timeout=args.send_timeout,
+                trace_out=args.trace_out, metrics_out=args.metrics_out,
+                obs_summary=args.obs_summary,
             )
         if args.command == "experiment":
             return _cmd_experiment(
                 args.id, plot=args.plot, seed=args.seed, jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                trace_out=args.trace_out, metrics_out=args.metrics_out,
+                obs_summary=args.obs_summary,
             )
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")

@@ -66,9 +66,10 @@ def allgather_program(
     """
     if strategy == "direct":
         data = make_items(seed, ctx.pid, counts[ctx.pid])
-        for peer in range(ctx.nprocs):
-            if peer != ctx.pid:
-                yield from ctx.send(peer, data, tag=ctx.pid)
+        with ctx.phase("allgather direct exchange"):
+            for peer in range(ctx.nprocs):
+                if peer != ctx.pid:
+                    yield from ctx.send(peer, data, tag=ctx.pid)
         yield from ctx.sync()
         pieces = {ctx.pid: data}
         for message in ctx.messages():
@@ -108,9 +109,10 @@ def _rebroadcast(
         participants = level_participants(ctx, level, root)
         coordinator = effective_coordinator(ctx, level, root)
         if ctx.pid == coordinator and data is not None:
-            for peer in participants:
-                if peer != ctx.pid:
-                    yield from ctx.send(peer, data, tag=(1 << 20) + level)
+            with ctx.phase(f"allgather rebroadcast L{level}", level=level):
+                for peer in participants:
+                    if peer != ctx.pid:
+                        yield from ctx.send(peer, data, tag=(1 << 20) + level)
         yield from ctx.sync(level)
         arrived = ctx.messages(tag=(1 << 20) + level)
         if arrived:

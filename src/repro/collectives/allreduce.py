@@ -58,14 +58,16 @@ def allreduce_program(
     """
     if strategy == "direct":
         mine = make_items(seed, ctx.pid, width).astype(np.int64)
-        for peer in range(ctx.nprocs):
-            if peer != ctx.pid:
-                yield from ctx.send(peer, mine, tag=ctx.pid)
+        with ctx.phase("allreduce direct exchange"):
+            for peer in range(ctx.nprocs):
+                if peer != ctx.pid:
+                    yield from ctx.send(peer, mine, tag=ctx.pid)
         yield from ctx.sync()
         acc = mine.copy()
-        for message in ctx.messages():
-            yield from ctx.compute(width * OPS_PER_ITEM)
-            acc += message.payload
+        with ctx.phase("allreduce combine"):
+            for message in ctx.messages():
+                yield from ctx.compute(width * OPS_PER_ITEM)
+                acc += message.payload
         return (int(acc.size), int(acc.sum()))
     if strategy == "tree":
         # Phase 1: hierarchical reduction onto the root...
@@ -83,9 +85,10 @@ def allreduce_program(
             participants = level_participants(ctx, level, root)
             coordinator = effective_coordinator(ctx, level, root)
             if ctx.pid == coordinator and acc is not None:
-                for peer in participants:
-                    if peer != ctx.pid:
-                        yield from ctx.send(peer, acc, tag=(1 << 21) + level)
+                with ctx.phase(f"allreduce broadcast L{level}", level=level):
+                    for peer in participants:
+                        if peer != ctx.pid:
+                            yield from ctx.send(peer, acc, tag=(1 << 21) + level)
             yield from ctx.sync(level)
             arrived = ctx.messages(tag=(1 << 21) + level)
             if arrived:

@@ -71,9 +71,10 @@ def alltoall_program(
         stream.uniform_ints(blocks[ctx.pid][j], high=2**31 - 1).astype(np.int32)
         for j in range(ctx.nprocs)
     ]
-    for peer in range(ctx.nprocs):
-        if peer != ctx.pid and outgoing[peer].size:
-            yield from ctx.send(peer, outgoing[peer], tag=ctx.pid)
+    with ctx.phase("alltoall exchange"):
+        for peer in range(ctx.nprocs):
+            if peer != ctx.pid and outgoing[peer].size:
+                yield from ctx.send(peer, outgoing[peer], tag=ctx.pid)
     yield from ctx.sync()
     received = {ctx.pid: outgoing[ctx.pid]}
     for message in ctx.messages():

@@ -99,11 +99,12 @@ def broadcast_program(
         am_participant = ctx.pid in participants
         if mode == "one":
             if ctx.pid == coordinator and data is not None:
-                for peer in participants:
-                    if peer != ctx.pid:
-                        yield from ctx.send(
-                            peer, data, tag=level * _TAG_STRIDE + _TAG_FULL
-                        )
+                with ctx.phase(f"broadcast full L{level}", level=level):
+                    for peer in participants:
+                        if peer != ctx.pid:
+                            yield from ctx.send(
+                                peer, data, tag=level * _TAG_STRIDE + _TAG_FULL
+                            )
             yield from ctx.sync(level)
             arrived = ctx.messages(tag=level * _TAG_STRIDE + _TAG_FULL)
             if arrived and am_participant:
@@ -113,14 +114,15 @@ def broadcast_program(
             my_index = participants.index(ctx.pid) if am_participant else -1
             my_share: np.ndarray | None = None
             if ctx.pid == coordinator and data is not None:
-                shares = _share_counts(ctx, participants, n, balanced_shares, level, root)
-                offsets = np.cumsum([0] + shares)
-                for i, peer in enumerate(participants):
-                    piece = data[offsets[i] : offsets[i + 1]]
-                    if peer == ctx.pid:
-                        my_share = piece
-                    else:
-                        yield from ctx.send(peer, piece, tag=level * _TAG_STRIDE + i)
+                with ctx.phase(f"broadcast scatter L{level}", level=level):
+                    shares = _share_counts(ctx, participants, n, balanced_shares, level, root)
+                    offsets = np.cumsum([0] + shares)
+                    for i, peer in enumerate(participants):
+                        piece = data[offsets[i] : offsets[i + 1]]
+                        if peer == ctx.pid:
+                            my_share = piece
+                        else:
+                            yield from ctx.send(peer, piece, tag=level * _TAG_STRIDE + i)
             yield from ctx.sync(level)
             if am_participant and my_share is None:
                 arrived = ctx.messages()
@@ -129,11 +131,12 @@ def broadcast_program(
                     my_share = arrived[0].payload
             # Phase two: total exchange of shares among participants.
             if am_participant and my_share is not None:
-                for peer in participants:
-                    if peer != ctx.pid:
-                        yield from ctx.send(
-                            peer, my_share, tag=level * _TAG_STRIDE + my_index
-                        )
+                with ctx.phase(f"broadcast exchange L{level}", level=level):
+                    for peer in participants:
+                        if peer != ctx.pid:
+                            yield from ctx.send(
+                                peer, my_share, tag=level * _TAG_STRIDE + my_index
+                            )
             yield from ctx.sync(level)
             if am_participant:
                 pieces: dict[int, np.ndarray] = {}

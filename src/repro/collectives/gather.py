@@ -61,9 +61,10 @@ def gather_program(
         sender = effective_coordinator(ctx, level - 1, root)
         receiver = effective_coordinator(ctx, level, root)
         if ctx.pid == sender and ctx.pid != receiver:
-            payload = concat_payloads(buffer)
-            buffer = []
-            yield from ctx.send(receiver, payload, tag=level)
+            with ctx.phase(f"gather up L{level}", level=level):
+                payload = concat_payloads(buffer)
+                buffer = []
+                yield from ctx.send(receiver, payload, tag=level)
         yield from ctx.sync(level)
         if ctx.pid == receiver:
             buffer.extend(m.payload for m in ctx.messages(tag=level))

@@ -55,12 +55,16 @@ def reduce_program(
         sender = effective_coordinator(ctx, level - 1, root)
         receiver = effective_coordinator(ctx, level, root)
         if ctx.pid == sender and ctx.pid != receiver:
-            yield from ctx.send(receiver, acc, tag=level)
+            with ctx.phase(f"reduce up L{level}", level=level):
+                yield from ctx.send(receiver, acc, tag=level)
         yield from ctx.sync(level)
         if ctx.pid == receiver:
-            for message in ctx.messages(tag=level):
-                yield from ctx.compute(width * OPS_PER_ITEM)
-                acc = acc + message.payload
+            arrived = ctx.messages(tag=level)
+            if arrived:
+                with ctx.phase(f"reduce combine L{level}", level=level):
+                    for message in arrived:
+                        yield from ctx.compute(width * OPS_PER_ITEM)
+                        acc = acc + message.payload
     if ctx.pid != effective_coordinator(ctx, k, root):
         return (0, 0)
     return (int(acc.size), int(acc.sum()))

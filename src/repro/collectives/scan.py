@@ -45,13 +45,15 @@ def scan_program(
     Returns ``(items, checksum)`` of the local prefix result.
     """
     mine = make_items(seed, ctx.pid, width).astype(np.int64)
-    for peer in range(ctx.pid + 1, ctx.nprocs):
-        yield from ctx.send(peer, mine, tag=ctx.pid)
+    with ctx.phase("scan exchange"):
+        for peer in range(ctx.pid + 1, ctx.nprocs):
+            yield from ctx.send(peer, mine, tag=ctx.pid)
     yield from ctx.sync()
     acc = mine.copy()
-    for message in ctx.messages():
-        yield from ctx.compute(width * OPS_PER_ITEM)
-        acc += message.payload
+    with ctx.phase("scan combine"):
+        for message in ctx.messages():
+            yield from ctx.compute(width * OPS_PER_ITEM)
+            acc += message.payload
     return (int(acc.size), int(acc.sum()))
 
 

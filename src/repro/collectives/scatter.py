@@ -64,17 +64,18 @@ def scatter_program(
         participants = level_participants(ctx, level, root)
         coordinator = effective_coordinator(ctx, level, root)
         if ctx.pid == coordinator and holdings is not None:
-            node = ctx.runtime._ancestor(ctx.pid, level)
-            for i, peer in enumerate(participants):
-                if peer == ctx.pid:
-                    continue
-                subset = {
-                    member: holdings.pop(member)
-                    for member in node.children[i].members
-                    if member in holdings
-                }
-                if subset:
-                    yield from ctx.send(peer, subset, tag=level)
+            with ctx.phase(f"scatter down L{level}", level=level):
+                node = ctx.runtime._ancestor(ctx.pid, level)
+                for i, peer in enumerate(participants):
+                    if peer == ctx.pid:
+                        continue
+                    subset = {
+                        member: holdings.pop(member)
+                        for member in node.children[i].members
+                        if member in holdings
+                    }
+                    if subset:
+                        yield from ctx.send(peer, subset, tag=level)
         yield from ctx.sync(level)
         arrived = ctx.messages(tag=level)
         if arrived:

@@ -44,6 +44,13 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "robustness": robustness_report,
 }
 
+#: Friendly aliases accepted anywhere an experiment id is (the paper's
+#: figures are easier to remember by what they show).
+EXPERIMENT_ALIASES: dict[str, str] = {
+    "fig3_gather": "fig3a",
+    "fig4_broadcast": "fig4a",
+}
+
 #: Experiments whose factory takes a ``seed`` keyword — resolved once
 #: at registry-build time so ``run_experiment`` stays signature-free
 #: on its hot path.
@@ -55,11 +62,12 @@ _ACCEPTS_SEED: frozenset[str] = frozenset(
 
 
 def run_experiment(experiment_id: str, *, seed: int | None = None) -> ExperimentReport:
-    """Run one experiment by id; raises for unknown ids.
+    """Run one experiment by id (or alias); raises for unknown ids.
 
     ``seed`` overrides the experiment's default seed for experiments
     that accept one (raises for those that don't).
     """
+    experiment_id = EXPERIMENT_ALIASES.get(experiment_id, experiment_id)
     try:
         factory = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -67,12 +75,22 @@ def run_experiment(experiment_id: str, *, seed: int | None = None) -> Experiment
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    if seed is None:
-        return factory()
-    if experiment_id not in _ACCEPTS_SEED:
+    if seed is not None and experiment_id not in _ACCEPTS_SEED:
         raise ExperimentError(
             f"experiment {experiment_id!r} does not accept a seed"
         )
+    from repro.obs.observe import current_observation
+
+    observation = current_observation()
+    if observation is None:
+        if seed is None:
+            return factory()
+        return factory(seed=seed)
+    # Metrics only — no wall-clock span: exported traces carry nothing
+    # but simulated time, so identical invocations stay bit-identical.
+    observation.metrics.inc("repro_experiments_total")
+    if seed is None:
+        return factory()
     return factory(seed=seed)
 
 
@@ -116,16 +134,41 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         "--profile-limit", type=int, default=15,
         help="rows to show per experiment with --profile (default: 15)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON timeline of the runs "
+        "(open in chrome://tracing or ui.perfetto.dev); forces serial "
+        "simulation",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write aggregated metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--obs-summary", action="store_true",
+        help="print the per-superstep predicted-vs-simulated ledger "
+        "after the reports",
+    )
     args = parser.parse_args(argv)
     wanted = list(args.experiment)
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)
     # One executor for the whole invocation (even serially): experiments
     # sharing grid points simulate them once.
+    import contextlib
+
     from repro.perf import default_cache_dir, effective_jobs, sweep
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    with sweep(jobs=effective_jobs(args.jobs), cache_dir=cache_dir):
+    observation = None
+    with contextlib.ExitStack() as stack:
+        if args.trace_out or args.metrics_out or args.obs_summary:
+            from repro.obs import observe
+
+            observation = stack.enter_context(
+                observe(spans=args.trace_out is not None)
+            )
+        stack.enter_context(sweep(jobs=effective_jobs(args.jobs), cache_dir=cache_dir))
         for experiment_id in wanted:
             if args.profile:
                 report = _profiled(experiment_id, args.seed, args.profile_limit)
@@ -133,7 +176,30 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 report = run_experiment(experiment_id, seed=args.seed)
             print(report.render())
             print()
+    if observation is not None:
+        _export_observation(
+            observation, args.trace_out, args.metrics_out, args.obs_summary
+        )
     return 0
+
+
+def _export_observation(
+    observation: t.Any,
+    trace_out: str | None,
+    metrics_out: str | None,
+    obs_summary: bool,
+) -> None:
+    """Write the requested observability outputs (shared with repro.cli)."""
+    from pathlib import Path
+
+    from repro.obs import chrome_trace, prometheus_text, summary
+
+    if trace_out:
+        Path(trace_out).write_text(chrome_trace(observation.tracer))
+    if metrics_out:
+        Path(metrics_out).write_text(prometheus_text(observation.metrics))
+    if obs_summary:
+        print(summary(observation))
 
 
 def _profiled(experiment_id: str, seed: int | None, limit: int) -> ExperimentReport:

@@ -62,9 +62,6 @@ class Injector:
         self._latency_windows: dict[str, list[LinkDegradation]] = {}
         self._message_rules: list[tuple[MessageFaults, RngStream]] = []
         self._processes: list[t.Any] = []
-        #: Statistics: messages dropped / delayed by this injector.
-        self.dropped_messages = 0
-        self.delayed_messages = 0
 
     # -- attachment -----------------------------------------------------------
     def attach(self, vm: "VirtualMachine") -> None:
@@ -142,6 +139,23 @@ class Injector:
         """True when the plan spawned background (hog) processes."""
         return bool(self._processes)
 
+    # Drop/delay statistics live in the attached machine's metrics
+    # registry (single bookkeeping; exported via repro.obs); these
+    # properties keep the original integer-attribute API.
+    @property
+    def dropped_messages(self) -> int:
+        """Messages dropped by this injector so far."""
+        if self.vm is None:
+            return 0
+        return int(self.vm.metrics.value("repro_messages_dropped_total"))
+
+    @property
+    def delayed_messages(self) -> int:
+        """Messages delayed by this injector so far."""
+        if self.vm is None:
+            return 0
+        return int(self.vm.metrics.value("repro_messages_delayed_total"))
+
     def shutdown(self) -> None:
         """Kill any still-running background processes (end of run)."""
         for process in self._processes:
@@ -176,12 +190,12 @@ class Injector:
             if not rule.start <= now < rule.end:
                 continue
             if rule.drop_prob > 0 and stream.uniform() < rule.drop_prob:
-                self.dropped_messages += 1
+                self.vm.metrics.inc("repro_messages_dropped_total")
                 return True, 0.0
             if rule.delay_prob > 0 and stream.uniform() < rule.delay_prob:
                 delay += stream.exponential(rule.delay_mean)
         if delay > 0:
-            self.delayed_messages += 1
+            self.vm.metrics.inc("repro_messages_delayed_total")
         return False, delay
 
     # -- background load --------------------------------------------------------

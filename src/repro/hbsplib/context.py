@@ -72,6 +72,48 @@ if t.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["HbspContext"]
 
 
+class _NullPhase:
+    """Shared no-op context manager for :meth:`HbspContext.phase`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: t.Any) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseSpan:
+    """Records one "phase" span on the owning machine's track."""
+
+    __slots__ = ("_ctx", "_tracer", "_name", "_args", "_start")
+
+    def __init__(self, ctx: "HbspContext", tracer: t.Any, name: str, args: dict) -> None:
+        self._ctx = ctx
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._ctx._ensure_step_span()
+        self._start = self._ctx.task.now
+        return self
+
+    def __exit__(self, *exc_info: t.Any) -> bool:
+        ctx = self._ctx
+        self._tracer.add(
+            "phase", self._name, group=ctx.runtime.obs_group,
+            actor=ctx.machine_name, start=self._start, end=ctx.task.now,
+            **self._args,
+        )
+        return False
+
+
 class HbspContext:
     """The state and API of one HBSP process.
 
@@ -92,6 +134,12 @@ class HbspContext:
         self.superstep = 0
         self._available: list[Message] = []
         self._pending: list[Event] = []
+        #: Per-superstep cumulative marks appended at every sync:
+        #: (end_time, barrier_wait, sent_msgs, sent_bytes, recv_msgs,
+        #: recv_bytes) — the raw material for obs.accounting.
+        self._step_marks: list[tuple[float, float, int, int, int, int]] = []
+        self._step_span: t.Any | None = None
+        self._wait = 0.0
         self._finished = False
         self._registers: dict[str, t.Any] = {}
         self._get_handles: dict[int, GetHandle] = {}
@@ -188,6 +236,7 @@ class HbspContext:
         rule).
         """
         self._check_live()
+        self._ensure_step_span()
         yield from self._barrier_round(level)
         if drma:
             # Serve get requests captured by the first round: read the
@@ -202,6 +251,21 @@ class HbspContext:
             for message in self._take_drma(_TAG_GET_REPLY):
                 get_id, value = message.payload
                 self._get_handles.pop(get_id)._fulfill(value)
+        task = self.task
+        marks = self._step_marks
+        now = task.now
+        marks.append((
+            now, self._wait, task.sent_messages, task.sent_bytes,
+            task.received_messages, task.received_bytes,
+        ))
+        self._wait = 0.0
+        tracer = self.runtime.obs_tracer
+        if tracer is not None and self._step_span is not None:
+            self._step_span.args["level"] = (
+                self.runtime.tree.k if level is None else level
+            )
+            tracer.finish(self._step_span, now)
+            self._step_span = None
         self.superstep += 1
 
     def _barrier_round(self, level: int | None) -> t.Generator[Event, t.Any, None]:
@@ -215,11 +279,20 @@ class HbspContext:
         barrier = self.runtime.barrier_for(self.pid, level)
         start = self.task.now
         yield barrier.wait()
+        now = self.task.now
+        self._wait += now - start
         trace = self.runtime.vm.trace
         if trace.enabled:
             trace.emit(
-                self.task.now, "sync", f"pid{self.pid}",
-                self.task.now - start, level=level, superstep=self.superstep,
+                now, "sync", f"pid{self.pid}",
+                now - start, level=level, superstep=self.superstep,
+            )
+        tracer = self.runtime.obs_tracer
+        if tracer is not None:
+            tracer.add(
+                "barrier", barrier.name, group=self.runtime.obs_group,
+                actor=self.machine_name, start=start, end=now,
+                superstep=self.superstep,
             )
         # 3. BSP delivery: everything in the mailbox becomes available;
         #    one-sided puts are applied instead of queued.
@@ -356,6 +429,40 @@ class HbspContext:
         """Perform ``work`` CPU work units of local computation."""
         self._check_live()
         yield from self.task.compute(work)
+
+    # -- observability ----------------------------------------------------------------
+    def phase(self, name: str, **args: t.Any) -> t.ContextManager[t.Any]:
+        """A named span over a program region on this machine's track.
+
+        The collectives wrap their per-level phases (local work, sends,
+        barrier) with this so exported traces show algorithm structure,
+        not just raw message timing.  A shared no-op context manager is
+        returned unless span tracing is active, so the disabled cost is
+        one attribute read.
+        """
+        tracer = self.runtime.obs_tracer
+        if tracer is None:
+            return _NULL_PHASE
+        return _PhaseSpan(self, tracer, name, args)
+
+    def _ensure_step_span(self) -> None:
+        """Open this superstep's span on the first traced event.
+
+        The span starts at the previous sync's end (the superstep
+        boundary) and stays open until :meth:`sync` finishes it, so
+        barrier and phase spans recorded in between nest under it.
+        Lazy opening means the final partial superstep — work after
+        the last sync — never leaves a dangling open span.
+        """
+        tracer = self.runtime.obs_tracer
+        if tracer is None or self._step_span is not None:
+            return
+        marks = self._step_marks
+        self._step_span = tracer.begin(
+            "superstep", f"superstep {self.superstep}",
+            group=self.runtime.obs_group, actor=self.machine_name,
+            start=marks[-1][0] if marks else 0.0,
+        )
 
     # -- internal ----------------------------------------------------------------------
     def _check_live(self) -> None:

@@ -22,6 +22,7 @@ from repro.hbsplib.context import HbspContext
 from repro.hbsplib.hetero import equal_partition, proportional_partition
 from repro.model.params import HBSPParams, calibrate
 from repro.model.tree import HBSPNode, HBSPTree
+from repro.obs.observe import current_observation
 from repro.pvm.vm import VirtualMachine
 from repro.sim.barrier import Barrier
 from repro.sim.trace import Trace
@@ -103,11 +104,26 @@ class HbspRuntime:
     ) -> None:
         self.tree = HBSPTree(topology)
         self.topology = self.tree.topology  # normalised
+        # Pick up an active observation (repro.obs.observe): span
+        # tracing forces the structured trace on so message timing can
+        # be converted to spans after the run.  Pure recording — the
+        # simulated times are unaffected.
+        observation = current_observation()
+        if observation is not None and observation.tracer.enabled:
+            self.obs_tracer: t.Any | None = observation.tracer
+            self.obs_group = observation.take_group()
+            trace = True
+        else:
+            self.obs_tracer = None
+            self.obs_group = ""
         self.vm = VirtualMachine(
             self.topology, trace=trace, serialize_nic=serialize_nic,
             injector=injector, delivery=delivery,
         )
         self.engine = self.vm.engine
+        if self.obs_tracer is not None:
+            self.engine.obs_tracer = self.obs_tracer
+            self.engine.obs_group = self.obs_group
         self.scores = dict(scores) if scores is not None else true_scores(self.topology)
         missing = [m.name for m in self.topology.machines if m.name not in self.scores]
         if missing:
@@ -194,6 +210,17 @@ class HbspRuntime:
             if key[0] == level and pid in node.members:
                 return self._barriers[key]
         raise HbspError(f"pid {pid} has no level-{level} ancestor cluster")
+
+    def superstep_marks(
+        self,
+    ) -> tuple[tuple[tuple[float, float, int, int, int, int], ...], ...]:
+        """Per-pid cumulative superstep marks (always recorded).
+
+        ``marks[pid][s]`` is ``(end_time, barrier_wait, sent_msgs,
+        sent_bytes, recv_msgs, recv_bytes)`` at pid's s-th sync — the
+        raw material for :mod:`repro.obs.accounting`.
+        """
+        return tuple(tuple(ctx._step_marks) for ctx in self._contexts)
 
     def coordinator_pid(self, pid: int, level: int) -> int:
         """Coordinator of ``pid``'s ancestor cluster at ``level``."""

@@ -1,0 +1,383 @@
+"""Superstep cost accounting: simulated vs. predicted, per machine.
+
+The paper's whole validation method (Figs. 3/4) is comparing measured
+collective times against the HBSP^k cost model; this module does the
+same join *per superstep*: the runtime's always-on superstep marks
+(cumulative end time, barrier wait and traffic counters per pid at
+every ``sync``) are diffed into per-step, per-machine observations
+(:class:`RunObs`), and :class:`SuperstepLedger` lines them up against
+the analytic :class:`~repro.model.cost.CostLedger` steps, reporting
+the ``simulated/predicted`` divergence and flagging the
+max-``r_{i,j} * h_{i,j}`` *critical machine* the model says should
+dominate the step's h-relation.
+
+:class:`RunObs` is deliberately plain data (tuples of numbers and
+strings): it pickles across the sweep pool and JSON-round-trips
+through the persistent disk cache, so warm-cache runs reconstruct the
+exact same ledgers as cold ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+__all__ = [
+    "Mark",
+    "RunObs",
+    "LedgerRow",
+    "MachineRow",
+    "SuperstepLedger",
+    "collect_run_obs",
+]
+
+#: One superstep mark: cumulative (end_time, barrier_wait, sent_msgs,
+#: sent_bytes, recv_msgs, recv_bytes) for one pid at the end of a sync.
+Mark = tuple[float, float, int, int, int, int]
+
+_ZERO_MARK: Mark = (0.0, 0.0, 0, 0, 0, 0)
+
+
+def _ratio(simulated: float, predicted: float | None) -> float | None:
+    """Divergence ``simulated/predicted``.
+
+    Exact agreement must report exactly ``1.0``: a fault-free run where
+    DES and kernel both measure zero (or identical non-zero doubles)
+    divides to 1.0 with no epsilon fudging.
+    """
+    if predicted is None:
+        return None
+    if simulated == predicted:
+        return 1.0
+    if predicted == 0.0:
+        return math.inf
+    return simulated / predicted
+
+
+@dataclasses.dataclass(frozen=True)
+class RunObs:
+    """Compact, picklable observability record of one simulated run.
+
+    Attributes
+    ----------
+    name:
+        The outcome name (collective/app + configuration summary).
+    machines:
+        Machine name per pid.
+    r:
+        Per-pid slowness ``r_{0,j}`` from the calibrated parameters.
+    marks:
+        ``marks[pid]`` is that pid's cumulative :data:`Mark` per
+        superstep.
+    predicted:
+        Analytic ledger steps as ``(label, level, w, gh, L)`` tuples
+        (``None`` when the run has no prediction).
+    counters:
+        The run's metrics-counter snapshot (see
+        :meth:`~repro.obs.metrics.MetricsRegistry.counters_snapshot`).
+    time:
+        Simulated makespan.
+    predicted_time:
+        Analytic total (``None`` without a prediction).
+    supersteps:
+        Synchronisations performed (max over pids).
+    """
+
+    name: str
+    machines: tuple[str, ...]
+    r: tuple[float, ...]
+    marks: tuple[tuple[Mark, ...], ...]
+    predicted: tuple[tuple[str, int, float, float, float], ...] | None
+    counters: tuple[tuple[str, tuple[tuple[str, str], ...], float], ...]
+    time: float
+    predicted_time: float | None
+    supersteps: int
+
+    # -- JSON round-trip (disk cache) ---------------------------------------
+    def to_jsonable(self) -> dict[str, t.Any]:
+        """Plain-JSON representation (floats survive via repr)."""
+        return {
+            "name": self.name,
+            "machines": list(self.machines),
+            "r": list(self.r),
+            "marks": [[list(mark) for mark in pid_marks] for pid_marks in self.marks],
+            "predicted": (
+                None
+                if self.predicted is None
+                else [list(step) for step in self.predicted]
+            ),
+            "counters": [
+                [name, [list(pair) for pair in labels], value]
+                for name, labels, value in self.counters
+            ],
+            "time": self.time,
+            "predicted_time": self.predicted_time,
+            "supersteps": self.supersteps,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: t.Mapping[str, t.Any]) -> "RunObs":
+        """Inverse of :meth:`to_jsonable`; raises on malformed input."""
+        predicted = data["predicted"]
+        return cls(
+            name=str(data["name"]),
+            machines=tuple(str(m) for m in data["machines"]),
+            r=tuple(float(r) for r in data["r"]),
+            marks=tuple(
+                tuple(
+                    (
+                        float(m[0]), float(m[1]),
+                        int(m[2]), int(m[3]), int(m[4]), int(m[5]),
+                    )
+                    for m in pid_marks
+                )
+                for pid_marks in data["marks"]
+            ),
+            predicted=(
+                None
+                if predicted is None
+                else tuple(
+                    (str(s[0]), int(s[1]), float(s[2]), float(s[3]), float(s[4]))
+                    for s in predicted
+                )
+            ),
+            counters=tuple(
+                (
+                    str(name),
+                    tuple((str(k), str(v)) for k, v in labels),
+                    float(value),
+                )
+                for name, labels, value in data["counters"]
+            ),
+            time=float(data["time"]),
+            predicted_time=(
+                None
+                if data["predicted_time"] is None
+                else float(data["predicted_time"])
+            ),
+            supersteps=int(data["supersteps"]),
+        )
+
+
+def collect_run_obs(outcome: t.Any) -> RunObs:
+    """Distil a finished outcome into a :class:`RunObs`.
+
+    Works for both :class:`~repro.collectives.CollectiveOutcome` and
+    :class:`~repro.apps.AppOutcome` (anything exposing ``name``,
+    ``time``, ``supersteps``, ``predicted`` and ``runtime``).
+    """
+    runtime = outcome.runtime
+    params = runtime.params
+    predicted = outcome.predicted
+    predicted_time = outcome.predicted_time
+    return RunObs(
+        name=outcome.name,
+        machines=tuple(m.name for m in runtime.topology.machines),
+        r=tuple(params.r_of(0, j) for j in range(runtime.nprocs)),
+        marks=runtime.superstep_marks(),
+        predicted=(
+            None
+            if predicted is None
+            else tuple(
+                (step.label, step.level, step.w, step.gh, step.L)
+                for step in predicted.steps
+            )
+        ),
+        counters=runtime.vm.metrics.counters_snapshot(),
+        time=float(outcome.time),
+        predicted_time=None if predicted_time is None else float(predicted_time),
+        supersteps=int(outcome.supersteps),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineRow:
+    """One machine's share of one superstep."""
+
+    machine: str
+    r: float
+    elapsed: float
+    wait: float
+    sent_bytes: int
+    received_bytes: int
+
+    @property
+    def h(self) -> int:
+        """The machine's ``h_{i,j}``: max of bytes in / bytes out."""
+        return max(self.sent_bytes, self.received_bytes)
+
+    @property
+    def rh(self) -> float:
+        """The model's per-machine h-relation load ``r * h``."""
+        return self.r * self.h
+
+
+@dataclasses.dataclass(frozen=True)
+class LedgerRow:
+    """One superstep of the joined simulated-vs-predicted ledger."""
+
+    step: int
+    label: str
+    level: int | None
+    simulated: float
+    predicted: float | None
+    ratio: float | None
+    machines: tuple[MachineRow, ...]
+    critical: MachineRow | None
+    max_wait: MachineRow | None
+
+
+class SuperstepLedger:
+    """Joins a run's superstep marks against its analytic ledger.
+
+    Per superstep ``s`` the simulated duration is the *frontier
+    advance*: ``max_j end_j(s) - max_j end_j(s-1)``, which telescopes
+    to the makespan of the synchronised part of the program.  Each
+    analytic step joins 1:1 by index (the collectives charge exactly
+    one ledger step per sync); runs without a prediction (apps) still
+    get simulated rows with blank model columns.
+    """
+
+    def __init__(self, run: RunObs) -> None:
+        self.run = run
+        self.rows: list[LedgerRow] = []
+        marks = run.marks
+        nprocs = len(marks)
+        nsteps = max((len(pid_marks) for pid_marks in marks), default=0)
+        predicted = run.predicted
+        previous: list[Mark] = [_ZERO_MARK] * nprocs
+        frontier = 0.0
+        for s in range(nsteps):
+            # One pass per superstep: build the machine rows and track
+            # the frontier / critical / max-wait extrema inline (the
+            # sweep path ingests thousands of these; separate max()
+            # passes re-evaluating the rh property measurably add up).
+            current: list[Mark] = []
+            machine_list: list[MachineRow] = []
+            new_frontier = 0.0
+            critical: MachineRow | None = None
+            best_rh = -1.0
+            max_wait: MachineRow | None = None
+            best_wait = -1.0
+            for j in range(nprocs):
+                mark = marks[j][s] if s < len(marks[j]) else previous[j]
+                current.append(mark)
+                prev = previous[j]
+                sent = mark[3] - prev[3]
+                received = mark[5] - prev[5]
+                machine_row = MachineRow(
+                    machine=run.machines[j],
+                    r=run.r[j],
+                    elapsed=mark[0] - prev[0],
+                    wait=mark[1],
+                    sent_bytes=sent,
+                    received_bytes=received,
+                )
+                machine_list.append(machine_row)
+                if mark[0] > new_frontier:
+                    new_frontier = mark[0]
+                rh = run.r[j] * (sent if sent >= received else received)
+                if rh > best_rh:
+                    best_rh, critical = rh, machine_row
+                if mark[1] > best_wait:
+                    best_wait, max_wait = mark[1], machine_row
+            machine_rows = tuple(machine_list)
+            if predicted is not None and s < len(predicted):
+                label, level, w, gh, L = predicted[s]
+                step_predicted: float | None = w + gh + L
+            else:
+                label, level, step_predicted = f"superstep {s}", None, None
+            simulated = new_frontier - frontier
+            self.rows.append(
+                LedgerRow(
+                    step=s,
+                    label=label,
+                    level=level,
+                    simulated=simulated,
+                    predicted=step_predicted,
+                    ratio=_ratio(simulated, step_predicted),
+                    machines=machine_rows,
+                    critical=critical,
+                    max_wait=max_wait,
+                )
+            )
+            previous = current
+            frontier = new_frontier
+
+    @property
+    def simulated_total(self) -> float:
+        """The run's simulated makespan."""
+        return self.run.time
+
+    @property
+    def predicted_total(self) -> float | None:
+        """The analytic total (``None`` without a prediction)."""
+        return self.run.predicted_time
+
+    @property
+    def divergence(self) -> float | None:
+        """Overall ``simulated/predicted`` (1.0 on exact agreement)."""
+        return _ratio(self.simulated_total, self.predicted_total)
+
+    def table(self, *, per_machine: bool = False) -> str:
+        """Render the joined ledger as a table."""
+        from repro.util.tables import AsciiTable
+
+        def fmt(value: float | None) -> str:
+            # Simulated times are often sub-millisecond; the table
+            # renderer's fixed 3 decimals would flatten them to 0.000.
+            return "" if value is None else f"{value:.6g}"
+
+        table = AsciiTable(
+            f"superstep ledger: {self.run.name}",
+            ["step", "level", "predicted", "simulated", "sim/pred",
+             "critical machine (r*h)", "max wait (machine)"],
+        )
+        for row in self.rows:
+            critical = row.critical
+            max_wait = row.max_wait
+            table.add_row([
+                f"{row.step}: {row.label}",
+                "" if row.level is None else row.level,
+                fmt(row.predicted),
+                fmt(row.simulated),
+                fmt(row.ratio),
+                "" if critical is None else f"{critical.machine} ({critical.rh:g})",
+                "" if max_wait is None else f"{max_wait.wait:g} ({max_wait.machine})",
+            ])
+        table.add_row([
+            "TOTAL", "",
+            fmt(self.predicted_total),
+            fmt(self.simulated_total),
+            fmt(self.divergence),
+            "", "",
+        ])
+        out = table.render()
+        if per_machine:
+            detail = AsciiTable(
+                f"per-machine breakdown: {self.run.name}",
+                ["step", "machine", "r", "elapsed", "wait",
+                 "bytes out", "bytes in", "r*h"],
+            )
+            for row in self.rows:
+                for machine_row in row.machines:
+                    detail.add_row([
+                        row.step, machine_row.machine, fmt(machine_row.r),
+                        fmt(machine_row.elapsed), fmt(machine_row.wait),
+                        machine_row.sent_bytes, machine_row.received_bytes,
+                        fmt(machine_row.rh),
+                    ])
+            out += "\n" + detail.render()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        divergence = self.divergence
+        shown = "n/a" if divergence is None else f"{divergence:.4g}"
+        return (
+            f"SuperstepLedger({self.run.name!r}, {len(self.rows)} steps, "
+            f"divergence={shown})"
+        )

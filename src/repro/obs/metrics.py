@@ -1,0 +1,210 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a plain in-process store with the
+Prometheus data model (metric name + sorted label pairs -> sample) but
+no daemon, no clock and no locks: the simulator is single-threaded per
+process, and cross-process determinism is achieved by *merging
+snapshots in submission order* (see ``repro.perf.executor``), never by
+letting workers write to a shared registry.
+
+Histogram bucket bounds are fixed per metric family (see
+:data:`BUCKET_BOUNDS`), so two runs that observe the same values in
+the same order produce byte-identical exports regardless of process
+count or host.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from bisect import bisect_left
+
+__all__ = [
+    "MetricsRegistry",
+    "HistogramState",
+    "METRIC_HELP",
+    "BUCKET_BOUNDS",
+    "DEFAULT_BOUNDS",
+]
+
+#: label pairs, already sorted by key: (("network", "lan"), ...)
+Labels = tuple[tuple[str, str], ...]
+
+#: Fallback bucket bounds (seconds-flavoured log scale).
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+)
+
+#: Fixed, deterministic bucket bounds per histogram family.
+BUCKET_BOUNDS: dict[str, tuple[float, ...]] = {
+    "repro_barrier_wait_seconds": (
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+    ),
+    "repro_h_relation_bytes": (
+        64.0, 1024.0, 8192.0, 65536.0, 524288.0, 4194304.0, 33554432.0,
+    ),
+    "repro_superstep_seconds": (
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+    ),
+}
+
+#: name -> (prometheus type, help line) for every metric the stack emits.
+METRIC_HELP: dict[str, tuple[str, str]] = {
+    "repro_messages_sent_total": (
+        "counter", "Messages sent over a network link, by network."),
+    "repro_bytes_sent_total": (
+        "counter", "Payload bytes sent over a network link, by network."),
+    "repro_messages_dropped_total": (
+        "counter", "Messages dropped by the fault injector."),
+    "repro_messages_delayed_total": (
+        "counter", "Messages delayed by the fault injector."),
+    "repro_send_timeouts_total": (
+        "counter", "Delivery-policy timer expiries (send not acked in time)."),
+    "repro_send_retries_total": (
+        "counter", "Retransmissions issued by the delivery policy."),
+    "repro_sends_failed_total": (
+        "counter", "Sends that exhausted the delivery policy's retry budget."),
+    "repro_runs_total": (
+        "counter", "Simulated collective/application runs observed."),
+    "repro_supersteps_total": (
+        "counter", "Supersteps executed across observed runs."),
+    "repro_simulated_seconds_total": (
+        "counter", "Total simulated makespan across observed runs."),
+    "repro_experiments_total": (
+        "counter", "Experiment invocations observed by the harness."),
+    "repro_barrier_wait_seconds": (
+        "histogram", "Per-machine barrier wait per superstep, by machine."),
+    "repro_h_relation_bytes": (
+        "histogram", "Per-superstep h-relation (max bytes in/out per machine)."),
+    "repro_superstep_seconds": (
+        "histogram", "Simulated duration of each observed superstep."),
+}
+
+
+class HistogramState:
+    """Mutable histogram sample: fixed bounds, cumulative at export."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        #: Per-bound non-cumulative counts; the +Inf bucket is implicit
+        #: in ``count - sum(counts)``.
+        self.counts = [0] * len(bounds)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # First bucket with value <= bound; past the last bound the
+        # observation lands only in the implicit +Inf bucket.
+        index = bisect_left(self.bounds, value)
+        if index < len(self.counts):
+            self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs including the +Inf bucket."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def merge(self, other: "HistogramState") -> None:
+        if other.bounds != self.bounds:  # pragma: no cover - config error
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+
+
+class MetricsRegistry:
+    """Counters, gauges and fixed-bucket histograms, keyed by labels."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[tuple[str, Labels], float] = {}
+        self.gauges: dict[tuple[str, Labels], float] = {}
+        self.histograms: dict[tuple[str, Labels], HistogramState] = {}
+
+    # -- writes --------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, labels: Labels = ()) -> None:
+        key = (name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, labels: Labels = ()) -> None:
+        self.gauges[(name, labels)] = value
+
+    def observe(self, name: str, value: float, labels: Labels = ()) -> None:
+        key = (name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            bounds = BUCKET_BOUNDS.get(name, DEFAULT_BOUNDS)
+            hist = self.histograms[key] = HistogramState(bounds)
+        hist.observe(value)
+
+    # -- reads ---------------------------------------------------------------
+    def value(self, name: str, labels: Labels = ()) -> float:
+        """Current counter value (0.0 when never incremented)."""
+        return self.counters.get((name, labels), 0.0)
+
+    def counter_sum(self, name: str) -> float:
+        """Sum of a counter family across all label sets."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def counters_snapshot(self) -> tuple[tuple[str, Labels, float], ...]:
+        """Counters as a sorted, picklable/JSON-able tuple."""
+        return tuple(
+            (name, labels, value)
+            for (name, labels), value in sorted(self.counters.items())
+        )
+
+    def merge_counters(
+        self, snapshot: t.Iterable[tuple[str, Labels, float]]
+    ) -> None:
+        """Fold a :meth:`counters_snapshot` into this registry."""
+        for name, labels, value in snapshot:
+            self.inc(name, value, tuple(tuple(pair) for pair in labels))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (gauges: last write wins)."""
+        self.merge_counters(other.counters_snapshot())
+        for key, value in sorted(other.gauges.items()):
+            self.gauges[key] = value
+        for key, hist in sorted(other.histograms.items(), key=lambda kv: kv[0]):
+            mine = self.histograms.get(key)
+            if mine is None:
+                mine = self.histograms[key] = HistogramState(hist.bounds)
+            mine.merge(hist)
+
+    def families(self) -> list[tuple[str, str, str]]:
+        """Sorted ``(name, type, help)`` for every family with samples."""
+        names: set[str] = set()
+        names.update(name for name, _ in self.counters)
+        names.update(name for name, _ in self.gauges)
+        names.update(name for name, _ in self.histograms)
+        out: list[tuple[str, str, str]] = []
+        for name in sorted(names):
+            mtype, help_text = METRIC_HELP.get(name, ("", ""))
+            if not mtype:
+                if any(n == name for n, _ in self.counters):
+                    mtype = "counter"
+                elif any(n == name for n, _ in self.gauges):
+                    mtype = "gauge"
+                else:
+                    mtype = "histogram"
+            out.append((name, mtype, help_text))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

@@ -46,12 +46,15 @@ import shutil
 import tempfile
 from pathlib import Path
 
+from repro.obs.accounting import RunObs
 from repro.perf.job import SimResult
 
 __all__ = ["CACHE_SCHEMA_VERSION", "DiskCache", "default_cache_dir"]
 
 #: Bump when the on-disk entry layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries carry the compact RunObs observability record, so
+#: warm-cache runs reconstruct identical metrics and superstep ledgers.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -100,13 +103,15 @@ class DiskCache:
         try:
             data = json.loads(self._path(key).read_text())
             predicted = data["predicted_time"]
+            obs = data["obs"]
             return SimResult(
                 name=str(data["name"]),
                 time=float(data["time"]),
                 predicted_time=None if predicted is None else float(predicted),
                 supersteps=int(data["supersteps"]),
+                obs=None if obs is None else RunObs.from_jsonable(obs),
             )
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
             return None
 
     def put(self, key: str, result: SimResult) -> None:
@@ -118,6 +123,7 @@ class DiskCache:
                 "time": result.time,
                 "predicted_time": result.predicted_time,
                 "supersteps": result.supersteps,
+                "obs": None if result.obs is None else result.obs.to_jsonable(),
             }
         )
         try:

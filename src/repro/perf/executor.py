@@ -44,6 +44,7 @@ import sys
 import typing as t
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.obs.observe import current_observation
 from repro.perf.diskcache import DiskCache
 from repro.perf.job import SimJob, SimResult
 
@@ -185,8 +186,13 @@ class SweepExecutor:
                     self.disk_hits += 1
             pending = still_pending
         self.cache_misses += len(pending)
+        observation = current_observation()
         if pending:
-            if self.jobs == 1:
+            # Span tracing cannot cross the pool boundary (spans are
+            # recorded live against the observing process's tracer), so
+            # a spans-enabled observation forces inline execution.
+            spans_active = observation is not None and observation.tracer.enabled
+            if self.jobs == 1 or spans_active:
                 for key, job in pending.items():
                     memo[key] = job.run()
             else:
@@ -201,7 +207,14 @@ class SweepExecutor:
             if self._disk is not None:
                 for key in pending:
                     self._disk.put(key, memo[key])
-        return [memo[key] for key in keys]
+        results = [memo[key] for key in keys]
+        if observation is not None:
+            # Feed metrics/ledgers once per returned occurrence, in
+            # submission order — identical whatever the worker count
+            # and whether results came from caches or fresh runs.
+            for result in results:
+                observation.record_result(result)
+        return results
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.cluster.topology import ClusterTopology
 from repro.errors import ReproError
+from repro.obs.accounting import RunObs, collect_run_obs
+from repro.obs.observe import current_observation
 
 __all__ = [
     "COLLECTIVE_OPS",
@@ -158,13 +160,18 @@ class SimResult:
 
     Carries exactly what the experiment layer consumes: the simulated
     makespan, the analytic prediction (``None`` for applications that
-    don't provide one) and the superstep count.
+    don't provide one) and the superstep count — plus the compact
+    :class:`~repro.obs.accounting.RunObs` observability record, which
+    rides along (it is plain data, not part of the content hash) so
+    metrics and superstep ledgers survive worker pools and the
+    persistent disk cache.
     """
 
     name: str
     time: float
     predicted_time: float | None
     supersteps: int
+    obs: RunObs | None = None
 
 
 @dataclasses.dataclass(frozen=True, eq=False)
@@ -209,13 +216,20 @@ class SimJob:
 
     def run(self) -> SimResult:
         """Execute the simulation and distil the picklable result."""
-        outcome = _resolve_runner(self.op)(self.topology, self.n, **dict(self.kwargs))
+        runner = _resolve_runner(self.op)
+        observation = current_observation()
+        outcome = runner(self.topology, self.n, **dict(self.kwargs))
+        if observation is not None and observation.tracer.enabled:
+            # Simulated-time spans only (no wall-clock wrapper): exported
+            # traces must be bit-identical across identical invocations.
+            observation.ingest_spans(outcome)
         predicted = outcome.predicted_time
         return SimResult(
             name=outcome.name,
             time=float(outcome.time),
             predicted_time=None if predicted is None else float(predicted),
             supersteps=int(outcome.supersteps),
+            obs=collect_run_obs(outcome),
         )
 
     def __repr__(self) -> str:

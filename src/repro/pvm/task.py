@@ -149,6 +149,10 @@ class Task:
         multiplier = vm.topology.pair_multiplier(host.machine_id, target.host.machine_id)
         if policy is None:
             policy = vm.delivery
+        metrics = vm.metrics
+        net_labels = (("network", network.name),)
+        metrics.inc("repro_messages_sent_total", 1.0, net_labels)
+        metrics.inc("repro_bytes_sent_total", float(size), net_labels)
 
         # 1. pack on the sender CPU
         pack = spec.pack_time(size)
@@ -284,6 +288,7 @@ class Task:
         arrivals = [first_arrival]
         for attempt in range(policy.max_attempts):
             if attempt > 0:
+                vm.metrics.inc("repro_send_retries_total")
                 backoff = policy.backoff_for(attempt - 1)
                 if backoff > 0:
                     yield engine.timeout(backoff)
@@ -309,10 +314,12 @@ class Task:
             if delivered is not None:
                 done.succeed(delivered.value)
                 return
+            vm.metrics.inc("repro_send_timeouts_total")
             vm.trace.emit(
                 engine.now, "timeout", self.name, 0.0,
                 dst=target.tid, nbytes=size, attempt=attempt,
             )
+        vm.metrics.inc("repro_sends_failed_total")
         done.fail(TimeoutError(
             f"send {self.name} -> {target.name} undelivered after "
             f"{policy.max_attempts} attempt(s) of {policy.timeout:g}s each",

@@ -13,6 +13,7 @@ import typing as t
 from repro.cluster.network import NetworkSpec
 from repro.cluster.topology import ClusterTopology
 from repro.errors import PvmError, TaskNotFound
+from repro.obs.metrics import MetricsRegistry
 from repro.pvm.delivery import DeliveryPolicy
 from repro.pvm.task import Task
 from repro.sim.engine import Engine
@@ -80,6 +81,9 @@ class VirtualMachine:
         self.topology = topology
         self.engine = engine if engine is not None else Engine()
         self.trace = Trace(enabled=trace)
+        #: Per-run metrics (messages/bytes by network, fault counters);
+        #: harvested into RunObs records by the observability layer.
+        self.metrics = MetricsRegistry()
         #: When False (ablation), concurrent transfers through one NIC
         #: port do not contend — see experiments.ablations.
         self.serialize_nic = serialize_nic

@@ -1,0 +1,133 @@
+"""Superstep accounting: the simulated-vs-predicted join.
+
+The ledger's contract: per-superstep simulated durations telescope to
+the synchronised makespan, the critical machine is the model's
+max-``r*h`` machine, divergence is *exactly* 1.0 when DES and kernel
+agree (no epsilon), and the compact RunObs record JSON-round-trips to
+the same doubles.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+from repro.cluster.presets import smp_sgi_lan, ucf_testbed
+from repro.collectives import run_gather
+from repro.obs import RunObs, SuperstepLedger
+from repro.obs.accounting import _ratio, collect_run_obs
+
+
+def _exact_topology(p: int = 2, sync_base: float = 0.25) -> ClusterTopology:
+    """A machine where DES and cost kernel agree to the last bit.
+
+    Zero per-byte, per-message, pack/unpack and latency costs leave the
+    barrier (``sync_base``) as the only charge; both the simulator and
+    the analytic ledger price it through the same network parameters,
+    so a zero-volume gather costs exactly ``sync_base`` in both.
+    """
+    net = NetworkSpec(
+        "wire", gap=0.0, latency=0.0, sync_base=sync_base, sync_per_member=0.0
+    )
+    machines = [
+        MachineSpec(
+            f"m{j}", cpu_rate=1e8, nic_gap=1e-7,
+            pack_cost=0.0, unpack_cost=0.0, msg_overhead=0.0,
+        )
+        for j in range(p)
+    ]
+    return ClusterTopology(Cluster("lan", net, machines))
+
+
+class TestRatio:
+    def test_exact_agreement_is_exactly_one(self):
+        assert _ratio(0.1 + 0.2, 0.1 + 0.2) == 1.0
+        assert _ratio(0.0, 0.0) == 1.0
+
+    def test_zero_prediction_with_nonzero_simulation_is_inf(self):
+        assert _ratio(0.5, 0.0) == math.inf
+
+    def test_no_prediction_is_none(self):
+        assert _ratio(0.5, None) is None
+
+
+class TestExactDivergence:
+    def test_fault_free_agreeing_run_reports_exactly_one(self):
+        outcome = run_gather(_exact_topology(), 0)
+        ledger = SuperstepLedger(collect_run_obs(outcome))
+        # Nondegenerate: the one superstep really costs the barrier.
+        assert outcome.time == 0.25
+        assert ledger.divergence == 1.0
+        (row,) = ledger.rows
+        assert row.ratio == 1.0
+        assert row.simulated == row.predicted == 0.25
+
+    def test_divergence_is_float_equality_not_epsilon(self):
+        # A tiny but real disagreement must NOT round to 1.0.
+        outcome = run_gather(_exact_topology(), 64)
+        ledger = SuperstepLedger(collect_run_obs(outcome))
+        assert ledger.divergence != 1.0
+
+
+class TestLedgerJoin:
+    def test_rows_telescope_to_the_synced_frontier(self, fig1_machine):
+        outcome = run_gather(fig1_machine, 4096)
+        run = collect_run_obs(outcome)
+        ledger = SuperstepLedger(run)
+        assert len(ledger.rows) == outcome.supersteps
+        total = sum(row.simulated for row in ledger.rows)
+        frontier = max(marks[-1][0] for marks in run.marks if marks)
+        assert total == pytest.approx(frontier)
+        assert frontier <= outcome.time + 1e-12
+
+    def test_critical_machine_maximises_r_times_h(self):
+        outcome = run_gather(ucf_testbed(6), 25_600)
+        ledger = SuperstepLedger(collect_run_obs(outcome))
+        for row in ledger.rows:
+            best = max(row.machines, key=lambda m: m.rh)
+            assert row.critical.rh == best.rh
+            assert row.critical.h == max(
+                row.critical.sent_bytes, row.critical.received_bytes
+            )
+
+    def test_join_matches_analytic_ledger_steps(self):
+        outcome = run_gather(smp_sgi_lan(), 2048)
+        ledger = SuperstepLedger(collect_run_obs(outcome))
+        steps = outcome.predicted.steps
+        assert [row.label for row in ledger.rows] == [s.label for s in steps]
+        for row, step in zip(ledger.rows, steps):
+            assert row.predicted == pytest.approx(step.total)
+
+    def test_table_renders_sub_millisecond_times(self):
+        outcome = run_gather(ucf_testbed(3), 256)
+        ledger = SuperstepLedger(collect_run_obs(outcome))
+        table = ledger.table(per_machine=True)
+        assert "superstep ledger" in table
+        assert "0.000 |" not in table  # %.6g, not the 3-decimal default
+        assert "per-machine breakdown" in table
+
+
+class TestRunObsRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        outcome = run_gather(ucf_testbed(4), 1024)
+        run = collect_run_obs(outcome)
+        import json
+
+        restored = RunObs.from_jsonable(json.loads(json.dumps(run.to_jsonable())))
+        assert restored == run  # same doubles, not approximately
+
+    def test_round_trip_preserves_missing_prediction(self):
+        outcome = run_gather(ucf_testbed(2), 128)
+        run = collect_run_obs(outcome)
+        stripped = RunObs(
+            name=run.name, machines=run.machines, r=run.r, marks=run.marks,
+            predicted=None, counters=run.counters, time=run.time,
+            predicted_time=None, supersteps=run.supersteps,
+        )
+        restored = RunObs.from_jsonable(stripped.to_jsonable())
+        assert restored == stripped
+        ledger = SuperstepLedger(restored)
+        assert ledger.divergence is None
+        assert all(row.predicted is None for row in ledger.rows)
