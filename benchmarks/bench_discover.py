@@ -1,0 +1,201 @@
+"""Hierarchy-discovery benchmark: ``python benchmarks/bench_discover.py``.
+
+Times the full big-machine pipeline — parametric generation, probe
+matrix synthesis, hierarchy inference, topology reconstruction — at
+10^3 and 10^4 leaves, writing ``BENCH_discover.json``:
+
+* **1024 leaves** (``fat_tree(4, 16, 16)``) exercises the scipy
+  linkage backend over the full float64 matrix with gap columns — the
+  calibration-grade path.
+* **10000 leaves** (``fat_tree(25, 25, 16)``) exercises the banded
+  connected-components backend over a latency-only float32 matrix —
+  the scalable path (a 10^8-element matrix; linkage's condensed-form
+  O(p^2 log p) is out of reach there).
+
+Both runs assert **exact structural recovery** against the generating
+truth; a timing with the wrong answer is worthless.  ``--check`` gates
+three things: exact recovery at every scale, the 10^4-leaf acceptance
+ceiling (:data:`LARGE_LIMIT_SECONDS`, the ISSUE's "builds + discovers
+under a minute on CI"), and a gross total-seconds regression against
+the committed artifact (wired into ``bench_runner.py --check``).
+
+``--quick`` drops the 10^4 scale (CI smoke stays seconds); the
+acceptance ceiling is therefore only exercised by full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Acceptance ceiling on the 10^4-leaf generate+synthesize+discover
+#: wall-clock (the ISSUE's CI budget).
+LARGE_LIMIT_SECONDS = 60.0
+
+#: Regression gate on total_seconds vs the committed artifact.  Wider
+#: than bench_runner's 1.25x: the 10^4-leaf run streams ~1 GB of
+#: matrix through a shared host, so its wall-clock is far noisier than
+#: the in-cache microbenches (observed spread on identical code is
+#: several x).  The *hard* gates are exact recovery and the absolute
+#: :data:`LARGE_LIMIT_SECONDS` ceiling; this one only catches
+#: order-of-magnitude algorithmic regressions.
+REGRESSION_LIMIT = 3.0
+
+#: (label, fat_tree kwargs, synthesize kwargs, discover method).
+SCALES: tuple[tuple[str, dict, dict, str], ...] = (
+    (
+        "1k",
+        {"pods": 4, "racks_per_pod": 16, "hosts_per_rack": 16},
+        {},
+        "linkage",
+    ),
+    (
+        "10k",
+        {"pods": 25, "racks_per_pod": 25, "hosts_per_rack": 16},
+        {"dtype": "float32", "include_gap": False},
+        "bands",
+    ),
+)
+
+
+def _bench_scale(label: str, build_kwargs: dict, synth_kwargs: dict,
+                 method: str) -> dict:
+    import numpy as np
+
+    from repro.cluster.discover import (
+        discover,
+        exact_recovery,
+        fat_tree,
+        synthesize,
+        topology_partitions,
+    )
+
+    kwargs = dict(synth_kwargs)
+    if "dtype" in kwargs:
+        kwargs["dtype"] = getattr(np, kwargs["dtype"])
+    start = time.perf_counter()
+    topology = fat_tree(seed=0, **build_kwargs)
+    built = time.perf_counter()
+    matrix = synthesize(topology, **kwargs)
+    synthesized = time.perf_counter()
+    result = discover(matrix, method=method)
+    done = time.perf_counter()
+    exact = exact_recovery(topology_partitions(topology), result.partitions)
+    entry = {
+        "label": label,
+        "leaves": matrix.p,
+        "method": result.method,
+        "levels": result.k,
+        "exact_recovery": exact,
+        "build_seconds": round(built - start, 3),
+        "synthesize_seconds": round(synthesized - built, 3),
+        "discover_seconds": round(done - synthesized, 3),
+        "total_seconds": round(done - start, 3),
+    }
+    print(f"  {label:4s} p={entry['leaves']:6d} [{entry['method']}] "
+          f"build {entry['build_seconds']:6.2f}s  "
+          f"synth {entry['synthesize_seconds']:6.2f}s  "
+          f"discover {entry['discover_seconds']:6.2f}s  "
+          f"total {entry['total_seconds']:6.2f}s  "
+          f"exact={entry['exact_recovery']}")
+    return entry
+
+
+def run_discover(quick: bool) -> dict:
+    """Time generate -> synthesize -> discover per scale; assert recovery."""
+    scales = SCALES[:1] if quick else SCALES
+    entries = [_bench_scale(*scale) for scale in scales]
+    return {
+        "large_limit_seconds": LARGE_LIMIT_SECONDS,
+        "scales": {entry["label"]: entry for entry in entries},
+    }
+
+
+def check_discover(artifact: Path, entry: dict, scope: str) -> bool:
+    """True when discovery regresses: wrong answer, over budget, or slow."""
+    regressed = False
+    for label, bench in entry["scales"].items():
+        if not bench["exact_recovery"]:
+            print(f"  discover {label}: exact recovery FAILED -> REGRESSION")
+            regressed = True
+        if bench["leaves"] >= 10_000 and (
+            bench["total_seconds"] > LARGE_LIMIT_SECONDS
+        ):
+            print(f"  discover {label}: {bench['total_seconds']:.2f}s over the "
+                  f"{LARGE_LIMIT_SECONDS:.0f}s acceptance ceiling -> REGRESSION")
+            regressed = True
+    if not artifact.exists():
+        print(f"  no committed {artifact.name}; skipping the timing gate")
+        return regressed
+    committed = json.loads(artifact.read_text()).get(scope, {}).get("scales", {})
+    for label, bench in entry["scales"].items():
+        baseline = committed.get(label, {}).get("total_seconds")
+        if not baseline:
+            print(f"  committed {artifact.name} has no {scope} scale {label}; "
+                  "skipping its timing gate")
+            continue
+        ratio = bench["total_seconds"] / baseline
+        over = ratio > REGRESSION_LIMIT
+        print(f"  discover {label}: {bench['total_seconds']:.2f}s vs committed "
+              f"{baseline:.2f}s ({ratio:.2f}x) -> "
+              f"{'REGRESSION' if over else 'ok'}")
+        regressed |= over
+    return regressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (drops the 10^4-leaf scale)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on wrong recovery, a blown acceptance "
+                        "ceiling, or a >3x timing regression")
+    parser.add_argument("--output-dir", type=Path, default=REPO_ROOT,
+                        help="where to write BENCH_discover.json")
+    args = parser.parse_args(argv)
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+
+    print("hierarchy discovery (generate -> synthesize -> discover):")
+    entry = run_discover(args.quick)
+    scope = "quick" if args.quick else "full"
+    path = args.output_dir / "BENCH_discover.json"
+    if args.check:
+        return 1 if check_discover(path, entry, scope) else 0
+
+    doc = {
+        "benchmark": "repro.cluster.discover round-trip wall-clock",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+        "note": (
+            "1k = fat_tree(4,16,16), float64 matrix with gap columns, "
+            "scipy linkage; 10k = fat_tree(25,25,16), latency-only "
+            "float32 matrix, banded components; both assert exact "
+            "structural recovery against the generating truth"
+        ),
+        scope: entry,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        previous = json.loads(path.read_text())
+        for key in ("full", "quick"):
+            if key in previous and key not in doc:
+                doc[key] = previous[key]
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

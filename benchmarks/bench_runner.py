@@ -24,6 +24,12 @@ Emits two machine-readable artifacts next to this file's repo root:
     in-process experiment runs with observation off vs metrics-on vs
     spans-on.  ``--check`` gates the metrics-on overhead under 3%.
 
+``BENCH_discover.json``
+    Hierarchy-discovery round-trip (``benchmarks/bench_discover.py``):
+    generate + synthesize + discover wall-clock at 10^3 and 10^4
+    leaves.  ``--check`` gates exact recovery, the 10^4-leaf 60 s
+    acceptance ceiling, and a gross timing regression.
+
 Modes:
 
 ``--quick``
@@ -373,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     sys.path.insert(0, str(SRC))
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_discover
     import bench_obs_overhead
 
     repeats = 1 if args.quick else 3
@@ -384,6 +391,8 @@ def main(argv: list[str] | None = None) -> int:
     kernels_entry = run_kernels(args.quick, repeats)
     print("observability overhead (off vs metrics vs spans):")
     obs_entry = bench_obs_overhead.run_overhead(args.quick, 3 if args.quick else 5)
+    print("hierarchy discovery (generate -> synthesize -> discover):")
+    discover_entry = bench_discover.run_discover(args.quick)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -428,12 +437,24 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: obs_entry,
     }
+    discover_doc = {
+        "benchmark": "repro.cluster.discover round-trip wall-clock",
+        "machine": machine,
+        "note": (
+            "1k = fat_tree(4,16,16), float64 matrix with gap columns, "
+            "scipy linkage; 10k = fat_tree(25,25,16), latency-only "
+            "float32 matrix, banded components; both assert exact "
+            "structural recovery against the generating truth"
+        ),
+        scope: discover_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
     sweep_path = args.output_dir / "BENCH_sweep.json"
     kernels_path = args.output_dir / "BENCH_kernels.json"
     obs_path = args.output_dir / "BENCH_obs.json"
+    discover_path = args.output_dir / "BENCH_discover.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -458,13 +479,17 @@ def main(argv: list[str] | None = None) -> int:
                   f"{'ok' if kernel_ok else 'REGRESSION'}")
             regressed |= not kernel_ok
         regressed |= bench_obs_overhead.check_overhead(obs_entry)
+        regressed |= bench_discover.check_discover(
+            discover_path, discover_entry, scope
+        )
     else:
         # Preserve the other scope ("full" vs "quick") when present so a
         # --quick run never clobbers the committed full-run numbers.
         for path, doc in ((substrate_path, substrate_doc),
                           (sweep_path, sweep_doc),
                           (kernels_path, kernels_doc),
-                          (obs_path, obs_doc)):
+                          (obs_path, obs_doc),
+                          (discover_path, discover_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

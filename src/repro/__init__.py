@@ -7,6 +7,8 @@ Layered architecture (bottom-up):
 
 * :mod:`repro.sim` — discrete-event simulation engine;
 * :mod:`repro.cluster` — heterogeneous k-level cluster descriptions;
+* :mod:`repro.cluster.discover` — hierarchy inference from pairwise
+  probe matrices + parametric 10^3-10^4-leaf topology generators;
 * :mod:`repro.bytemark` — BYTEmark-style machine ranking;
 * :mod:`repro.pvm` — PVM-like message-passing runtime on the simulator;
 * :mod:`repro.model` — the HBSP^k machine tree, parameters, and cost model;
@@ -40,11 +42,19 @@ from repro.sim.trace import Trace, TraceRecord
 from repro.cluster import (
     Cluster,
     ClusterTopology,
+    DiscoveryResult,
     MachineSpec,
     NetworkSpec,
+    ProbeMatrix,
+    cloud_spot_mix,
+    discover,
+    fat_tree,
     flat_cluster,
     grid_three_level,
+    multi_rack,
+    multicore_nodes,
     smp_sgi_lan,
+    synthesize,
     two_lans,
     ucf_testbed,
 )
@@ -89,6 +99,14 @@ __all__ = [
     "smp_sgi_lan",
     "two_lans",
     "ucf_testbed",
+    "ProbeMatrix",
+    "DiscoveryResult",
+    "discover",
+    "synthesize",
+    "fat_tree",
+    "multi_rack",
+    "cloud_spot_mix",
+    "multicore_nodes",
     "CollectiveOutcome",
     "RootPolicy",
     "WorkloadPolicy",

@@ -17,9 +17,19 @@ Subcommands:
 ``experiment ID``
     Regenerate a paper artifact (same ids as ``python -m
     repro.experiments``).
+``topology generate SPEC``
+    Build a generated (or preset) topology, print a summary, and
+    optionally write the topology JSON and/or a synthesized probe
+    matrix.
+``topology discover``
+    Recover a hierarchy from a probe matrix file (or synthesize one
+    from a spec on the fly) and print the discovered levels.
+``topology inspect FILE``
+    Summarise a topology JSON or probe-matrix file.
 
 Presets take an optional ``:p`` size suffix where it makes sense,
-e.g. ``testbed:6`` or ``flat:8``.
+e.g. ``testbed:6`` or ``flat:8``.  Generator specs are
+``family:key=value,...``, e.g. ``fat_tree:pods=8,hosts_per_rack=16``.
 """
 
 from __future__ import annotations
@@ -96,11 +106,15 @@ def build_preset(spec: str) -> ClusterTopology:
 
 
 def _cmd_list() -> int:
+    from repro.cluster.discover import GENERATORS
     from repro.experiments import EXPERIMENTS
 
     print("presets (use with describe/calibrate/probe/run):")
     for name, (_factory, description) in sorted(PRESETS.items()):
         print(f"  {name:10s} {description}")
+    print()
+    print("generators (use with topology generate/discover; key=value args):")
+    print("  " + ", ".join(sorted(GENERATORS)))
     print()
     print("collectives (use with run):")
     print("  " + ", ".join(_COLLECTIVES))
@@ -257,6 +271,143 @@ def _cmd_experiment(
     return 0
 
 
+def _build_any(spec: str) -> ClusterTopology:
+    """Build from a generator spec, falling back to the presets."""
+    from repro.cluster.discover import GENERATORS, build_generated
+
+    family = spec.partition(":")[0]
+    if family in GENERATORS:
+        return build_generated(spec)
+    try:
+        return build_preset(spec)
+    except ReproError:
+        known = ", ".join(sorted(list(PRESETS) + list(GENERATORS)))
+        raise ReproError(
+            f"unknown preset or generator {family!r}; known: {known}"
+        ) from None
+
+
+def _topology_summary(topology: ClusterTopology) -> str:
+    from repro.cluster.discover import topology_partitions
+
+    counts = [len(set(level)) for level in topology_partitions(topology)]
+    lines = [
+        f"p = {topology.num_machines} machines, k = {topology.height} levels",
+        "clusters per level (innermost first): "
+        + " -> ".join(str(c) for c in counts),
+    ]
+    if topology.num_machines <= 64:
+        lines.append(topology.describe())
+    return "\n".join(lines)
+
+
+def _cmd_topology_generate(
+    spec: str,
+    out: str | None,
+    matrix_out: str | None,
+    noise: float,
+    seed: int,
+    with_params: bool,
+) -> int:
+    from repro.cluster.discover.matrix import synthesize
+
+    topology = _build_any(spec)
+    print(f"generated {spec!r}")
+    print(_topology_summary(topology))
+    if out:
+        from pathlib import Path
+
+        from repro.cluster.serialization import dumps
+
+        params = None
+        if with_params:
+            from repro.model import calibrate
+
+            params = calibrate(topology)
+        Path(out).write_text(dumps(topology, params=params) + "\n")
+        print(f"wrote topology JSON to {out}")
+    if matrix_out:
+        matrix = synthesize(topology, noise=noise, seed=seed)
+        matrix.save(matrix_out)
+        print(f"wrote probe matrix ({matrix!r}) to {matrix_out}")
+    return 0
+
+
+def _cmd_topology_discover(
+    matrix_path: str | None,
+    spec: str | None,
+    method: str,
+    rel_tol: float,
+    noise: float,
+    seed: int,
+    out: str | None,
+) -> int:
+    from repro.cluster.discover import (
+        ProbeMatrix,
+        discover,
+        exact_recovery,
+        hierarchy_distance,
+        synthesize,
+        topology_partitions,
+    )
+
+    if (matrix_path is None) == (spec is None):
+        raise ReproError("topology discover needs exactly one of --matrix / --spec")
+    truth = None
+    if matrix_path is not None:
+        matrix = ProbeMatrix.load(matrix_path)
+    else:
+        topology = _build_any(t.cast(str, spec))
+        truth = topology_partitions(topology)
+        matrix = synthesize(topology, noise=noise, seed=seed)
+    result = discover(matrix, method=method, rel_tol=rel_tol)
+    print(result.describe())
+    if truth is not None:
+        score = 1.0 - hierarchy_distance(truth, result.partitions)
+        exact = exact_recovery(truth, result.partitions)
+        print(f"recovery vs truth: score {score:.4f}, exact {exact}")
+    if out:
+        from pathlib import Path
+
+        from repro.cluster.serialization import dumps
+
+        Path(out).write_text(dumps(result.topology, params=result.params) + "\n")
+        print(f"wrote recovered topology JSON to {out}")
+    return 0
+
+
+def _cmd_topology_inspect(path: str) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cluster.discover import ProbeMatrix
+
+    text = None
+    if not path.endswith(".npz"):
+        text = Path(path).read_text()
+        data = json.loads(text)
+        schema = data.get("schema", "")
+        if schema.startswith("repro.cluster/"):
+            from repro.cluster.serialization import loads_with_params
+
+            topology, params = loads_with_params(text)
+            print(f"topology file ({schema})")
+            print(_topology_summary(topology))
+            if params is not None:
+                print(params.describe())
+            return 0
+    matrix = ProbeMatrix.load(path)
+    print(f"probe matrix: {matrix!r}")
+    import numpy as np
+
+    off_diagonal = matrix.latency[~np.eye(matrix.p, dtype=bool)]
+    if off_diagonal.size:
+        print(
+            f"latency range: [{off_diagonal.min():.3g}, {off_diagonal.max():.3g}] s"
+        )
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags (see docs/observability.md)."""
     parser.add_argument(
@@ -324,6 +475,56 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                                    "directory and reuse them across runs")
     _add_obs_flags(experiment_parser)
 
+    topology_parser = sub.add_parser(
+        "topology", help="generate, discover, and inspect cluster hierarchies"
+    )
+    topology_sub = topology_parser.add_subparsers(
+        dest="topology_command", required=True
+    )
+    generate_parser = topology_sub.add_parser(
+        "generate", help="build a generated (or preset) topology"
+    )
+    generate_parser.add_argument(
+        "spec", help='generator spec "family:key=value,..." or preset name'
+    )
+    generate_parser.add_argument("--out", metavar="FILE", default=None,
+                                 help="write the topology as JSON")
+    generate_parser.add_argument("--params", action="store_true",
+                                 help="embed calibrated HBSP^k params in --out")
+    generate_parser.add_argument("--matrix-out", metavar="FILE", default=None,
+                                 help="write the synthesized probe matrix "
+                                 "(.json or .npz)")
+    generate_parser.add_argument("--noise", type=float, default=0.0,
+                                 help="multiplicative noise sigma for "
+                                 "--matrix-out (default 0)")
+    generate_parser.add_argument("--seed", type=int, default=0,
+                                 help="noise seed (default 0)")
+    discover_parser = topology_sub.add_parser(
+        "discover", help="recover a hierarchy from a probe matrix"
+    )
+    discover_parser.add_argument("--matrix", metavar="FILE", default=None,
+                                 help="probe matrix file (.json or .npz)")
+    discover_parser.add_argument("--spec", default=None,
+                                 help="synthesize the matrix from this "
+                                 "generator/preset spec instead (round-trip "
+                                 "demo: scores recovery against the truth)")
+    discover_parser.add_argument("--method", default="auto",
+                                 choices=["auto", "linkage", "bands"])
+    discover_parser.add_argument("--rel-tol", type=float, default=0.3,
+                                 help="level-cut relative tolerance "
+                                 "(default 0.3)")
+    discover_parser.add_argument("--noise", type=float, default=0.0,
+                                 help="noise sigma applied with --spec")
+    discover_parser.add_argument("--seed", type=int, default=0,
+                                 help="noise seed (default 0)")
+    discover_parser.add_argument("--out", metavar="FILE", default=None,
+                                 help="write the recovered topology (+params) "
+                                 "as JSON")
+    inspect_parser = topology_sub.add_parser(
+        "inspect", help="summarise a topology JSON or probe-matrix file"
+    )
+    inspect_parser.add_argument("file")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
@@ -343,6 +544,19 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
                 obs_summary=args.obs_summary,
             )
+        if args.command == "topology":
+            if args.topology_command == "generate":
+                return _cmd_topology_generate(
+                    args.spec, args.out, args.matrix_out, args.noise,
+                    args.seed, args.params,
+                )
+            if args.topology_command == "discover":
+                return _cmd_topology_discover(
+                    args.matrix, args.spec, args.method, args.rel_tol,
+                    args.noise, args.seed, args.out,
+                )
+            if args.topology_command == "inspect":
+                return _cmd_topology_inspect(args.file)
         if args.command == "experiment":
             return _cmd_experiment(
                 args.id, plot=args.plot, seed=args.seed, jobs=args.jobs,

@@ -18,6 +18,9 @@ from repro.cluster.topology import Cluster, ClusterTopology
 from repro.cluster.serialization import (
     dumps,
     loads,
+    loads_with_params,
+    params_from_dict,
+    params_to_dict,
     topology_from_dict,
     topology_to_dict,
 )
@@ -29,6 +32,17 @@ from repro.cluster.presets import (
     grid_three_level,
     multi_lan,
     two_lans,
+)
+from repro.cluster.discover import (
+    DiscoveryResult,
+    ProbeMatrix,
+    build_generated,
+    cloud_spot_mix,
+    discover,
+    fat_tree,
+    multi_rack,
+    multicore_nodes,
+    synthesize,
 )
 
 __all__ = [
@@ -45,6 +59,18 @@ __all__ = [
     "two_lans",
     "dumps",
     "loads",
+    "loads_with_params",
+    "params_from_dict",
+    "params_to_dict",
     "topology_from_dict",
     "topology_to_dict",
+    "ProbeMatrix",
+    "DiscoveryResult",
+    "discover",
+    "synthesize",
+    "build_generated",
+    "fat_tree",
+    "multi_rack",
+    "cloud_spot_mix",
+    "multicore_nodes",
 ]

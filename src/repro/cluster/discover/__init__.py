@@ -1,0 +1,73 @@
+"""Hierarchy discovery: recover HBSP^k trees from pairwise measurements.
+
+The HBSP^k model (and the rest of this library) assumes the cluster
+hierarchy is *given*.  This subsystem removes that assumption, after
+Estefanel & Mounié (*Identifying Logical Homogeneous Clusters for
+Efficient Wide-Area Communications*): measure all-pairs latency and
+bandwidth, cluster the matrix agglomeratively, and cut the dendrogram
+once per detected cost *band* — statistically indistinguishable levels
+merge, order-of-magnitude level gaps (the paper's Section 1 structure)
+separate.
+
+Three pillars:
+
+* **inference** — :func:`discover` maps a :class:`ProbeMatrix` (from
+  :func:`repro.model.probe.probe_matrix`, from :func:`synthesize`, or
+  loaded from JSON/npz) to a :class:`DiscoveryResult` holding the level
+  partitions, a reconstructed :class:`~repro.cluster.ClusterTopology`
+  and its calibrated :class:`~repro.model.HBSPParams` tree;
+* **generators** — :func:`fat_tree`, :func:`multi_rack`,
+  :func:`cloud_spot_mix`, and :func:`multicore_nodes` (Task & Chauhan's
+  intra-node shared-memory level) build seeded 10^3-10^4-leaf
+  heterogeneous topologies;
+* **validation** — :func:`topology_partitions`,
+  :func:`hierarchy_distance` and :func:`exact_recovery` score a
+  recovered hierarchy against the generating truth (round-trip:
+  generate -> :func:`synthesize` -> :func:`discover` -> score), driving
+  ``repro run discovery`` and the ``repro topology`` CLI.
+"""
+
+from repro.cluster.discover.matrix import ProbeMatrix, synthesize
+from repro.cluster.discover.infer import (
+    DEFAULT_REL_TOL,
+    LINKAGE_LIMIT,
+    DiscoveryResult,
+    discover,
+    level_bands,
+)
+from repro.cluster.discover.reconstruct import reconstruct_topology
+from repro.cluster.discover.score import (
+    exact_recovery,
+    hierarchy_distance,
+    rand_index,
+    topology_partitions,
+)
+from repro.cluster.discover.generators import (
+    GENERATORS,
+    build_generated,
+    cloud_spot_mix,
+    fat_tree,
+    multi_rack,
+    multicore_nodes,
+)
+
+__all__ = [
+    "ProbeMatrix",
+    "synthesize",
+    "DiscoveryResult",
+    "discover",
+    "level_bands",
+    "DEFAULT_REL_TOL",
+    "LINKAGE_LIMIT",
+    "reconstruct_topology",
+    "topology_partitions",
+    "rand_index",
+    "hierarchy_distance",
+    "exact_recovery",
+    "fat_tree",
+    "multi_rack",
+    "cloud_spot_mix",
+    "multicore_nodes",
+    "GENERATORS",
+    "build_generated",
+]

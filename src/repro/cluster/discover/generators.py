@@ -1,0 +1,327 @@
+"""Parametric big-machine generators: seeded 10^3-10^4-leaf topologies.
+
+The hand-declared presets (:mod:`repro.cluster.presets`) top out at tens
+of machines; every scale item on the roadmap needs clusters three
+orders of magnitude larger.  These factories build them
+deterministically from a seeded spec:
+
+``fat_tree``
+    The classic 3-level datacenter fabric: hosts under edge (rack)
+    switches, racks under aggregation pods, pods under a core.
+``multi_rack``
+    A 2-level machine room: racks of hosts under one spine.
+``cloud_spot_mix``
+    A 3-level cloud deployment — zones inside regions behind a WAN —
+    with a seeded fraction of slower "spot" instances, giving the
+    strongly heterogeneous speed vectors the HBSP^k experiments need.
+``multicore_nodes``
+    Task & Chauhan's extra intra-node level (*A Model for Communication
+    in Clusters of Multi-core Machines*): cores share a memory bus
+    inside each node, nodes share a rack switch, racks a backbone —
+    the shared-memory level is an order of magnitude faster again than
+    any LAN, so it appears as its own recovered hierarchy level.
+
+Every generator is pure in ``(parameters, seed)``: speeds are drawn
+from a seeded lognormal spread (via :func:`repro.util.rng.derive_seed`,
+so results do not depend on ``PYTHONHASHSEED``), and each level uses
+one uniform network, which keeps synthesized probe matrices exactly
+ultrametric — the property the round-trip recovery tests rely on.
+
+:data:`GENERATORS` maps family names to factories and
+:func:`build_generated` parses ``"family:key=value,..."`` spec strings
+for the CLI.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import Cluster, ClusterTopology
+from repro.errors import ValidationError
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "fat_tree",
+    "multi_rack",
+    "cloud_spot_mix",
+    "multicore_nodes",
+    "GENERATORS",
+    "build_generated",
+]
+
+#: Fastest generated CPU (matches the preset calibration scale).
+_CPU_FAST = 1e8
+
+#: Fastest generated NIC gap (100 Mbit/s-class protocol stack).
+_NIC_FAST = 8e-8
+
+
+def _speed_draws(
+    rng: np.random.Generator, count: int, slowdown: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded per-machine CPU rates and NIC gaps.
+
+    CPU slowness factors are ``slowdown**u`` with ``u`` uniform — a
+    log-uniform spread over ``[1, slowdown]``, matching the geometric
+    interpolation the presets use but randomized.  NIC slowness spans
+    the testbed's ~1.25x range.
+    """
+    u = rng.random(count)
+    cpus = _CPU_FAST / slowdown**u
+    nics = _NIC_FAST * 1.25 ** rng.random(count)
+    return cpus, nics
+
+
+def _host(name: str, cpu_rate: float, nic_gap: float) -> MachineSpec:
+    return MachineSpec(
+        name=name,
+        cpu_rate=float(cpu_rate),
+        nic_gap=float(nic_gap),
+        pack_cost=2.0,
+        unpack_cost=0.8,
+        msg_overhead=5000.0,
+    )
+
+
+def fat_tree(
+    pods: int = 4,
+    racks_per_pod: int = 4,
+    hosts_per_rack: int = 8,
+    *,
+    seed: int = 0,
+    slowdown: float = 4.0,
+) -> ClusterTopology:
+    """A 3-level fat-tree datacenter: core -> pods -> racks -> hosts.
+
+    ``pods * racks_per_pod * hosts_per_rack`` leaves; latencies step
+    ~6x per level (rack 20 us, pod 120 us, core 600 us), so each level
+    is an unambiguous band for discovery.  ``seed`` drives the
+    heterogeneous host speeds; ``slowdown`` is the CPU spread.
+    """
+    pods = check_positive_int("pods", pods)
+    racks_per_pod = check_positive_int("racks_per_pod", racks_per_pod)
+    hosts_per_rack = check_positive_int("hosts_per_rack", hosts_per_rack)
+    check_positive("slowdown", slowdown)
+    rack_net = NetworkSpec(
+        "ft-rack", gap=4e-8, latency=2e-5, sync_base=1e-4, sync_per_member=3e-5
+    )
+    pod_net = NetworkSpec(
+        "ft-pod", gap=6e-8, latency=1.2e-4, sync_base=6e-4, sync_per_member=1.8e-4
+    )
+    core_net = NetworkSpec(
+        "ft-core", gap=1e-7, latency=6e-4, sync_base=3e-3, sync_per_member=9e-4
+    )
+    total = pods * racks_per_pod * hosts_per_rack
+    rng = np.random.default_rng(derive_seed(seed, "discover-gen", "fat_tree"))
+    cpus, nics = _speed_draws(rng, total, slowdown)
+    index = 0
+    pod_nodes = []
+    for p in range(pods):
+        rack_nodes = []
+        for r in range(racks_per_pod):
+            hosts = []
+            for h in range(hosts_per_rack):
+                hosts.append(_host(f"p{p}r{r}h{h}", cpus[index], nics[index]))
+                index += 1
+            rack_nodes.append(Cluster(f"p{p}-rack{r}", rack_net, hosts))
+        pod_nodes.append(Cluster(f"pod{p}", pod_net, rack_nodes))
+    return ClusterTopology(Cluster("ft-core", core_net, pod_nodes))
+
+
+def multi_rack(
+    racks: int = 8,
+    hosts_per_rack: int = 16,
+    *,
+    seed: int = 0,
+    slowdown: float = 4.0,
+) -> ClusterTopology:
+    """A 2-level machine room: ``racks`` racks of hosts under one spine.
+
+    Latencies: rack 20 us, spine 200 us.  Seeded heterogeneous speeds
+    as in :func:`fat_tree`.
+    """
+    racks = check_positive_int("racks", racks)
+    hosts_per_rack = check_positive_int("hosts_per_rack", hosts_per_rack)
+    check_positive("slowdown", slowdown)
+    rack_net = NetworkSpec(
+        "mr-rack", gap=4e-8, latency=2e-5, sync_base=1e-4, sync_per_member=3e-5
+    )
+    spine_net = NetworkSpec(
+        "mr-spine", gap=8e-8, latency=2e-4, sync_base=1e-3, sync_per_member=3e-4
+    )
+    total = racks * hosts_per_rack
+    rng = np.random.default_rng(derive_seed(seed, "discover-gen", "multi_rack"))
+    cpus, nics = _speed_draws(rng, total, slowdown)
+    index = 0
+    rack_nodes = []
+    for r in range(racks):
+        hosts = []
+        for h in range(hosts_per_rack):
+            hosts.append(_host(f"r{r}h{h}", cpus[index], nics[index]))
+            index += 1
+        rack_nodes.append(Cluster(f"rack{r}", rack_net, hosts))
+    return ClusterTopology(Cluster("spine", spine_net, rack_nodes))
+
+
+def cloud_spot_mix(
+    regions: int = 2,
+    zones_per_region: int = 3,
+    instances_per_zone: int = 8,
+    *,
+    seed: int = 0,
+    spot_fraction: float = 0.4,
+    spot_slowdown: float = 3.0,
+    slowdown: float = 2.0,
+) -> ClusterTopology:
+    """A 3-level cloud: WAN -> regions -> zones -> instances.
+
+    Each instance is independently a "spot" instance with probability
+    ``spot_fraction`` (seeded), slowed by an extra ``spot_slowdown``
+    factor on top of the base ``slowdown`` spread — producing the
+    bimodal speed vectors that make coordinator choice matter.
+    Latencies: zone 50 us, region 1 ms, WAN 30 ms.
+    """
+    regions = check_positive_int("regions", regions)
+    zones_per_region = check_positive_int("zones_per_region", zones_per_region)
+    instances_per_zone = check_positive_int("instances_per_zone", instances_per_zone)
+    check_positive("spot_slowdown", spot_slowdown)
+    check_positive("slowdown", slowdown)
+    if not 0.0 <= spot_fraction <= 1.0:
+        raise ValidationError(
+            f"spot_fraction must be in [0, 1], got {spot_fraction!r}"
+        )
+    zone_net = NetworkSpec(
+        "cs-zone", gap=4e-8, latency=5e-5, sync_base=2.5e-4, sync_per_member=7.5e-5
+    )
+    region_net = NetworkSpec(
+        "cs-region", gap=1e-7, latency=1e-3, sync_base=5e-3, sync_per_member=1.5e-3
+    )
+    wan_net = NetworkSpec(
+        "cs-wan", gap=2e-6, latency=3e-2, sync_base=1.5e-1, sync_per_member=3e-2
+    )
+    total = regions * zones_per_region * instances_per_zone
+    rng = np.random.default_rng(derive_seed(seed, "discover-gen", "cloud_spot_mix"))
+    cpus, nics = _speed_draws(rng, total, slowdown)
+    spot = rng.random(total) < spot_fraction
+    cpus = np.where(spot, cpus / spot_slowdown, cpus)
+    index = 0
+    region_nodes = []
+    for g in range(regions):
+        zone_nodes = []
+        for z in range(zones_per_region):
+            instances = []
+            for i in range(instances_per_zone):
+                kind = "spot" if spot[index] else "od"
+                instances.append(
+                    _host(f"g{g}z{z}-{kind}{i}", cpus[index], nics[index])
+                )
+                index += 1
+            zone_nodes.append(Cluster(f"g{g}-zone{z}", zone_net, instances))
+        region_nodes.append(Cluster(f"region{g}", region_net, zone_nodes))
+    return ClusterTopology(Cluster("cloud", wan_net, region_nodes))
+
+
+def multicore_nodes(
+    racks: int = 4,
+    nodes_per_rack: int = 8,
+    cores_per_node: int = 4,
+    *,
+    seed: int = 0,
+    slowdown: float = 2.0,
+) -> ClusterTopology:
+    """A 3-level cluster of multi-core machines (Task & Chauhan).
+
+    The innermost level is the intra-node shared-memory bus (cores of
+    one node communicate at memory speed, ~3 us), then the rack switch
+    (~150 us), then the backbone (~1.2 ms).  Cores of one node share a
+    CPU speed draw — heterogeneity lives between nodes, as on real
+    mixed-generation clusters.
+    """
+    racks = check_positive_int("racks", racks)
+    nodes_per_rack = check_positive_int("nodes_per_rack", nodes_per_rack)
+    cores_per_node = check_positive_int("cores_per_node", cores_per_node)
+    check_positive("slowdown", slowdown)
+    bus_net = NetworkSpec(
+        "mc-bus", gap=2e-9, latency=3e-6, sync_base=2e-5, sync_per_member=4e-6
+    )
+    rack_net = NetworkSpec(
+        "mc-rack", gap=8e-8, latency=1.5e-4, sync_base=8e-4, sync_per_member=2.5e-4
+    )
+    backbone_net = NetworkSpec(
+        "mc-backbone", gap=2.5e-7, latency=1.2e-3, sync_base=6e-3,
+        sync_per_member=1.2e-3,
+    )
+    node_count = racks * nodes_per_rack
+    rng = np.random.default_rng(derive_seed(seed, "discover-gen", "multicore_nodes"))
+    node_cpus, node_nics = _speed_draws(rng, node_count, slowdown)
+    node_index = 0
+    rack_nodes = []
+    for r in range(racks):
+        nodes = []
+        for n in range(nodes_per_rack):
+            cores = [
+                _host(
+                    f"r{r}n{n}c{c}",
+                    node_cpus[node_index],
+                    node_nics[node_index],
+                )
+                for c in range(cores_per_node)
+            ]
+            nodes.append(Cluster(f"r{r}-node{n}", bus_net, cores))
+            node_index += 1
+        rack_nodes.append(Cluster(f"rack{r}", rack_net, nodes))
+    return ClusterTopology(Cluster("backbone", backbone_net, rack_nodes))
+
+
+#: Registry of generator families, name -> factory.
+GENERATORS: dict[str, t.Callable[..., ClusterTopology]] = {
+    "fat_tree": fat_tree,
+    "multi_rack": multi_rack,
+    "cloud_spot_mix": cloud_spot_mix,
+    "multicore_nodes": multicore_nodes,
+}
+
+
+def _parse_value(raw: str) -> int | float:
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"generator arguments must be numbers, got {raw!r}"
+            ) from None
+
+
+def build_generated(spec: str) -> ClusterTopology:
+    """Build a generated topology from a ``"family:key=value,..."`` spec.
+
+    Examples: ``"fat_tree"`` (all defaults),
+    ``"multi_rack:racks=32,hosts_per_rack=32,seed=7"``,
+    ``"cloud_spot_mix:spot_fraction=0.25"``.  Family names and keyword
+    names are exactly the generator signatures in :data:`GENERATORS`.
+    """
+    family, _, arg_text = spec.partition(":")
+    family = family.strip()
+    if family not in GENERATORS:
+        known = ", ".join(sorted(GENERATORS))
+        raise ValidationError(f"unknown generator {family!r}; known: {known}")
+    kwargs: dict[str, int | float] = {}
+    if arg_text.strip():
+        for item in arg_text.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise ValidationError(
+                    f"bad generator argument {item!r}; expected key=value"
+                )
+            kwargs[key.strip()] = _parse_value(raw.strip())
+    try:
+        return GENERATORS[family](**kwargs)
+    except TypeError as exc:
+        raise ValidationError(f"bad arguments for {family!r}: {exc}") from None

@@ -1,0 +1,242 @@
+"""Rebuild a :class:`~repro.cluster.ClusterTopology` from inference output.
+
+Given the level partitions recovered by :func:`repro.cluster.discover.
+discover` and the probe matrix they came from, this module estimates
+the physical-ish specs the rest of the library consumes:
+
+* **per-machine NIC gaps** — within each innermost cluster the measured
+  pair gap is ``e_i + e_j`` (inject + drain), a classic additive model
+  solved exactly per cluster: with ``S_i = sum_{j != i} g_ij`` and
+  ``E = sum S_i / (2m - 2)``, each endpoint is
+  ``e_i = (S_i - E) / (m - 2)`` for ``m > 2`` (pairs split evenly, and
+  singletons borrow their cheapest cross-cluster estimate);
+* **per-cluster networks** — the network latency of a discovered
+  cluster is the median distance over pairs first joined at that
+  cluster; the wire gap is only observable when it exceeds the
+  endpoint NICs (``g_ij = 2w`` then), detected via the median residual
+  ``g_ij - e_i - e_j``;
+* **barrier costs** — not observable from a latency/bandwidth campaign,
+  so ``L`` is estimated from the level latency with the documented
+  heuristic factors (:data:`SYNC_BASE_FACTOR`,
+  :data:`SYNC_MEMBER_FACTOR`) — the same shape the hand-declared
+  presets use (sync costs a small multiple of the wire latency).
+
+Structural round-trips are exact: partitions of the reconstructed
+topology equal the discovered partitions, and singleton groups are
+passed through unwrapped so a lone machine at a high level (Figure 1's
+SGI) reconstructs as declared.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import Cluster, ClusterTopology
+from repro.errors import DiscoveryError
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.discover.matrix import ProbeMatrix
+
+__all__ = ["reconstruct_topology", "SYNC_BASE_FACTOR", "SYNC_MEMBER_FACTOR"]
+
+#: Estimated barrier base cost as a multiple of the level's latency
+#: (presets sit around 5-10x: ethernet-100 has sync_base/latency ~ 5.3,
+#: campus-atm 5.0, wan 3.2).
+SYNC_BASE_FACTOR = 5.0
+
+#: Estimated per-member barrier cost as a multiple of the latency
+#: (presets: ethernet-100 ~ 1.7, campus-atm 1.0, smp-bus 1.3).
+SYNC_MEMBER_FACTOR = 1.5
+
+#: Default compute speed when the matrix carries no speed vector.
+DEFAULT_CPU_RATE = 1e8
+
+#: Default NIC gap when the matrix is latency-only.
+DEFAULT_NIC_GAP = 8e-8
+
+#: Floor for estimated gaps/latencies (estimates can hit exact zero on
+#: residual cancellation; specs require positive NIC gaps).
+_EPS = 1e-12
+
+#: At most this many member machines per child block feed a cluster's
+#: network estimate.  Enumerating every cross pair is O(p^2) at the
+#: root (~5 * 10^7 pairs on a 10^4-leaf machine); medians over a
+#: deterministic prefix sample are just as stable and keep
+#: reconstruction linear-ish in practice.
+REP_CAP = 64
+
+
+def _estimate_nic_gaps(
+    gap: np.ndarray, innermost: t.Sequence[int]
+) -> np.ndarray:
+    """Per-machine endpoint gap estimates from the innermost partition."""
+    p = gap.shape[0]
+    sym = (gap + gap.T) * 0.5
+    estimates = np.full(p, -1.0)
+    groups: dict[int, list[int]] = {}
+    for machine, label in enumerate(innermost):
+        groups.setdefault(label, []).append(machine)
+    for members in groups.values():
+        m = len(members)
+        if m == 1:
+            continue
+        idx = np.asarray(members)
+        sub = sym[np.ix_(idx, idx)]
+        if m == 2:
+            estimates[idx] = sub[0, 1] / 2.0
+            continue
+        sums = sub.sum(axis=1)
+        total = sums.sum() / (2.0 * (m - 1))
+        estimates[idx] = (sums - total) / (m - 2)
+    unresolved = np.flatnonzero(estimates < 0)
+    resolved = np.flatnonzero(estimates >= 0)
+    for machine in unresolved:
+        if resolved.size:
+            # Cheapest cross link to an already-estimated machine, minus
+            # that machine's own endpoint share.
+            candidates = sym[machine, resolved] - estimates[resolved]
+            estimates[machine] = float(candidates.min())
+        else:
+            others = np.flatnonzero(np.arange(p) != machine)
+            estimates[machine] = float(sym[machine, others].min()) / 2.0
+    return np.maximum(estimates, _EPS)
+
+
+def _network_estimate(
+    name: str,
+    latencies: np.ndarray,
+    residuals: np.ndarray | None,
+    pair_gaps: np.ndarray | None,
+) -> NetworkSpec:
+    """A NetworkSpec estimated from the pairs first joined at a cluster."""
+    latency = max(float(np.median(latencies)), 0.0)
+    wire_gap = 0.0
+    if residuals is not None and residuals.size:
+        median_gap = float(np.median(pair_gaps))
+        median_residual = float(np.median(residuals))
+        if median_gap > 0 and median_residual > 0.05 * median_gap:
+            # The wire dominates both endpoints: g_ij = 2w.
+            wire_gap = median_gap / 2.0
+    base = max(latency, _EPS)
+    return NetworkSpec(
+        name,
+        gap=wire_gap,
+        latency=latency,
+        sync_base=SYNC_BASE_FACTOR * base,
+        sync_per_member=SYNC_MEMBER_FACTOR * base,
+    )
+
+
+def reconstruct_topology(
+    matrix: "ProbeMatrix",
+    partitions: t.Sequence[t.Sequence[int]],
+) -> ClusterTopology:
+    """Build the estimated topology for a discovered partition stack.
+
+    ``partitions`` is innermost-first and must end with the trivial
+    single-cluster level; each level must coarsen the previous one.
+    """
+    p = matrix.p
+    if not partitions:
+        raise DiscoveryError("need at least one partition level")
+    if any(len(level) != p for level in partitions):
+        raise DiscoveryError("every partition must label all machines")
+    if len(set(partitions[-1])) != 1:
+        raise DiscoveryError("the outermost partition must be a single cluster")
+
+    speeds = (
+        list(matrix.speeds)
+        if matrix.speeds is not None
+        else [DEFAULT_CPU_RATE] * p
+    )
+    if matrix.gap is not None:
+        gap_raw: np.ndarray | None = matrix.gap
+        nic = _estimate_nic_gaps(np.asarray(matrix.gap, dtype=np.float64),
+                                 partitions[0])
+    else:
+        gap_raw = None
+        nic = np.full(p, DEFAULT_NIC_GAP)
+    lat_raw = matrix.latency
+
+    def _sym_at(mat: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        # Symmetrize only the sampled entries: a full (mat + mat.T) / 2
+        # is two extra p*p float64 copies (dominates the 10^4-leaf wall
+        # time); fancy-indexing both triangles is O(samples).
+        lower = mat[rows, cols].astype(np.float64, copy=False)
+        upper = mat[cols, rows].astype(np.float64, copy=False)
+        return (lower + upper) * 0.5
+
+    nodes: list[Cluster | MachineSpec] = [
+        MachineSpec(name=matrix.names[j], cpu_rate=speeds[j], nic_gap=float(nic[j]))
+        for j in range(p)
+    ]
+    # members[x] = machine ids under current node x (for spec estimation).
+    members: list[list[int]] = [[j] for j in range(p)]
+    previous = list(range(p))
+
+    for level, labels in enumerate(partitions, start=1):
+        groups: dict[int, list[int]] = {}
+        for machine, label in enumerate(labels):
+            node = previous[machine]
+            bucket = groups.setdefault(label, [])
+            if node not in bucket:
+                bucket.append(node)
+        if level > 1 and len(groups) > len(set(previous)):
+            raise DiscoveryError(
+                f"partition at level {level} does not coarsen level {level - 1}"
+            )
+        new_nodes: list[Cluster | MachineSpec] = []
+        new_members: list[list[int]] = []
+        node_of_label: dict[int, int] = {}
+        for label, children in groups.items():
+            node_of_label[label] = len(new_nodes)
+            if len(children) == 1:
+                # A singleton group adds no structure: carry the child
+                # up (a lone machine stays a machine at this level).
+                new_nodes.append(nodes[children[0]])
+                new_members.append(members[children[0]])
+                continue
+            child_members = [members[c] for c in children]
+            flat = [m for ms in child_members for m in ms]
+            # Pairs first joined at this cluster: across child blocks
+            # (capped at REP_CAP members per block, see above).
+            reps = [np.asarray(ms[:REP_CAP]) for ms in child_members]
+            row_blocks, col_blocks = [], []
+            for a in range(len(reps)):
+                for b in range(a + 1, len(reps)):
+                    row_blocks.append(np.repeat(reps[a], reps[b].size))
+                    col_blocks.append(np.tile(reps[b], reps[a].size))
+            rows_arr = np.concatenate(row_blocks)
+            cols_arr = np.concatenate(col_blocks)
+            residuals = None
+            pair_gaps = None
+            if gap_raw is not None:
+                pair_gaps = _sym_at(gap_raw, rows_arr, cols_arr)
+                residuals = pair_gaps - nic[rows_arr] - nic[cols_arr]
+            network = _network_estimate(
+                f"net-l{level}-{len(new_nodes)}",
+                _sym_at(lat_raw, rows_arr, cols_arr),
+                residuals,
+                pair_gaps,
+            )
+            new_nodes.append(
+                Cluster(
+                    f"disc-l{level}-{len(new_nodes)}",
+                    network,
+                    [nodes[c] for c in children],
+                )
+            )
+            new_members.append(flat)
+        nodes = new_nodes
+        members = new_members
+        previous = [node_of_label[label] for label in labels]
+
+    root = nodes[0]
+    if isinstance(root, MachineSpec):
+        # A single-machine discovery: ClusterTopology wraps it.
+        return ClusterTopology(root)
+    return ClusterTopology(root)

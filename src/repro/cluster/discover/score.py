@@ -1,0 +1,124 @@
+"""Scoring recovered hierarchies against the ground truth.
+
+Round-trip validation (generate -> synthesize -> discover) needs a
+number for "how close is the recovered tree to the true one".  Trees
+are compared as their **level partition stacks**: a hierarchy over
+``p`` machines is, level by level, a partition of the machine set, so
+two hierarchies are compared by pairing their partitions innermost-
+first and averaging a partition distance (1 - Rand index) across
+levels.  This is the tree-edit-style metric that matches how
+:func:`~repro.cluster.discover.discover` itself reports results, and
+it is insensitive to cluster naming, child order, and label choice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+from collections import Counter
+
+from repro.cluster.topology import ClusterTopology
+
+__all__ = [
+    "topology_partitions",
+    "rand_index",
+    "hierarchy_distance",
+    "exact_recovery",
+]
+
+Partition = t.Sequence[int]
+
+
+def topology_partitions(topology: ClusterTopology) -> tuple[tuple[int, ...], ...]:
+    """The level partition stack of a declared topology, innermost first.
+
+    Level ``i`` (1-based, ``i = 1`` innermost) labels each machine by
+    the cluster containing it at depth ``k - i`` below the root of the
+    normalized tree; the last entry is always the trivial all-in-one
+    partition (the root).  Labels are canonical (first-seen order), so
+    the output compares directly against
+    :attr:`~repro.cluster.discover.DiscoveryResult.partitions`.
+    """
+    normal = topology.normalized()
+    k = normal.height
+    chains = [normal.ancestors(mid) for mid in range(normal.num_machines)]
+    partitions: list[tuple[int, ...]] = []
+    for level in range(1, k + 1):
+        # ancestors() is root-first; depth k - level holds level `level`.
+        depth = k - level
+        labels = [chain[depth] for chain in chains]
+        partitions.append(_canonical(labels))
+    if not partitions:  # single machine, height 0
+        partitions.append((0,) * topology.num_machines)
+    return tuple(partitions)
+
+
+def _canonical(labels: t.Iterable[int]) -> tuple[int, ...]:
+    mapping: dict[int, int] = {}
+    out = []
+    for label in labels:
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        out.append(mapping[label])
+    return tuple(out)
+
+
+def rand_index(a: Partition, b: Partition) -> float:
+    """Rand index between two partitions of the same ground set.
+
+    The fraction of machine pairs on which the partitions agree
+    (together in both, or separated in both); 1.0 iff the partitions
+    are identical up to relabelling.  Computed from the contingency
+    table in O(p + cells), no pair enumeration.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"partitions label different ground sets ({len(a)} vs {len(b)})"
+        )
+    n = len(a)
+    if n < 2:
+        return 1.0
+    contingency = Counter(zip(a, b))
+    sum_cells = sum(c * (c - 1) // 2 for c in contingency.values())
+    sum_a = sum(c * (c - 1) // 2 for c in Counter(a).values())
+    sum_b = sum(c * (c - 1) // 2 for c in Counter(b).values())
+    total = n * (n - 1) // 2
+    # agreements = pairs together in both + pairs apart in both
+    return (total + 2 * sum_cells - sum_a - sum_b) / total
+
+
+def hierarchy_distance(
+    truth: t.Sequence[Partition], recovered: t.Sequence[Partition]
+) -> float:
+    """Mean partition distance between two level stacks (0 = identical).
+
+    Stacks are aligned innermost-first and the shorter one is padded
+    with its own outermost (all-in-one) level, so a recovery that
+    merges or splits levels is penalised exactly on the levels it got
+    wrong.  Each aligned pair contributes ``1 - rand_index``.
+    """
+    if not truth or not recovered:
+        raise ValueError("hierarchy stacks must be non-empty")
+    depth = max(len(truth), len(recovered))
+    padded_truth = list(truth) + [truth[-1]] * (depth - len(truth))
+    padded_rec = list(recovered) + [recovered[-1]] * (depth - len(recovered))
+    distances = [
+        1.0 - rand_index(x, y)
+        for x, y in itertools.zip_longest(padded_truth, padded_rec)
+    ]
+    return sum(distances) / depth
+
+
+def exact_recovery(
+    truth: t.Sequence[Partition], recovered: t.Sequence[Partition]
+) -> bool:
+    """True iff both stacks have the same levels and identical partitions.
+
+    Stricter than ``hierarchy_distance == 0``: the stacks must agree on
+    the number of levels, not just pad to agreement.
+    """
+    if len(truth) != len(recovered):
+        return False
+    return all(
+        _canonical(x) == _canonical(y) for x, y in zip(truth, recovered)
+    )

@@ -3,8 +3,16 @@
 A calibrated machine description is an asset worth versioning (the
 paper's experiments are only meaningful relative to a fixed testbed).
 This module round-trips :class:`~repro.cluster.ClusterTopology` through
-JSON-compatible dictionaries, preserving machine/network parameters and
-the pair-multiplier extension.
+JSON-compatible dictionaries, preserving machine/network parameters
+(including the per-machine speed vector — every :class:`MachineSpec`
+field is kept) and the pair-multiplier extension.
+
+Schema ``repro.cluster/2`` additionally carries an optional calibrated
+:class:`~repro.model.HBSPParams` tree (``dumps(topology, params=...)``
+/ :func:`loads_with_params`), so a discovered machine
+(:mod:`repro.cluster.discover`) serialises losslessly: structure,
+specs, *and* the per-level model parameters derived from them.
+Version-1 documents load unchanged.
 """
 
 from __future__ import annotations
@@ -18,9 +26,22 @@ from repro.cluster.network import NetworkSpec
 from repro.cluster.topology import Cluster, ClusterTopology
 from repro.errors import TopologyError
 
-__all__ = ["topology_to_dict", "topology_from_dict", "dumps", "loads"]
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.model.params import HBSPParams
 
-_SCHEMA = "repro.cluster/1"
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "params_to_dict",
+    "params_from_dict",
+    "dumps",
+    "loads",
+    "loads_with_params",
+]
+
+_SCHEMA_V1 = "repro.cluster/1"
+_SCHEMA = "repro.cluster/2"
+_KNOWN_SCHEMAS = (_SCHEMA_V1, _SCHEMA)
 
 
 def _machine_to_dict(spec: MachineSpec) -> dict:
@@ -42,9 +63,15 @@ def _node_to_dict(node: Cluster | MachineSpec) -> dict:
     }
 
 
-def topology_to_dict(topology: ClusterTopology) -> dict:
-    """Serialise a topology (structure, specs, pair multipliers)."""
-    return {
+def topology_to_dict(
+    topology: ClusterTopology, *, params: "HBSPParams | None" = None
+) -> dict:
+    """Serialise a topology (structure, specs, pair multipliers).
+
+    Pass ``params`` (a calibrated :class:`~repro.model.HBSPParams`) to
+    embed the per-level model parameters alongside the structure.
+    """
+    data = {
         "schema": _SCHEMA,
         "root": _node_to_dict(topology.root),
         "pair_multipliers": [
@@ -52,6 +79,52 @@ def topology_to_dict(topology: ClusterTopology) -> dict:
             for (a, b), f in sorted(topology._pair_multipliers.items())
         ],
     }
+    if params is not None:
+        data["params"] = params_to_dict(params)
+    return data
+
+
+def params_to_dict(params: "HBSPParams") -> dict:
+    """Serialise an :class:`~repro.model.HBSPParams` tree.
+
+    The ``(i, j)`` node keys become ``"i,j"`` strings (JSON objects
+    cannot key on tuples).
+    """
+
+    def keyed(mapping: t.Mapping[tuple[int, int], t.Any]) -> dict[str, t.Any]:
+        return {f"{i},{j}": value for (i, j), value in sorted(mapping.items())}
+
+    return {
+        "k": params.k,
+        "g": params.g,
+        "m": list(params.m),
+        "r": keyed(params.r),
+        "L": keyed(params.L),
+        "c": keyed(params.c),
+        "fan_out": keyed(params.fan_out),
+    }
+
+
+def params_from_dict(data: dict) -> "HBSPParams":
+    """Rebuild an :class:`~repro.model.HBSPParams` from :func:`params_to_dict`."""
+    from repro.model.params import HBSPParams
+
+    def unkeyed(mapping: dict[str, t.Any], cast: type) -> dict[tuple[int, int], t.Any]:
+        out = {}
+        for key, value in mapping.items():
+            i, _, j = key.partition(",")
+            out[(int(i), int(j))] = cast(value)
+        return out
+
+    return HBSPParams(
+        k=int(data["k"]),
+        g=float(data["g"]),
+        m=tuple(int(v) for v in data["m"]),
+        r=unkeyed(data["r"], float),
+        L=unkeyed(data["L"], float),
+        c=unkeyed(data["c"], float),
+        fan_out=unkeyed(data["fan_out"], int),
+    )
 
 
 def _node_from_dict(data: dict) -> Cluster | MachineSpec:
@@ -69,10 +142,15 @@ def _node_from_dict(data: dict) -> Cluster | MachineSpec:
 
 
 def topology_from_dict(data: dict) -> ClusterTopology:
-    """Rebuild a topology serialised by :func:`topology_to_dict`."""
-    if data.get("schema") != _SCHEMA:
+    """Rebuild a topology serialised by :func:`topology_to_dict`.
+
+    Accepts both schema versions; an embedded ``params`` block is
+    ignored here — use :func:`loads_with_params` to recover it.
+    """
+    if data.get("schema") not in _KNOWN_SCHEMAS:
         raise TopologyError(
-            f"unsupported schema {data.get('schema')!r} (expected {_SCHEMA!r})"
+            f"unsupported schema {data.get('schema')!r} "
+            f"(expected one of {_KNOWN_SCHEMAS!r})"
         )
     root = _node_from_dict(data["root"])
     topology = ClusterTopology(root)
@@ -85,11 +163,26 @@ def topology_from_dict(data: dict) -> ClusterTopology:
     return topology
 
 
-def dumps(topology: ClusterTopology, *, indent: int | None = 2) -> str:
-    """Serialise a topology to a JSON string."""
-    return json.dumps(topology_to_dict(topology), indent=indent, sort_keys=True)
+def dumps(
+    topology: ClusterTopology,
+    *,
+    params: "HBSPParams | None" = None,
+    indent: int | None = 2,
+) -> str:
+    """Serialise a topology (and optionally its params) to JSON."""
+    return json.dumps(
+        topology_to_dict(topology, params=params), indent=indent, sort_keys=True
+    )
 
 
 def loads(text: str) -> ClusterTopology:
     """Rebuild a topology from :func:`dumps` output."""
     return topology_from_dict(json.loads(text))
+
+
+def loads_with_params(text: str) -> "tuple[ClusterTopology, HBSPParams | None]":
+    """Rebuild a topology and its embedded params (``None`` if absent)."""
+    data = json.loads(text)
+    topology = topology_from_dict(data)
+    params = params_from_dict(data["params"]) if "params" in data else None
+    return topology, params

@@ -25,6 +25,7 @@ __all__ = [
     "PartitionError",
     "ModelError",
     "CalibrationError",
+    "DiscoveryError",
     "CollectiveError",
     "ExperimentError",
 ]
@@ -133,6 +134,15 @@ class ModelError(ReproError):
 
 class CalibrationError(ModelError):
     """Model parameters could not be derived from a cluster topology."""
+
+
+class DiscoveryError(ModelError):
+    """A cluster hierarchy could not be inferred from probe data.
+
+    Raised by :mod:`repro.cluster.discover` when a probe matrix is
+    malformed (non-square, negative entries) or when inference produces
+    an inconsistent partition stack.
+    """
 
 
 class CollectiveError(ReproError):

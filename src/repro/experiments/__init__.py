@@ -10,7 +10,7 @@ from the command line.
 Experiment ids (see DESIGN.md §4): ``table1``, ``fig3a``, ``fig3b``,
 ``fig4a``, ``fig4b``, ``sec4-bcast-phases``, ``sec4-gather-hierarchy``,
 ``model-vs-sim``, ``ablations``, ``scaling``, ``bsp-vs-hbsp``,
-``sensitivity``, ``robustness``.
+``sensitivity``, ``robustness``, ``discovery``.
 """
 
 from repro.experiments.improvement import ExperimentReport, improvement_factor
@@ -33,6 +33,7 @@ from repro.experiments.analysis import (
     table1_parameters,
 )
 from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
+from repro.experiments.discovery import discovery_roundtrip
 from repro.experiments.robustness import robustness_plans, robustness_report
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
@@ -59,6 +60,7 @@ __all__ = [
     "calibration_sensitivity",
     "robustness_plans",
     "robustness_report",
+    "discovery_roundtrip",
     "EXPERIMENTS",
     "run_experiment",
 ]

@@ -9,6 +9,7 @@ import typing as t
 from repro.errors import ExperimentError
 from repro.experiments.ablations import ablation_report
 from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
+from repro.experiments.discovery import discovery_roundtrip
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
 from repro.experiments.analysis import (
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "bsp-vs-hbsp": bsp_vs_hbsp,
     "sensitivity": calibration_sensitivity,
     "robustness": robustness_report,
+    "discovery": discovery_roundtrip,
 }
 
 #: Friendly aliases accepted anywhere an experiment id is (the paper's

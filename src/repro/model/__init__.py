@@ -31,7 +31,14 @@ from repro.model.kernels import (
     equal_counts,
 )
 from repro.model.planner import best_broadcast_phases, best_root, hierarchy_penalty
-from repro.model.probe import LinkEstimate, ProbeReport, probe_link, probe_params, probe_sync
+from repro.model.probe import (
+    LinkEstimate,
+    ProbeReport,
+    probe_link,
+    probe_matrix,
+    probe_params,
+    probe_sync,
+)
 
 __all__ = [
     "HBSPNode",
@@ -54,6 +61,7 @@ __all__ = [
     "LinkEstimate",
     "ProbeReport",
     "probe_link",
+    "probe_matrix",
     "probe_params",
     "probe_sync",
 ]

@@ -28,7 +28,17 @@ from repro.cluster.topology import ClusterTopology
 from repro.model.tree import HBSPTree
 from repro.util.validation import check_positive_int
 
-__all__ = ["LinkEstimate", "ProbeReport", "probe_sync", "probe_link", "probe_params"]
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.discover.matrix import ProbeMatrix
+
+__all__ = [
+    "LinkEstimate",
+    "ProbeReport",
+    "probe_sync",
+    "probe_link",
+    "probe_params",
+    "probe_matrix",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,3 +185,87 @@ def probe_params(
             L[(node.level, node.index)] = probe_sync(topo, level=node.level)
 
     return ProbeReport(g=g, r=r, L=L, links=tuple(links))
+
+
+def probe_matrix(
+    topology: ClusterTopology,
+    *,
+    small: int = 1024,
+    large: int = 65536,
+    sync_rounds: int = 8,
+) -> "ProbeMatrix":
+    """Measure the dense all-pairs (latency, gap) matrices in ONE run.
+
+    The input to hierarchy discovery
+    (:func:`repro.cluster.discover.discover`) is a
+    :class:`~repro.cluster.discover.ProbeMatrix`; measuring it with
+    :func:`probe_link` would cost ``p * (p - 1)`` separate simulated
+    runs (each paying simulator start-up and its own sync baseline).
+    This helper runs a single program instead: ``sync_rounds`` empty
+    supersteps establish the barrier baseline, then every ordered pair
+    sends one ``small`` and one ``large`` message in its own superstep,
+    each followed by an empty *spacer* superstep (delivery of a message
+    can complete after its sender reached the barrier, spilling cost
+    into the following superstep — the spacer absorbs it so pairs don't
+    contaminate each other).  Per-superstep times come off the
+    simulated clock (``ctx.time`` at each barrier), and the same
+    two-size fit as :func:`probe_link` turns them into per-byte gap
+    (slope) and per-message latency (intercept).  On the deterministic
+    simulator one ping per size measures exactly what ``pings = 4``
+    would.
+
+    ``speeds`` carries each machine's declared ``cpu_rate`` (the
+    stand-in for a BYTEmark campaign, which the simulator already
+    ranks machines by).
+    """
+    check_positive_int("sync_rounds", sync_rounds)
+    if not 0 < small < large:
+        raise ValueError("need 0 < small < large probe sizes")
+
+    import numpy as np
+
+    from repro.cluster.discover.matrix import ProbeMatrix
+    from repro.hbsplib.runtime import HbspRuntime
+
+    p = topology.num_machines
+    speeds = tuple(m.cpu_rate for m in topology.machines)
+    names = tuple(m.name for m in topology.machines)
+    if p == 1:
+        zero = np.zeros((1, 1))
+        return ProbeMatrix(names=names, latency=zero, gap=zero.copy(), speeds=speeds)
+
+    pairs = [(i, j) for i in range(p) for j in range(p) if i != j]
+    sizes = (small, large)
+    marks: list[float] = []
+
+    def program(ctx):
+        for _ in range(sync_rounds):
+            yield from ctx.sync()
+            if ctx.pid == 0:
+                marks.append(ctx.time)
+        for src, dst in pairs:
+            for nbytes in sizes:
+                if ctx.pid == src:
+                    yield from ctx.send(dst, b"", nbytes=nbytes)
+                yield from ctx.sync()
+                if ctx.pid == 0:
+                    marks.append(ctx.time)
+                yield from ctx.sync()  # spacer: absorbs delivery spillover
+                if ctx.pid == 0:
+                    marks.append(ctx.time)
+
+    HbspRuntime(topology).run(program)
+
+    durations = np.diff(np.concatenate(([0.0], np.asarray(marks))))
+    baseline = float(durations[:sync_rounds].mean())
+    step = durations[sync_rounds:]
+    latency = np.zeros((p, p))
+    gap = np.zeros((p, p))
+    for index, (src, dst) in enumerate(pairs):
+        # Each measurement spans its superstep plus the spacer.
+        t_small = max(0.0, step[4 * index] + step[4 * index + 1] - 2 * baseline)
+        t_large = max(0.0, step[4 * index + 2] + step[4 * index + 3] - 2 * baseline)
+        slope = max((t_large - t_small) / (large - small), 0.0)
+        gap[src, dst] = slope
+        latency[src, dst] = max(t_small - slope * small, 0.0)
+    return ProbeMatrix(names=names, latency=latency, gap=gap, speeds=speeds)

@@ -1,0 +1,119 @@
+"""Tests for the parametric big-machine generators."""
+
+import pytest
+
+from repro.cluster.discover.generators import (
+    GENERATORS,
+    build_generated,
+    cloud_spot_mix,
+    fat_tree,
+    multi_rack,
+    multicore_nodes,
+)
+from repro.errors import ValidationError
+
+
+class TestShapes:
+    def test_fat_tree_leaf_count_and_height(self):
+        topology = fat_tree(pods=3, racks_per_pod=2, hosts_per_rack=5)
+        assert topology.num_machines == 3 * 2 * 5
+        assert topology.height == 3
+
+    def test_multi_rack_leaf_count_and_height(self):
+        topology = multi_rack(racks=4, hosts_per_rack=6)
+        assert topology.num_machines == 24
+        assert topology.height == 2
+
+    def test_cloud_spot_mix_leaf_count_and_height(self):
+        topology = cloud_spot_mix(
+            regions=2, zones_per_region=2, instances_per_zone=3
+        )
+        assert topology.num_machines == 12
+        assert topology.height == 3
+
+    def test_multicore_nodes_leaf_count_and_height(self):
+        topology = multicore_nodes(racks=2, nodes_per_rack=3, cores_per_node=4)
+        assert topology.num_machines == 24
+        assert topology.height == 3
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            fat_tree(pods=0)
+        with pytest.raises(ValidationError):
+            cloud_spot_mix(spot_fraction=1.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    def test_same_seed_same_speeds(self, family):
+        a = GENERATORS[family](seed=42)
+        b = GENERATORS[family](seed=42)
+        assert [m.cpu_rate for m in a.machines] == [
+            m.cpu_rate for m in b.machines
+        ]
+        assert [m.name for m in a.machines] == [m.name for m in b.machines]
+
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    def test_different_seed_different_speeds(self, family):
+        a = GENERATORS[family](seed=1)
+        b = GENERATORS[family](seed=2)
+        assert [m.cpu_rate for m in a.machines] != [
+            m.cpu_rate for m in b.machines
+        ]
+
+
+class TestHeterogeneity:
+    def test_speeds_spread_by_slowdown(self):
+        topology = multi_rack(racks=8, hosts_per_rack=16, slowdown=4.0)
+        rates = [m.cpu_rate for m in topology.machines]
+        assert max(rates) / min(rates) > 1.5
+        assert max(rates) / min(rates) <= 4.0 + 1e-9
+
+    def test_spot_instances_are_slower_and_named(self):
+        topology = cloud_spot_mix(
+            regions=2, zones_per_region=3, instances_per_zone=8,
+            spot_fraction=0.5, seed=3,
+        )
+        spot = [m for m in topology.machines if "-spot" in m.name]
+        on_demand = [m for m in topology.machines if "-od" in m.name]
+        assert spot and on_demand
+        mean_spot = sum(m.cpu_rate for m in spot) / len(spot)
+        mean_od = sum(m.cpu_rate for m in on_demand) / len(on_demand)
+        assert mean_spot < mean_od
+
+    def test_cores_share_node_speed(self):
+        topology = multicore_nodes(racks=1, nodes_per_rack=2, cores_per_node=4)
+        machines = topology.machines
+        assert len({m.cpu_rate for m in machines[:4]}) == 1
+        assert len({m.cpu_rate for m in machines[4:]}) == 1
+        assert machines[0].cpu_rate != machines[4].cpu_rate
+
+
+class TestSpecParsing:
+    def test_defaults(self):
+        topology = build_generated("fat_tree")
+        assert topology.num_machines == 4 * 4 * 8
+
+    def test_kwargs_and_seed(self):
+        topology = build_generated("multi_rack:racks=2,hosts_per_rack=3,seed=9")
+        assert topology.num_machines == 6
+        again = build_generated("multi_rack:racks=2,hosts_per_rack=3,seed=9")
+        assert [m.cpu_rate for m in topology.machines] == [
+            m.cpu_rate for m in again.machines
+        ]
+
+    def test_float_values(self):
+        topology = build_generated("cloud_spot_mix:spot_fraction=0.0")
+        assert all("-od" in m.name for m in topology.machines)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError, match="unknown generator"):
+            build_generated("mesh")
+
+    def test_bad_argument_shapes_rejected(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            build_generated("fat_tree:pods")
+        with pytest.raises(ValidationError, match="numbers"):
+            build_generated("fat_tree:pods=three")
+        with pytest.raises(ValidationError, match="bad arguments"):
+            build_generated("fat_tree:wings=2")

@@ -9,6 +9,9 @@ from repro.cluster import (
     flat_cluster,
     grid_three_level,
     loads,
+    loads_with_params,
+    params_from_dict,
+    params_to_dict,
     smp_sgi_lan,
     topology_from_dict,
     topology_to_dict,
@@ -73,8 +76,16 @@ class TestDetails:
     def test_json_is_valid_and_stable(self):
         text = dumps(ucf_testbed(3))
         data = json.loads(text)
-        assert data["schema"] == "repro.cluster/1"
+        assert data["schema"] == "repro.cluster/2"
         assert dumps(loads(text)) == text  # fixpoint
+
+    def test_v1_documents_still_load(self):
+        # Documents written before the params extension carry /1 and no
+        # "params" key; the loader must keep accepting them unchanged.
+        data = topology_to_dict(ucf_testbed(3))
+        data["schema"] = "repro.cluster/1"
+        restored = topology_from_dict(data)
+        assert restored.num_machines == 3
 
     def test_unknown_schema_rejected(self):
         data = topology_to_dict(ucf_testbed(2))
@@ -87,3 +98,32 @@ class TestDetails:
         data["root"]["children"][0]["kind"] = "mystery"
         with pytest.raises(TopologyError, match="kind"):
             topology_from_dict(data)
+
+
+class TestParamsRoundTrip:
+    def test_embedded_params_roundtrip(self):
+        topology = ucf_testbed(4)
+        params = calibrate(topology)
+        restored_topology, restored = loads_with_params(
+            dumps(topology, params=params)
+        )
+        assert restored is not None
+        assert restored_topology.num_machines == topology.num_machines
+        assert restored.p == params.p
+        assert restored.k == params.k
+        assert restored.g == params.g
+        assert restored.r == params.r
+        assert restored.L == params.L
+        assert restored.c == params.c
+        assert restored.m == params.m
+
+    def test_loads_with_params_none_when_absent(self):
+        topology, params = loads_with_params(dumps(ucf_testbed(2)))
+        assert params is None
+        assert topology.num_machines == 2
+
+    def test_params_dict_is_json_safe(self):
+        params = calibrate(grid_three_level())
+        data = params_to_dict(params)
+        text = json.dumps(data)  # must not choke on tuple keys
+        assert params_from_dict(json.loads(text)).L == params.L

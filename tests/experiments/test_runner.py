@@ -22,6 +22,7 @@ class TestRegistry:
             "bsp-vs-hbsp",
             "sensitivity",
             "robustness",
+            "discovery",
         }
         assert set(EXPERIMENTS) == expected
 

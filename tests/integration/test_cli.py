@@ -88,3 +88,78 @@ class TestCommands:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTopologyCommands:
+    def test_generate_prints_summary(self, capsys):
+        assert main(["topology", "generate",
+                     "multi_rack:racks=2,hosts_per_rack=3"]) == 0
+        out = capsys.readouterr().out
+        assert "p = 6 machines" in out
+        assert "k = 2 levels" in out
+
+    def test_generate_accepts_presets_too(self, capsys):
+        assert main(["topology", "generate", "testbed:4"]) == 0
+        assert "p = 4 machines" in capsys.readouterr().out
+
+    def test_generate_writes_topology_and_matrix(self, tmp_path, capsys):
+        topo_file = tmp_path / "topo.json"
+        matrix_file = tmp_path / "probe.npz"
+        assert main([
+            "topology", "generate", "fat_tree:pods=2,racks_per_pod=2,hosts_per_rack=2",
+            "--out", str(topo_file), "--params",
+            "--matrix-out", str(matrix_file), "--noise", "0.05",
+        ]) == 0
+        assert topo_file.exists() and matrix_file.exists()
+        out = capsys.readouterr().out
+        assert "wrote topology JSON" in out
+        assert "wrote probe matrix" in out
+
+    def test_discover_from_matrix_file(self, tmp_path, capsys):
+        matrix_file = tmp_path / "probe.json"
+        assert main([
+            "topology", "generate", "multi_rack:racks=3,hosts_per_rack=4",
+            "--matrix-out", str(matrix_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["topology", "discover", "--matrix", str(matrix_file)]) == 0
+        out = capsys.readouterr().out
+        assert "discovered HBSP^2" in out
+        assert "clusters per level" in out
+
+    def test_discover_from_spec_scores_against_truth(self, tmp_path, capsys):
+        out_file = tmp_path / "recovered.json"
+        assert main([
+            "topology", "discover", "--spec",
+            "cloud_spot_mix:regions=2,zones_per_region=2,instances_per_zone=3",
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exact True" in out
+        assert out_file.exists()
+
+    def test_discover_needs_exactly_one_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["topology", "discover"])
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_inspect_topology_and_matrix(self, tmp_path, capsys):
+        topo_file = tmp_path / "topo.json"
+        matrix_file = tmp_path / "probe.npz"
+        assert main([
+            "topology", "generate", "multi_rack:racks=2,hosts_per_rack=2",
+            "--out", str(topo_file), "--matrix-out", str(matrix_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["topology", "inspect", str(topo_file)]) == 0
+        assert "topology file" in capsys.readouterr().out
+        assert main(["topology", "inspect", str(matrix_file)]) == 0
+        out = capsys.readouterr().out
+        assert "probe matrix" in out
+        assert "latency" in out
+
+    def test_list_mentions_generators(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fat_tree" in out
+        assert "cloud_spot_mix" in out
