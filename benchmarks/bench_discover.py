@@ -119,8 +119,14 @@ def run_discover(quick: bool) -> dict:
     }
 
 
-def check_discover(artifact: Path, entry: dict, scope: str) -> bool:
-    """True when discovery regresses: wrong answer, over budget, or slow."""
+def check_discover(
+    artifact: Path, entry: dict, scope: str, compare: bool = True,
+) -> bool:
+    """True when discovery regresses: wrong answer, over budget, or slow.
+
+    ``compare=False`` (the runner detected a machine mismatch) keeps
+    the hard gates but skips the committed-timing comparison.
+    """
     regressed = False
     for label, bench in entry["scales"].items():
         if not bench["exact_recovery"]:
@@ -132,6 +138,10 @@ def check_discover(artifact: Path, entry: dict, scope: str) -> bool:
             print(f"  discover {label}: {bench['total_seconds']:.2f}s over the "
                   f"{LARGE_LIMIT_SECONDS:.0f}s acceptance ceiling -> REGRESSION")
             regressed = True
+    if not compare:
+        print(f"  {artifact.name}: timing comparison refused "
+              "(different machine); hard gates above still apply")
+        return regressed
     if not artifact.exists():
         print(f"  no committed {artifact.name}; skipping the timing gate")
         return regressed

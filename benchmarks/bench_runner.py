@@ -30,6 +30,12 @@ Emits two machine-readable artifacts next to this file's repo root:
     leaves.  ``--check`` gates exact recovery, the 10^4-leaf 60 s
     acceptance ceiling, and a gross timing regression.
 
+``BENCH_scale.json``
+    Macro-event superstep engine (``benchmarks/bench_scale.py``):
+    10^3- and 10^4-leaf collectives, macro vs object path.  ``--check``
+    gates bit-identical dual-path results, the 10x macro speedup floor
+    on the send-heavy 10^3 broadcast, and the 10^4 completion ceiling.
+
 Modes:
 
 ``--quick``
@@ -38,7 +44,12 @@ Modes:
     against full-run numbers.
 ``--check``
     Compare against the committed artifacts and exit non-zero on a
-    >25% wall-clock regression (the CI gate).
+    >25% wall-clock regression (the CI gate).  Timing comparisons are
+    refused — skipped with a message, leaving only the absolute gates
+    (speedup floors, equivalence, ceilings) — when the committed
+    artifact was recorded on a different machine (``cpu_count`` or
+    python major.minor differ): cross-host wall-clock ratios are
+    noise, not signal.
 
 Timings use the median of ``--runs`` subprocess invocations; the
 committed artifacts also record the host CPU count, because parallel
@@ -346,10 +357,38 @@ def _machine_info() -> dict:
     }
 
 
+def machine_mismatch(artifact: Path) -> str | None:
+    """Why ``artifact``'s committed timings are not comparable here.
+
+    Returns a human-readable reason when the committed machine block
+    differs from this host in ``cpu_count`` or python major.minor, and
+    ``None`` when the artifact is missing or comparable.  Patch
+    versions are ignored: they don't move wall-clock, and CI images
+    bump them constantly.
+    """
+    if not artifact.exists():
+        return None
+    committed = json.loads(artifact.read_text()).get("machine", {})
+    current = _machine_info()
+    if committed.get("cpu_count") != current["cpu_count"]:
+        return (f"cpu_count {committed.get('cpu_count')} != "
+                f"{current['cpu_count']}")
+    theirs = str(committed.get("python", "")).split(".")[:2]
+    ours = current["python"].split(".")[:2]
+    if theirs != ours:
+        return f"python {'.'.join(theirs) or '?'} != {'.'.join(ours)}"
+    return None
+
+
 def check_regression(artifact: Path, current: float, key: str, scope: str) -> bool:
     """True if ``current`` regresses >25% against the committed number."""
     if not artifact.exists():
         print(f"  no committed {artifact.name}; skipping the gate")
+        return False
+    mismatch = machine_mismatch(artifact)
+    if mismatch:
+        print(f"  {artifact.name}: committed on a different machine "
+              f"({mismatch}); refusing the timing comparison")
         return False
     committed = json.loads(artifact.read_text())
     baseline = committed.get(scope, {}).get(key)
@@ -381,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     import bench_discover
     import bench_obs_overhead
+    import bench_scale
 
     repeats = 1 if args.quick else 3
     runs = 1 if args.quick else args.runs
@@ -393,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
     obs_entry = bench_obs_overhead.run_overhead(args.quick, 3 if args.quick else 5)
     print("hierarchy discovery (generate -> synthesize -> discover):")
     discover_entry = bench_discover.run_discover(args.quick)
+    print("macro-event scale (10^3/10^4-leaf collectives):")
+    scale_entry = bench_scale.run_scale(args.quick)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -448,6 +490,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: discover_entry,
     }
+    scale_doc = {
+        "benchmark": "macro-event vs object-event collective wall-clock",
+        "machine": machine,
+        "note": (
+            "1k dual-path scales assert bit-identical simulated time, "
+            "values, and superstep marks before timing; 10k scales run "
+            "the macro path only; macro_seconds is the best of the "
+            "repeats, object_seconds a single run"
+        ),
+        scope: scale_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
@@ -455,6 +508,7 @@ def main(argv: list[str] | None = None) -> int:
     kernels_path = args.output_dir / "BENCH_kernels.json"
     obs_path = args.output_dir / "BENCH_obs.json"
     discover_path = args.output_dir / "BENCH_discover.json"
+    scale_path = args.output_dir / "BENCH_scale.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -479,9 +533,15 @@ def main(argv: list[str] | None = None) -> int:
                   f"{'ok' if kernel_ok else 'REGRESSION'}")
             regressed |= not kernel_ok
         regressed |= bench_obs_overhead.check_overhead(obs_entry)
-        regressed |= bench_discover.check_discover(
-            discover_path, discover_entry, scope
-        )
+        for path, checker, entry in (
+            (discover_path, bench_discover.check_discover, discover_entry),
+            (scale_path, bench_scale.check_scale, scale_entry),
+        ):
+            mismatch = machine_mismatch(path)
+            if mismatch:
+                print(f"  {path.name}: committed on a different machine "
+                      f"({mismatch}); refusing the timing comparison")
+            regressed |= checker(path, entry, scope, compare=mismatch is None)
     else:
         # Preserve the other scope ("full" vs "quick") when present so a
         # --quick run never clobbers the committed full-run numbers.
@@ -489,7 +549,8 @@ def main(argv: list[str] | None = None) -> int:
                           (sweep_path, sweep_doc),
                           (kernels_path, kernels_doc),
                           (obs_path, obs_doc),
-                          (discover_path, discover_doc)):
+                          (discover_path, discover_doc),
+                          (scale_path, scale_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

@@ -72,6 +72,7 @@ def make_runtime(
     faults: "FaultPlan | None" = None,
     fault_seed: int = 0,
     delivery: t.Any | None = None,
+    macro: bool | None = None,
 ) -> HbspRuntime:
     """A fresh runtime for one measured collective run.
 
@@ -79,7 +80,10 @@ def make_runtime(
     (even for an empty plan, which is guaranteed bit-identical to no
     plan at all); ``delivery`` sets the default send policy;
     ``serialize_nic=False`` is the ablation that gives NIC ports
-    unlimited parallel channels.
+    unlimited parallel channels.  ``macro`` selects the macro-event
+    fast path (``None`` auto-engages it on fault-free untraced runs;
+    note an *empty* fault plan still builds an injector and therefore
+    falls back to the object path).
     """
     injector = None
     if faults is not None:
@@ -88,7 +92,7 @@ def make_runtime(
         injector = Injector(faults, seed=fault_seed)
     return HbspRuntime(
         topology, scores=scores, trace=trace, serialize_nic=serialize_nic,
-        injector=injector, delivery=delivery,
+        injector=injector, delivery=delivery, macro=macro,
     )
 
 

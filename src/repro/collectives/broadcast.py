@@ -37,6 +37,7 @@ from repro.hbsplib.context import HbspContext
 from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_broadcast
+from repro.sim.macro import macro_safe
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
@@ -75,6 +76,7 @@ def _share_counts(
     return [part[str(i)] for i in range(m)]
 
 
+@macro_safe
 def broadcast_program(
     ctx: HbspContext,
     n: int,
@@ -166,16 +168,20 @@ def run_broadcast(
     faults: "FaultPlan | None" = None,
     fault_seed: int | None = None,
     delivery: t.Any | None = None,
+    macro: bool | None = None,
 ) -> CollectiveOutcome:
     """Run the one-to-all broadcast and predict its cost.
 
     ``phases`` selects one-/two-phase per level (a single string
     applies everywhere).  ``balanced_shares`` distributes first-phase
     shares by the ``c_j`` fractions instead of equally (Fig. 4(b)).
+    ``macro`` selects the macro-event fast path (default: auto on
+    fault-free untraced runs; the result is bit-identical either way).
     """
     runtime = make_runtime(
         topology, scores=scores, trace=trace, faults=faults,
         fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+        macro=macro,
     )
     root_pid = resolve_root(runtime, root)
     result = runtime.run(broadcast_program, n, root_pid, phases, balanced_shares, seed)

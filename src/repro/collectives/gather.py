@@ -35,6 +35,7 @@ from repro.hbsplib.context import HbspContext
 from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_gather
+from repro.sim.macro import macro_safe
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
@@ -42,6 +43,7 @@ if t.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["gather_program", "run_gather", "predict_gather_cost"]
 
 
+@macro_safe
 def gather_program(
     ctx: HbspContext,
     counts: t.Sequence[int],
@@ -86,18 +88,22 @@ def run_gather(
     faults: "FaultPlan | None" = None,
     fault_seed: int | None = None,
     delivery: t.Any | None = None,
+    macro: bool | None = None,
 ) -> CollectiveOutcome:
     """Run the gather on the simulated machine and predict its cost.
 
     Parameters mirror the paper's experimental knobs: ``root`` (fastest
     / slowest / explicit pid) and ``workload`` (equal / balanced /
     explicit per-pid counts); ``serialize_nic=False`` is the ablation
-    switch of :mod:`repro.experiments.ablations`.
+    switch of :mod:`repro.experiments.ablations`.  ``macro`` selects
+    the macro-event fast path (default: auto on fault-free untraced
+    runs; the result is bit-identical either way).
     """
     runtime = make_runtime(
         topology, scores=scores, trace=trace, serialize_nic=serialize_nic,
         faults=faults,
         fault_seed=seed if fault_seed is None else fault_seed, delivery=delivery,
+        macro=macro,
     )
     root_pid = resolve_root(runtime, root)
     counts = split_counts(runtime, n, workload)

@@ -80,12 +80,17 @@ def level_participants(ctx: HbspContext, level: int, root: int) -> list[int]:
     at ``level = 1`` this is simply every member processor.
     """
     node = ctx.runtime._ancestor(ctx.pid, level)
-    out = []
-    for child in node.children:
-        if root in child.members:
-            out.append(root)
-        else:
-            out.append(child.coordinator)
+    cache = ctx.runtime._schedule_cache
+    key = ("participants", id(node), root)
+    out = cache.get(key)
+    if out is None:
+        out = []
+        for child in node.children:
+            if root in child.members:
+                out.append(root)
+            else:
+                out.append(child.coordinator)
+        cache[key] = out
     return out
 
 

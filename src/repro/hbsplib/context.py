@@ -209,6 +209,11 @@ class HbspContext:
             raise SuperstepError(
                 f"send to pid {pid} outside process group [0, {self.nprocs})"
             )
+        macro = self.runtime.macro
+        if macro is not None:
+            # Macro-event path: pure arithmetic, no simulated events.
+            macro.send(self, pid, payload, tag, nbytes)
+            return
         delivery = yield from self.task.send(
             self.runtime.tid_of(pid), payload, tag=tag, nbytes=nbytes
         )
@@ -270,6 +275,15 @@ class HbspContext:
 
     def _barrier_round(self, level: int | None) -> t.Generator[Event, t.Any, None]:
         """One flush + barrier + collect round (internal)."""
+        macro = self.runtime.macro
+        if macro is not None:
+            # Macro-event path: one boundary event per cycle does the
+            # flush / release / collect bookkeeping arithmetically;
+            # only the DRMA put application below is shared.
+            yield from macro.barrier_round(self, level)
+            for message in self._take_drma(_TAG_PUT):
+                apply_put(self._registers, message.payload)
+            return
         # 1. Superstep communication must complete before the barrier
         #    can release: wait for our own sends to be delivered.
         if self._pending:
@@ -338,10 +352,11 @@ class HbspContext:
         from the queue.
         """
         src_tid = None if source is None else self.runtime.tid_of(source)
-        taken = [
-            m for m in self._available if m.matches(src_tid, tag)
-        ]
-        self._available = [m for m in self._available if m not in taken]
+        taken: list[Message] = []
+        kept: list[Message] = []
+        for m in self._available:
+            (taken if m.matches(src_tid, tag) else kept).append(m)
+        self._available = kept
         return taken
 
     def peek_messages(self) -> tuple[Message, ...]:
@@ -428,6 +443,10 @@ class HbspContext:
     def compute(self, work: float) -> t.Generator[Event, t.Any, None]:
         """Perform ``work`` CPU work units of local computation."""
         self._check_live()
+        macro = self.runtime.macro
+        if macro is not None:
+            macro.compute(self, work)
+            return
         yield from self.task.compute(work)
 
     # -- observability ----------------------------------------------------------------

@@ -87,6 +87,13 @@ class HbspRuntime:
         per-send timeout with bounded exponential-backoff retries, or
         explicit at-most-once.  ``None`` keeps the classic
         fire-and-forget fast path.
+    macro:
+        Macro-event fast path selection (:mod:`repro.sim.macro`).
+        ``None`` (default) auto-engages it for fault-free, untraced
+        runs of :func:`~repro.sim.macro.macro_safe` programs — the
+        result is bit-identical, only faster.  ``False`` forces the
+        object-event path; ``True`` insists on the macro path and
+        raises if the machine or program cannot take it.
 
     A fresh runtime (with a fresh virtual clock) should be used per
     measured program run; :meth:`run` enforces this.
@@ -101,6 +108,7 @@ class HbspRuntime:
         serialize_nic: bool = True,
         injector: t.Any | None = None,
         delivery: t.Any | None = None,
+        macro: bool | None = None,
     ) -> None:
         self.tree = HBSPTree(topology)
         self.topology = self.tree.topology  # normalised
@@ -147,19 +155,32 @@ class HbspRuntime:
         # subtree (every member arrives, the cost charged is L_{i,j}).
         self._barriers: dict[tuple[int, int], Barrier] = {}
         self._node_of_barrier: dict[tuple[int, int], HBSPNode] = {}
+        #: (pid, level) -> ancestor node / barrier, for O(1) lookups on
+        #: the per-superstep hot path (clusters are static per runtime).
+        self._ancestor_of: dict[tuple[int, int], HBSPNode] = {}
+        self._barrier_of: dict[tuple[int, int], Barrier] = {}
+        self._schedule_cache: dict[t.Any, t.Any] = {}
         for node in self.tree.walk():
             if node.level >= 1:
                 key = (node.level, node.index)
-                self._barriers[key] = Barrier(
+                barrier = Barrier(
                     self.engine,
                     parties=len(node.members),
                     cost=self.params.L_of(*key),
                     name=f"L{key}",
                 )
+                self._barriers[key] = barrier
                 self._node_of_barrier[key] = node
+                for pid in node.members:
+                    self._ancestor_of[(pid, node.level)] = node
+                    self._barrier_of[(pid, node.level)] = barrier
 
         self._contexts: list[HbspContext] = []
         self._ran = False
+        self._macro_mode = macro
+        #: The live MacroEngine while a macro-path run executes
+        #: (contexts dispatch on this); ``None`` on the object path.
+        self.macro: t.Any | None = None
 
     # -- lookup tables used by contexts -------------------------------------------
     @property
@@ -206,10 +227,10 @@ class HbspRuntime:
             level = self.tree.k
         if not 1 <= level <= self.tree.k:
             raise HbspError(f"sync level must be in [1, {self.tree.k}], got {level}")
-        for key, node in self._node_of_barrier.items():
-            if key[0] == level and pid in node.members:
-                return self._barriers[key]
-        raise HbspError(f"pid {pid} has no level-{level} ancestor cluster")
+        barrier = self._barrier_of.get((pid, level))
+        if barrier is None:
+            raise HbspError(f"pid {pid} has no level-{level} ancestor cluster")
+        return barrier
 
     def superstep_marks(
         self,
@@ -236,12 +257,33 @@ class HbspRuntime:
         return self._ancestor(pid, level).members
 
     def _ancestor(self, pid: int, level: int) -> HBSPNode:
-        for node in self.tree.level_nodes(level):
-            if pid in node.members:
-                return node
-        raise HbspError(f"pid {pid} has no level-{level} ancestor")
+        node = self._ancestor_of.get((pid, level))
+        if node is None:
+            raise HbspError(f"pid {pid} has no level-{level} ancestor")
+        return node
 
     # -- execution ---------------------------------------------------------------------
+    def _macro_engages(self, program: Program) -> bool:
+        """Decide the execution path for this run (see the ``macro``
+        constructor parameter)."""
+        capable = self.vm.macro_capable and self.obs_tracer is None
+        safe = bool(getattr(program, "_macro_safe", False))
+        if self._macro_mode is None:
+            return capable and safe
+        if not self._macro_mode:
+            return False
+        if not capable:
+            raise HbspError(
+                "macro=True needs a fault-free, untraced machine: no "
+                "injector, delivery policy, tracer, or NIC-serialization "
+                "ablation"
+            )
+        if not safe:
+            raise HbspError(
+                "macro=True needs a @macro_safe program (see repro.sim.macro)"
+            )
+        return True
+
     def run(
         self,
         program: Program,
@@ -270,6 +312,10 @@ class HbspRuntime:
             ctx = self._contexts[pid]
             call_args = per_pid_args[pid] if per_pid_args is not None else args
             value = yield from program(ctx, *call_args, **kwargs)
+            if self.macro is not None:
+                # Stretch the shared clock to this task's trailing
+                # local time before the process completion lands.
+                yield from self.macro.finish(ctx)
             ctx._finished = True
             return value
 
@@ -279,6 +325,11 @@ class HbspRuntime:
                 wrapper, pid, pid, name=f"pid{pid}@{self.topology.machines[pid].name}"
             )
             self._contexts.append(HbspContext(self, task, pid))
+
+        if self._macro_engages(program):
+            from repro.sim.macro import MacroEngine
+
+            self.macro = MacroEngine(self)
 
         time = self.vm.run()
         values = {

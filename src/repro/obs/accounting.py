@@ -15,6 +15,12 @@ dominate the step's h-relation.
 strings): it pickles across the sweep pool and JSON-round-trips
 through the persistent disk cache, so warm-cache runs reconstruct the
 exact same ledgers as cold ones.
+
+The marks themselves are path-independent: the macro-event engine
+(:mod:`repro.sim.macro`) records the same cumulative
+``(end_time, wait, traffic)`` tuples at every sync as the full
+event-level simulation — bit-identical, not approximately — so every
+ledger here is valid regardless of which path executed the run.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ the simulated runtime:
   ``n`` retries.  Retransmissions re-pay NIC injection (the payload is
   already packed), and receivers suppress duplicates, so the guarantee
   is effectively exactly-once or a :class:`repro.errors.TimeoutError`.
+
+Attaching *any* policy — even ``at_most_once`` on a fault-free
+machine, where it changes nothing — forces the object-event path: a
+policy watches per-message delivery events, which the macro-event
+fast path (:mod:`repro.sim.macro`) never materialises.  Leave
+``delivery=None`` to keep fault-free runs on the fast path.
 """
 
 from __future__ import annotations

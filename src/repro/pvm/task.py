@@ -49,7 +49,7 @@ class Task:
     __slots__ = (
         "vm", "tid", "host", "name", "mailbox", "_delivered_uids",
         "_link_names", "sent_messages", "sent_bytes",
-        "received_messages", "received_bytes", "process",
+        "received_messages", "received_bytes", "process", "macro_now",
     )
 
     def __init__(self, vm: "VirtualMachine", tid: int, host: "Host", name: str) -> None:
@@ -71,6 +71,11 @@ class Task:
         self.received_messages = 0
         self.received_bytes = 0
         self.process: t.Any = None  # set by VirtualMachine.spawn
+        #: Private local clock under the macro-event path (the task's
+        #: superstep segment runs at one engine instant there, so the
+        #: engine clock lags the task's virtual progress); ``None`` on
+        #: the object path, where engine time is task time.
+        self.macro_now: float | None = None
 
     def _names_for(self, target: "Task") -> tuple[str, str]:
         """Cached ``(arrival, delivery-process)`` labels for a destination."""
@@ -385,8 +390,10 @@ class Task:
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
-        return self.vm.engine.now
+        """Current virtual time (this task's local clock under the
+        macro-event path)."""
+        macro_now = self.macro_now
+        return self.vm.engine.now if macro_now is None else macro_now
 
     def __repr__(self) -> str:
         return f"<Task {self.tid} {self.name!r} on {self.host.spec.name}>"

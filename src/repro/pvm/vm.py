@@ -151,6 +151,25 @@ class VirtualMachine:
         return self.topology.route(src.machine_id, dst.machine_id)
 
     # -- execution --------------------------------------------------------------------
+    @property
+    def macro_capable(self) -> bool:
+        """True when the macro-event fast path may drive this machine.
+
+        The macro engine (:mod:`repro.sim.macro`) batch-computes
+        fault-free superstep timing arithmetically, so every hook that
+        observes or perturbs individual message events must be off: no
+        fault injector, no delivery policy (even an unarmed one routes
+        through :meth:`run`'s clock-stop semantics), no structured
+        trace, and NIC serialization on (the timeline fold models the
+        serialized port).
+        """
+        return (
+            self.injector is None
+            and self.delivery is None
+            and not self.trace.enabled
+            and self.serialize_nic
+        )
+
     def take_uid(self) -> int:
         """Next unique message id (for receiver-side duplicate suppression)."""
         self._next_uid += 1

@@ -76,6 +76,23 @@ class Barrier:
                 self.engine.call_soon(release)
         return event
 
+    def macro_cycle(self) -> int:
+        """Claim the next cycle index without the per-waiter plumbing.
+
+        The macro-event path (:mod:`repro.sim.macro`) computes arrival
+        and release times arithmetically and releases its own waiter
+        events; it still reuses this barrier object for ``parties`` /
+        ``cost`` validation and advances the shared cycle counter here
+        so mixed introspection stays consistent.
+        """
+        if self._waiting:  # pragma: no cover - the paths never mix mid-cycle
+            raise SimulationError(
+                f"barrier {self.name!r} has object-path waiters during a macro cycle"
+            )
+        index = self.cycles
+        self.cycles += 1
+        return index
+
     def __repr__(self) -> str:
         return (
             f"Barrier({self.name!r}, {len(self._waiting)}/{self.parties} arrived, "

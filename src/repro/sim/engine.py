@@ -1,12 +1,46 @@
-"""The event loop and virtual clock of the DES engine."""
+"""The event loop and virtual clock of the DES engine.
+
+Queue layout — slotted struct-of-arrays event store
+---------------------------------------------------
+
+The engine used to heap ``(time, seq, Event)`` 3-tuples and wrap every
+:meth:`Engine.call_soon` function in a shim object.  It now keeps a
+preallocated **event store**: a float64 ``array`` of fire times, an
+int32 ``array`` of entry kinds, and a plain list of payload objects,
+all indexed by *slot* and recycled through a free list.  The heap holds
+only ``(time, key)`` 2-tuples where ``key`` packs everything the
+tie-break needs::
+
+    key = (lane << 62) | (seq << 24) | slot
+
+``lane``
+    0 for entries whose fire time equals ``now`` at enqueue (event
+    triggers, ``call_soon``, zero-delay timeouts), 1 for entries
+    scheduled into the future.  At an equal fire time, work that was
+    *ready immediately* therefore always processes before a timeout
+    that merely *lands* on that instant — regardless of creation
+    order.  This fixes the old shim ordering edge where a ``call_soon``
+    at the current timestamp could lose a heap tie to a ``Timeout``
+    created earlier.
+``seq``
+    monotonically increasing enqueue counter (38 bits), keeping
+    same-time same-lane entries FIFO and the whole simulation
+    deterministic.
+``kind``
+    0 — the payload is an :class:`Event` (the engine calls
+    ``_process()``); 1 — a bare callable (the engine calls it
+    directly, which is what lets ``call_soon`` skip allocating any
+    wrapper object).
+"""
 
 from __future__ import annotations
 
-import heapq
 import typing as t
+from array import array
+from heapq import heappop, heappush
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.events import _LANE_FUTURE, _SLOT_BITS, _SLOT_MASK, Event, Timeout
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
@@ -17,31 +51,18 @@ __all__ = ["Engine"]
 #: module at load time, so a top-level import would be circular).
 _process_cls = None
 
-
-class _Shim:
-    """A minimal queue entry that just runs a function when processed.
-
-    :meth:`Engine.call_soon` uses it instead of a full :class:`Event`;
-    the engine only ever calls ``_process()`` on queue entries, so this
-    skips the callback-list, value and name plumbing entirely.
-    """
-
-    __slots__ = ("fn",)
-
-    def __init__(self, fn: t.Callable[[], None]) -> None:
-        self.fn = fn
-
-    def _process(self) -> None:
-        self.fn()
+#: Initial store capacity (slots); grows by doubling.
+_INITIAL_SLOTS = 1024
 
 
 class Engine:
     """A deterministic discrete-event simulation engine.
 
     The engine owns a priority queue of triggered events keyed by
-    ``(time, sequence)``.  The sequence number makes simultaneous events
-    process in trigger order, which keeps every simulation in this
-    library fully deterministic.
+    ``(time, lane, sequence)``; see the module docstring for the
+    packed-key layout.  The sequence number makes simultaneous
+    same-lane events process in trigger order, which keeps every
+    simulation in this library fully deterministic.
 
     Typical use::
 
@@ -54,7 +75,14 @@ class Engine:
     def __init__(self) -> None:
         #: Current virtual time (seconds).
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        # The slotted event store (see module docstring): parallel
+        # arrays indexed by slot, plus the free list of recyclable
+        # slots and the heap of (time, packed_key) pairs.
+        self._times = array("d", bytes(8 * _INITIAL_SLOTS))
+        self._kinds = array("i", bytes(4 * _INITIAL_SLOTS))
+        self._objs: list[t.Any] = [None] * _INITIAL_SLOTS
+        self._free: list[int] = list(range(_INITIAL_SLOTS - 1, -1, -1))
+        self._heap: list[tuple[float, int]] = []
         self._seq = 0
         #: Live (started, unfinished) processes, for deadlock reporting.
         self._live_processes: set["Process"] = set()
@@ -67,16 +95,41 @@ class Engine:
         self.obs_group = ""
 
     # -- event plumbing -----------------------------------------------------
+    def _grow(self) -> int:
+        """Double the store and return a fresh slot (free list is empty)."""
+        old = len(self._objs)
+        if old << 1 > _SLOT_MASK + 1:
+            raise SimulationError(
+                f"event store overflow: more than {_SLOT_MASK + 1} simultaneous entries"
+            )
+        self._times.extend(array("d", bytes(8 * old)))
+        self._kinds.extend(array("i", bytes(4 * old)))
+        self._objs.extend([None] * old)
+        # Hand out the last new slot; queue the rest for recycling.
+        self._free.extend(range(2 * old - 2, old - 1, -1))
+        return 2 * old - 1
+
+    def _push(self, at: float, lane: int, kind: int, obj: t.Any) -> None:
+        """Stash ``obj`` in the store and heap its packed key."""
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._times[slot] = at
+        self._kinds[slot] = kind
+        self._objs[slot] = obj
+        self._seq += 1
+        key = (self._seq << _SLOT_BITS) | slot
+        if lane:
+            key |= _LANE_FUTURE
+        heappush(self._heap, (at, key))
+
     def _enqueue_event(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event to be processed ``delay`` from now."""
         if delay:
             if delay < 0:
                 raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-            at = self.now + delay
+            self._push(self.now + delay, 1, 0, event)
         else:
-            at = self.now
-        self._seq += 1
-        heapq.heappush(self._queue, (at, self._seq, event))
+            self._push(self.now, 0, 0, event)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending :class:`Event` bound to this engine."""
@@ -87,9 +140,26 @@ class Engine:
         return Timeout(self, delay, value=value, name=name)
 
     def call_soon(self, func: t.Callable[[], None]) -> None:
-        """Run ``func()`` at the current time, after already-queued events."""
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now, self._seq, _Shim(func)))
+        """Run ``func()`` at the current time, after already-queued events.
+
+        Entries created *at* the current timestamp (this, event
+        triggers, zero-delay timeouts) always run before previously
+        scheduled timeouts that fire at the same instant; among
+        themselves they stay FIFO.
+        """
+        self._push(self.now, 0, 1, func)
+
+    def call_at(self, at: float, func: t.Callable[[], None]) -> None:
+        """Run ``func()`` at absolute virtual time ``at``.
+
+        Unlike ``timeout(at - now)``, the fire time is stored exactly —
+        ``now + (at - now)`` need not equal ``at`` in floating point,
+        and the macro-event path (:mod:`repro.sim.macro`) depends on
+        boundary events landing on exact precomputed times.
+        """
+        if at < self.now:
+            raise SimulationError(f"cannot schedule into the past (at={at!r}, now={self.now!r})")
+        self._push(at, 1 if at > self.now else 0, 1, func)
 
     def process(self, generator: t.Generator, name: str = "") -> "Process":
         """Start a new process from a generator; see :class:`Process`."""
@@ -103,14 +173,21 @@ class Engine:
     # -- running ------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
-        if not self._queue:
+        if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        time, _seq, event = heapq.heappop(self._queue)
-        if time < self.now:  # pragma: no cover - guarded by _enqueue_event
+        time, key = heappop(self._heap)
+        if time < self.now:  # pragma: no cover - guarded by the enqueue paths
             raise SimulationError("event queue went backwards in time")
+        slot = key & _SLOT_MASK
+        obj = self._objs[slot]
+        self._objs[slot] = None
+        self._free.append(slot)
         self.now = time
         self._events_processed += 1
-        event._process()
+        if self._kinds[slot]:
+            obj()
+        else:
+            obj._process()
 
     def run(self, until: float | None = None, *, check_deadlock: bool = True) -> float:
         """Run until the queue drains (or until time ``until``).
@@ -121,19 +198,29 @@ class Engine:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until!r} is in the past (now={self.now!r})")
-        queue = self._queue
-        pop = heapq.heappop
+        heap = self._heap
+        kinds = self._kinds
+        objs = self._objs
+        free_slot = self._free.append
+        pop = heappop
         processed = 0
         batch_start = self.now
         try:
-            while queue:
-                if until is not None and queue[0][0] > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self.now = until
                     return self.now
-                time, _seq, event = pop(queue)
+                time, key = pop(heap)
+                slot = key & _SLOT_MASK
+                obj = objs[slot]
+                objs[slot] = None
+                free_slot(slot)
                 self.now = time
                 processed += 1
-                event._process()
+                if kinds[slot]:
+                    obj()
+                else:
+                    obj._process()
         finally:
             self._events_processed += processed
             self._record_batch(batch_start, processed)
@@ -180,21 +267,31 @@ class Engine:
         for event in targets:
             if not event.triggered:
                 event.add_callback(_one_done)
-        queue = self._queue
-        pop = heapq.heappop
+        heap = self._heap
+        kinds = self._kinds
+        objs = self._objs
+        free_slot = self._free.append
+        pop = heappop
         processed = 0
         batch_start = self.now
         try:
-            while queue:
+            while heap:
                 if pending == 0:
                     return self.now
-                if until is not None and queue[0][0] > until:
+                if until is not None and heap[0][0] > until:
                     self.now = until
                     return self.now
-                time, _seq, event = pop(queue)
+                time, key = pop(heap)
+                slot = key & _SLOT_MASK
+                obj = objs[slot]
+                objs[slot] = None
+                free_slot(slot)
                 self.now = time
                 processed += 1
-                event._process()
+                if kinds[slot]:
+                    obj()
+                else:
+                    obj._process()
         finally:
             self._events_processed += processed
             self._record_batch(batch_start, processed)
@@ -224,6 +321,6 @@ class Engine:
 
     def __repr__(self) -> str:
         return (
-            f"Engine(now={self.now:.6g}, queued={len(self._queue)}, "
+            f"Engine(now={self.now:.6g}, queued={len(self._heap)}, "
             f"live_processes={len(self._live_processes)})"
         )

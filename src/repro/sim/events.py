@@ -27,6 +27,14 @@ if t.TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["UNSET", "Event", "Timeout", "AllOf", "AnyOf"]
 
+#: Packed heap-key layout shared with :class:`repro.sim.engine.Engine`
+#: (defined here because the hot trigger paths below inline the push;
+#: the engine imports them back).  ``key = (lane << 62) | (seq << 24)
+#: | slot`` — see the engine module docstring.
+_SLOT_BITS = 24
+_SLOT_MASK = (1 << _SLOT_BITS) - 1
+_LANE_FUTURE = 1 << 62
+
 
 class _Unset:
     """Sentinel for "no value yet"; falsy and with a readable repr."""
@@ -100,12 +108,17 @@ class Event:
         if self._value is not UNSET or self._exception is not None:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
-        # Inlined Engine._enqueue_event(self) — this is the hottest
-        # trigger path in the simulator (every grant, delivery and
-        # process completion lands here).
+        # Inlined Engine._push(now, lane=0, kind=0, self) — this is the
+        # hottest trigger path in the simulator (every grant, delivery
+        # and process completion lands here).
         engine = self.engine
+        free = engine._free
+        slot = free.pop() if free else engine._grow()
+        engine._times[slot] = engine.now
+        engine._kinds[slot] = 0
+        engine._objs[slot] = self
         engine._seq += 1
-        heappush(engine._queue, (engine.now, engine._seq, self))
+        heappush(engine._heap, (engine.now, (engine._seq << _SLOT_BITS) | slot))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -164,8 +177,11 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: t.Any = None, name: str = "") -> None:
         if delay < 0:
             raise SimulationError(f"Timeout delay must be >= 0, got {delay!r}")
-        # Inlined Event.__init__ + Engine._enqueue_event: a Timeout is
-        # born triggered, so both collapse to slot stores and one push.
+        # Inlined Event.__init__ + Engine._push: a Timeout is born
+        # triggered, so both collapse to attribute stores and one push.
+        # A positive delay lands in the "future" lane: at an equal fire
+        # time, call_soon / trigger entries created *at* that time must
+        # process first (see the engine module docstring).
         self.engine = engine
         self.name = name
         self.callbacks = []
@@ -174,8 +190,17 @@ class Timeout(Event):
         delay = float(delay)
         self.delay = delay
         self._value = value if value is not None else delay
+        at = engine.now + delay
+        free = engine._free
+        slot = free.pop() if free else engine._grow()
+        engine._times[slot] = at
+        engine._kinds[slot] = 0
+        engine._objs[slot] = self
         engine._seq += 1
-        heappush(engine._queue, (engine.now + delay, engine._seq, self))
+        key = (engine._seq << _SLOT_BITS) | slot
+        if at > engine.now:
+            key |= _LANE_FUTURE
+        heappush(engine._heap, (at, key))
 
     def __repr__(self) -> str:
         if not self.name:

@@ -1,0 +1,191 @@
+"""Macro-event vs object-event equivalence (the tentpole guarantee).
+
+The macro-event fast path (:mod:`repro.sim.macro`) replays the HBSP
+cost arithmetic directly instead of simulating every pack/inject/
+drain/deliver event.  Its contract is **bit-identical** results — the
+same simulated makespan, per-pid values, superstep counts, and
+per-superstep accounting marks — on any fault-free, untraced run of a
+``@macro_safe`` program.  These properties pin that contract on random
+k<=3 machines, and pin the *fallback* contract: any live hook (trace,
+injector — even an empty plan, delivery policy, NIC-serialization
+ablation) silently reverts to the object path, and ``macro=True``
+refuses instead of silently degrading.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_preset
+from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+from repro.collectives import run_broadcast, run_gather
+from repro.errors import HbspError
+from repro.faults import DeliveryPolicy, FaultPlan
+from repro.hbsplib.runtime import HbspRuntime
+from repro.sim.macro import macro_safe
+
+# ---------------------------------------------------------------------------
+# Random k<=3 topology strategy (small, so paired runs stay fast)
+# ---------------------------------------------------------------------------
+
+_counter = 0
+
+
+def _name(prefix):
+    global _counter
+    _counter += 1
+    return f"{prefix}{_counter}"
+
+
+@st.composite
+def machine(draw):
+    return MachineSpec(
+        _name("m"),
+        cpu_rate=draw(st.floats(min_value=1e7, max_value=1e8)),
+        nic_gap=draw(st.floats(min_value=8e-8, max_value=2e-7)),
+    )
+
+
+@st.composite
+def network(draw):
+    return NetworkSpec(
+        _name("net"),
+        gap=draw(st.floats(min_value=0, max_value=2e-7)),
+        latency=draw(st.floats(min_value=0, max_value=1e-3)),
+        sync_base=draw(st.floats(min_value=0, max_value=1e-3)),
+    )
+
+
+@st.composite
+def deep_topology(draw):
+    """A random HBSP machine of depth 1, 2, or 3 (k <= 3)."""
+    depth = draw(st.integers(min_value=1, max_value=3))
+
+    def subtree(level):
+        if level == 0:
+            return draw(machine())
+        width = draw(st.integers(min_value=1, max_value=3 if level > 1 else 4))
+        children = [subtree(level - 1) for _ in range(width)]
+        return Cluster(_name("c"), draw(network()), children)
+
+    top = subtree(depth)
+    topology = ClusterTopology(top)
+    # Degenerate single-machine trees have nothing to send; redraw as
+    # a 2-machine LAN instead of filtering (keeps shrinking simple).
+    if topology.num_machines < 2:
+        topology = ClusterTopology(
+            Cluster(_name("c"), draw(network()), [draw(machine()), draw(machine())])
+        )
+    return topology
+
+
+N = 4_000
+
+_EQUAL_FIELDS = ("time", "values", "supersteps")
+
+
+def _assert_bit_identical(macro, obj):
+    assert macro.runtime.macro is not None  # fast path actually engaged
+    assert obj.runtime.macro is None
+    for field in _EQUAL_FIELDS:
+        assert getattr(macro, field) == getattr(obj, field), field
+    assert macro.runtime.superstep_marks() == obj.runtime.superstep_marks()
+
+
+class TestBitIdenticalOnRandomMachines:
+    @settings(max_examples=20, deadline=None)
+    @given(topology=deep_topology(), root=st.integers(min_value=0, max_value=10))
+    def test_broadcast(self, topology, root):
+        root %= topology.num_machines
+        macro = run_broadcast(topology, N, root=root, seed=1, macro=True)
+        obj = run_broadcast(topology, N, root=root, seed=1, macro=False)
+        _assert_bit_identical(macro, obj)
+
+    @settings(max_examples=20, deadline=None)
+    @given(topology=deep_topology(), root=st.integers(min_value=0, max_value=10))
+    def test_gather(self, topology, root):
+        root %= topology.num_machines
+        macro = run_gather(topology, N, root=root, seed=1, macro=True)
+        obj = run_gather(topology, N, root=root, seed=1, macro=False)
+        _assert_bit_identical(macro, obj)
+
+    def test_macro_run_is_deterministic(self):
+        topology = build_preset("testbed:4")
+        times = {run_gather(topology, N, seed=1, macro=True).time for _ in range(3)}
+        assert len(times) == 1
+
+
+# ---------------------------------------------------------------------------
+# Fallback: any live hook reverts to the object path
+# ---------------------------------------------------------------------------
+
+@macro_safe
+def _ping_program(ctx):
+    peer = (ctx.pid + 1) % ctx.nprocs
+    yield from ctx.send(peer, np.arange(4, dtype=np.int32), tag=3)
+    yield from ctx.sync()
+    got = ctx.messages(tag=3)
+    yield from ctx.compute(1_000.0)
+    yield from ctx.sync()
+    return len(got)
+
+
+def _plain_program(ctx):  # identical, but not @macro_safe
+    yield from ctx.sync()
+    return ctx.pid
+
+
+class TestFallbackToObjectPath:
+    def test_trace_forces_object_path(self):
+        outcome = run_gather(build_preset("testbed:4"), N, seed=1, trace=True)
+        assert outcome.runtime.macro is None
+
+    def test_empty_fault_plan_forces_object_path(self):
+        # An injector is an injector, even with nothing planned.
+        outcome = run_gather(
+            build_preset("testbed:4"), N, seed=1, faults=FaultPlan.empty()
+        )
+        assert outcome.runtime.macro is None
+
+    def test_delivery_policy_forces_object_path(self):
+        outcome = run_gather(
+            build_preset("testbed:4"), N, seed=1,
+            delivery=DeliveryPolicy.retry(3, timeout=0.05),
+        )
+        assert outcome.runtime.macro is None
+
+    def test_nic_ablation_forces_object_path(self):
+        runtime = HbspRuntime(build_preset("testbed:4"), serialize_nic=False)
+        result = runtime.run(_ping_program)
+        assert runtime.macro is None
+        assert set(result.values.values()) == {1}
+
+    def test_unmarked_program_stays_on_object_path(self):
+        runtime = HbspRuntime(build_preset("testbed:4"))
+        runtime.run(_plain_program)
+        assert runtime.macro is None
+
+    def test_auto_engages_when_clean(self):
+        runtime = HbspRuntime(build_preset("testbed:4"))
+        result = runtime.run(_ping_program)
+        assert runtime.macro is not None
+        assert set(result.values.values()) == {1}
+
+
+class TestMacroInsistRaises:
+    def test_traced_machine_refused(self):
+        with pytest.raises(HbspError, match="fault-free, untraced"):
+            run_gather(build_preset("testbed:4"), N, seed=1, trace=True, macro=True)
+
+    def test_faulted_machine_refused(self):
+        with pytest.raises(HbspError, match="fault-free, untraced"):
+            run_gather(
+                build_preset("testbed:4"), N, seed=1,
+                faults=FaultPlan.empty(), macro=True,
+            )
+
+    def test_unmarked_program_refused(self):
+        runtime = HbspRuntime(build_preset("testbed:4"), macro=True)
+        with pytest.raises(HbspError, match="macro_safe"):
+            runtime.run(_plain_program)

@@ -80,6 +80,82 @@ class TestOrdering:
         engine.run()
         assert engine.events_processed == 2
 
+    def test_call_soon_beats_pending_sametime_timeout(self, engine):
+        # Regression: a call_soon issued *at* time T must run before a
+        # Timeout that was created earlier and merely fires at T.  The
+        # old (time, seq) heap gave the timeout the lower sequence
+        # number, so the shim lost the tie; the "ready now" lane bit
+        # decides it regardless of creation order.
+        order = []
+        first = engine.timeout(5.0)
+        first.add_callback(lambda _e: engine.call_soon(lambda: order.append("soon")))
+        second = engine.timeout(5.0)
+        second.add_callback(lambda _e: order.append("timeout"))
+        engine.run()
+        assert order == ["soon", "timeout"]
+
+    def test_trigger_at_t_beats_pending_sametime_timeout(self, engine):
+        # Same edge for a bare Event succeeded at T: immediate work
+        # precedes a previously scheduled timeout landing on T.
+        order = []
+        pending = engine.event()
+        pending.add_callback(lambda _e: order.append("event"))
+        first = engine.timeout(5.0)
+        first.add_callback(lambda _e: pending.succeed())
+        second = engine.timeout(5.0)
+        second.add_callback(lambda _e: order.append("timeout"))
+        engine.run()
+        assert order == ["event", "timeout"]
+
+    def test_zero_delay_timeout_stays_fifo_with_call_soon(self, engine):
+        # A zero-delay timeout fires "now", so it shares the immediate
+        # lane and keeps FIFO order with surrounding call_soon entries.
+        order = []
+        engine.call_soon(lambda: order.append("a"))
+        engine.timeout(0.0).add_callback(lambda _e: order.append("b"))
+        engine.call_soon(lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at_fires_at_exact_time(self, engine):
+        times = []
+        engine.call_at(2.5, lambda: times.append(engine.now))
+        engine.timeout(5.0)
+        engine.run()
+        assert times == [2.5]
+
+    def test_call_at_in_past_raises(self, engine):
+        engine.timeout(1.0)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.call_at(0.5, lambda: None)
+
+
+class TestEventStore:
+    def test_store_grows_and_recycles_slots(self, engine):
+        # Push far past the initial slot capacity with interleaved
+        # processing so slots are freed and recycled mid-run.
+        hits = []
+
+        def waves():
+            for wave in range(5):
+                timers = [engine.timeout(wave + i / 4096.0) for i in range(1500)]
+                yield timers[-1]
+                hits.append(sum(1 for timer in timers if timer.processed))
+
+        engine.process(waves())
+        engine.run()
+        assert hits == [1500] * 5
+        assert engine.events_processed >= 7500
+
+    def test_interleaved_order_preserved_across_growth(self, engine):
+        order = []
+        for i in range(3000):
+            engine.timeout(float(i % 7)).add_callback(lambda _e, i=i: order.append(i))
+        engine.run()
+        by_time = sorted(range(3000), key=lambda i: (i % 7, i))
+        assert order == by_time
+
 
 class TestDeadlockDetection:
     def test_blocked_process_raises(self, engine):
