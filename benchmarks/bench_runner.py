@@ -36,6 +36,13 @@ Emits two machine-readable artifacts next to this file's repo root:
     gates bit-identical dual-path results, the 10x macro speedup floor
     on the send-heavy 10^3 broadcast, and the 10^4 completion ceiling.
 
+``BENCH_tuning.json``
+    Schedule auto-tuner (``benchmarks/bench_tuning.py``): cold-tune
+    cost vs warm decision-cache lookup, and tuned-vs-default simulated
+    makespans at 10^2-10^4 leaves.  ``--check`` gates the warm-lookup
+    speedup floor, tuned never slower than default, and the expected
+    >=10% win on the latency-dominated broadcast scenario.
+
 Modes:
 
 ``--quick``
@@ -421,6 +428,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_discover
     import bench_obs_overhead
     import bench_scale
+    import bench_tuning
 
     repeats = 1 if args.quick else 3
     runs = 1 if args.quick else args.runs
@@ -435,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
     discover_entry = bench_discover.run_discover(args.quick)
     print("macro-event scale (10^3/10^4-leaf collectives):")
     scale_entry = bench_scale.run_scale(args.quick)
+    print("auto-tuned schedules (cold tune, warm lookup, tuned vs default):")
+    tuning_entry = bench_tuning.run_tuning(args.quick)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -501,6 +511,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: scale_entry,
     }
+    tuning_doc = {
+        "benchmark": "schedule auto-tuning cost and wins",
+        "machine": machine,
+        "note": (
+            "cold_seconds = full tune (enumerate + vectorized pricing + "
+            "DES-validated shortlist) into a fresh cache; warm_seconds = "
+            "best of 5 decision-cache resolutions with the in-memory "
+            "memo dropped; tuned can never be slower than default "
+            "because the default plan is always in the validated "
+            "shortlist"
+        ),
+        scope: tuning_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
@@ -509,6 +532,7 @@ def main(argv: list[str] | None = None) -> int:
     obs_path = args.output_dir / "BENCH_obs.json"
     discover_path = args.output_dir / "BENCH_discover.json"
     scale_path = args.output_dir / "BENCH_scale.json"
+    tuning_path = args.output_dir / "BENCH_tuning.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -536,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         for path, checker, entry in (
             (discover_path, bench_discover.check_discover, discover_entry),
             (scale_path, bench_scale.check_scale, scale_entry),
+            (tuning_path, bench_tuning.check_tuning, tuning_entry),
         ):
             mismatch = machine_mismatch(path)
             if mismatch:
@@ -550,7 +575,8 @@ def main(argv: list[str] | None = None) -> int:
                           (kernels_path, kernels_doc),
                           (obs_path, obs_doc),
                           (discover_path, discover_doc),
-                          (scale_path, scale_doc)):
+                          (scale_path, scale_doc),
+                          (tuning_path, tuning_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

@@ -87,7 +87,7 @@ from repro.obs import (
 )
 from repro.perf import SimJob, SimResult, SweepExecutor, evaluate, sweep
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Cluster",

@@ -14,6 +14,14 @@ Subcommands:
     Simulate one collective (gather/broadcast/scatter/reduce/
     allgather/alltoall/allreduce/scan) and print times, the predicted
     cost ledger, and optionally a Gantt chart.
+``tune COLLECTIVE PRESET``
+    Auto-tune a gather/broadcast schedule for a machine (enumerate,
+    price analytically, DES-validate the shortlist) and memoize the
+    decision in the persistent cache; ``run --schedule tuned`` then
+    resolves it in O(1).
+``cache {stats,prune,clear}``
+    Inspect or reclaim the persistent sweep-result and
+    tuning-decision caches.
 ``experiment ID``
     Regenerate a paper artifact (same ids as ``python -m
     repro.experiments``).
@@ -168,11 +176,12 @@ def _cmd_run(
     trace_out: str | None = None,
     metrics_out: str | None = None,
     obs_summary: bool = False,
+    schedule: str = "default",
 ) -> int:
     import contextlib
 
     from repro import collectives as coll
-    from repro.collectives import RootPolicy, WorkloadPolicy
+    from repro.collectives import RootPolicy, WorkloadPolicy, resolve_plan
     from repro.util.units import format_time
 
     if collective not in _COLLECTIVES:
@@ -182,6 +191,16 @@ def _cmd_run(
     topology = build_preset(preset)
     runner = getattr(coll, f"run_{collective}")
     kwargs: dict[str, t.Any] = {"trace": gantt, "seed": seed}
+    if schedule != "default":
+        root_spec: t.Any = (
+            RootPolicy.SLOWEST if root == "slowest"
+            else RootPolicy.FASTEST if root == "fastest"
+            else int(root)
+        )
+        plan = resolve_plan(topology, collective, n, schedule, root=root_spec)
+        if plan is not None:
+            kwargs["plan"] = plan
+            print(f"tuned schedule: {plan.key}")
     if faults is not None:
         from repro.faults import FaultPlan
 
@@ -238,6 +257,87 @@ def _cmd_run(
     return 0
 
 
+def _cmd_tune(
+    collective: str,
+    preset: str,
+    n: int,
+    root: str,
+    force: bool,
+    shortlist: int,
+) -> int:
+    from repro.collectives import RootPolicy
+    from repro.tuning import space_size
+    from repro.tuning.tuner import tune
+    from repro.util.units import format_time
+
+    if collective not in ("gather", "broadcast"):
+        raise ReproError(
+            f"tune supports gather/broadcast, got {collective!r}"
+        )
+    topology = _build_any(preset)
+    root_spec: t.Any = (
+        RootPolicy.SLOWEST if root == "slowest"
+        else RootPolicy.FASTEST if root == "fastest"
+        else int(root)
+    )
+    decision = tune(
+        topology, collective, n, root=root_spec, force=force,
+        shortlist=shortlist,
+    )
+    print(f"{collective}(n={n}) on {preset} -> {decision.plan.key}")
+    print(f"  topology hash : {decision.topology_hash[:16]}…  root pid{decision.root}")
+    print(f"  space         : {decision.candidates} plans priced analytically, "
+          f"{decision.validated} DES-validated")
+    print(f"  tuned         : {format_time(decision.simulated_time)} simulated "
+          f"({format_time(decision.predicted_time)} predicted)")
+    print(f"  default       : {format_time(decision.default_time)} simulated")
+    if decision.plan.is_default:
+        print("  verdict       : the default schedule is already optimal")
+    else:
+        print(f"  verdict       : {100 * decision.improvement:.1f}% faster "
+              "than the default schedule")
+    return 0
+
+
+def _cmd_cache(action: str, max_bytes: int | None) -> int:
+    from repro.perf import DiskCache, default_cache_dir
+    from repro.tuning.cache import DecisionCache
+    from repro.util.units import format_bytes
+
+    stores: list[tuple[str, t.Any]] = [
+        ("sweeps", DiskCache(default_cache_dir())),
+        ("decisions", DecisionCache()),
+    ]
+    if action == "stats":
+        for label, store in stores:
+            stats = store.stats()
+            root = store.root if hasattr(store, "root") else store.disk.root
+            print(f"{label} cache at {root}")
+            print(f"  current ({stats.version}): {stats.entries} entries, "
+                  f"{format_bytes(stats.bytes)}")
+            if stats.stale_versions:
+                print(f"  stale: {format_bytes(stats.stale_bytes)} in "
+                      f"{', '.join(stats.stale_versions)}")
+            else:
+                print("  stale: none")
+        return 0
+    if action == "prune":
+        limit = 0 if max_bytes is None else max_bytes
+        for label, store in stores:
+            removed, freed = store.prune(limit)
+            print(f"{label}: removed {removed} item(s), freed {format_bytes(freed)}")
+        return 0
+    # clear
+    for label, store in stores:
+        entries = len(store)
+        if isinstance(store, DiskCache):
+            store.wipe()
+        else:
+            store.clear()
+        print(f"{label}: cleared ({entries} entries)")
+    return 0
+
+
 def _cmd_experiment(
     experiment_id: str,
     plot: bool = False,
@@ -247,6 +347,7 @@ def _cmd_experiment(
     trace_out: str | None = None,
     metrics_out: str | None = None,
     obs_summary: bool = False,
+    schedule: str | None = None,
 ) -> int:
     import contextlib
 
@@ -260,7 +361,7 @@ def _cmd_experiment(
 
             observation = stack.enter_context(observe(spans=trace_out is not None))
         stack.enter_context(sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir))
-        report = run_experiment(experiment_id, seed=seed)
+        report = run_experiment(experiment_id, seed=seed, schedule=schedule)
     print(report.render(plot=plot))
     if observation is not None:
         from repro.experiments.runner import _export_observation
@@ -460,7 +561,37 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                             help="per-send delivery timeout in seconds")
     run_parser.add_argument("--retries", type=int, default=0,
                             help="retransmissions per send (needs --send-timeout)")
+    run_parser.add_argument("--schedule", default="default",
+                            choices=["default", "tuned"],
+                            help="collective schedule: the paper's default or "
+                            "the auto-tuned plan (gather/broadcast only; "
+                            "tunes cold on first use, then cached)")
     _add_obs_flags(run_parser)
+    tune_parser = sub.add_parser(
+        "tune", help="auto-tune a collective schedule for a machine"
+    )
+    tune_parser.add_argument("collective", help="gather | broadcast")
+    tune_parser.add_argument("preset",
+                             help="preset name or generator spec "
+                             '"family:key=value,..."')
+    tune_parser.add_argument("--n", type=int, default=25_600,
+                             help="problem size in items (default 25600)")
+    tune_parser.add_argument("--root", default="fastest",
+                             help="fastest | slowest | explicit pid")
+    tune_parser.add_argument("--force", action="store_true",
+                             help="re-tune even if a cached decision exists")
+    tune_parser.add_argument("--shortlist", type=int, default=4,
+                             help="analytic top-N to DES-validate (default 4)")
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or reclaim the persistent caches"
+    )
+    cache_parser.add_argument("cache_action",
+                              choices=["stats", "prune", "clear"],
+                              help="stats: sizes per cache; prune: drop stale "
+                              "versions then oldest entries; clear: wipe all")
+    cache_parser.add_argument("--max-bytes", type=int, default=None,
+                              help="prune target size per cache "
+                              "(default 0 = keep nothing)")
     experiment_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment_parser.add_argument("id")
     experiment_parser.add_argument("--plot", action="store_true",
@@ -473,6 +604,10 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     experiment_parser.add_argument("--cache-dir", default=None,
                                    help="persist sweep results under this "
                                    "directory and reuse them across runs")
+    experiment_parser.add_argument("--schedule", default=None,
+                                   choices=["default", "tuned"],
+                                   help="collective schedule for experiments "
+                                   "that support it (fig3a, fig4a)")
     _add_obs_flags(experiment_parser)
 
     topology_parser = sub.add_parser(
@@ -542,8 +677,15 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 faults=args.faults, retries=args.retries,
                 send_timeout=args.send_timeout,
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
-                obs_summary=args.obs_summary,
+                obs_summary=args.obs_summary, schedule=args.schedule,
             )
+        if args.command == "tune":
+            return _cmd_tune(
+                args.collective, args.preset, args.n, args.root,
+                args.force, args.shortlist,
+            )
+        if args.command == "cache":
+            return _cmd_cache(args.cache_action, args.max_bytes)
         if args.command == "topology":
             if args.topology_command == "generate":
                 return _cmd_topology_generate(
@@ -562,7 +704,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 args.id, plot=args.plot, seed=args.seed, jobs=args.jobs,
                 cache_dir=args.cache_dir,
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
-                obs_summary=args.obs_summary,
+                obs_summary=args.obs_summary, schedule=args.schedule,
             )
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")

@@ -22,6 +22,7 @@ from repro.cluster.serialization import (
     params_from_dict,
     params_to_dict,
     topology_from_dict,
+    topology_hash,
     topology_to_dict,
 )
 from repro.cluster.presets import (
@@ -63,6 +64,7 @@ __all__ = [
     "params_from_dict",
     "params_to_dict",
     "topology_from_dict",
+    "topology_hash",
     "topology_to_dict",
     "ProbeMatrix",
     "DiscoveryResult",

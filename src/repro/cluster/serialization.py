@@ -18,6 +18,7 @@ Version-1 documents load unchanged.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import typing as t
 
@@ -32,6 +33,7 @@ if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "topology_to_dict",
     "topology_from_dict",
+    "topology_hash",
     "params_to_dict",
     "params_from_dict",
     "dumps",
@@ -161,6 +163,54 @@ def topology_from_dict(data: dict) -> ClusterTopology:
             entry["factor"],
         )
     return topology
+
+
+def topology_hash(
+    source: "ClusterTopology | t.Mapping[str, t.Any] | str",
+    *,
+    params: "HBSPParams | None" = None,
+) -> str:
+    """Canonical sha256 hash of a topology description.
+
+    The hash keys the auto-tuner's persistent decision cache, so it
+    must be *stable* where the content is equal and *discriminating*
+    where it is not:
+
+    * JSON dict/key ordering never matters (canonical ``sort_keys``
+      serialisation with fixed separators);
+    * the ``schema`` marker is excluded, so a v1 document and its v2
+      re-serialisation hash identically (absent ``pair_multipliers``
+      normalises to empty, absent ``params`` to omitted);
+    * embedded calibrated params *do* contribute — the same structure
+      calibrated differently tunes differently, so it must hash
+      differently.
+
+    Accepts a live :class:`~repro.cluster.ClusterTopology` (optionally
+    with ``params`` to embed), an already-serialised dictionary, or a
+    JSON string.
+    """
+    if isinstance(source, ClusterTopology):
+        data: dict = topology_to_dict(source, params=params)
+    elif isinstance(source, str):
+        data = json.loads(source)
+    else:
+        if params is not None:
+            raise TopologyError(
+                "params can only be supplied with a ClusterTopology source"
+            )
+        data = dict(source)
+    if data.get("schema") not in _KNOWN_SCHEMAS:
+        raise TopologyError(
+            f"unsupported schema {data.get('schema')!r} "
+            f"(expected one of {_KNOWN_SCHEMAS!r})"
+        )
+    canonical = {key: value for key, value in data.items() if key != "schema"}
+    if not canonical.get("pair_multipliers"):
+        canonical["pair_multipliers"] = []
+    if canonical.get("params") is None:
+        canonical.pop("params", None)
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def dumps(

@@ -22,7 +22,9 @@ Every collective exists in two forms that the benchmarks compare:
 from repro.collectives.base import CollectiveOutcome, make_runtime
 from repro.collectives.schedules import (
     RootPolicy,
+    SchedulePolicy,
     WorkloadPolicy,
+    resolve_plan,
     effective_coordinator,
     resolve_root,
     split_counts,
@@ -56,7 +58,9 @@ __all__ = [
     "CollectiveOutcome",
     "make_runtime",
     "RootPolicy",
+    "SchedulePolicy",
     "WorkloadPolicy",
+    "resolve_plan",
     "effective_coordinator",
     "resolve_root",
     "split_counts",

@@ -36,8 +36,9 @@ from repro.errors import CollectiveError
 from repro.hbsplib.context import HbspContext
 from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
-from repro.model.predict import predict_broadcast
+from repro.model.predict import predict_broadcast, predict_broadcast_plan
 from repro.sim.macro import macro_safe
+from repro.tuning.plan import SchedulePlan, binomial_rounds, split_segments
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
@@ -84,33 +85,94 @@ def broadcast_program(
     phases: str | t.Mapping[int, str] = "two",
     balanced_shares: bool = False,
     seed: int = 0,
+    plan: SchedulePlan | None = None,
 ) -> t.Generator:
     """Per-process broadcast program.
 
     Returns ``(items, checksum)``; on success every pid reports ``n``
-    items with identical checksums.
+    items with identical checksums.  ``plan`` overrides ``phases`` with
+    a per-level schedule — one-phase (optionally segmented), two-phase,
+    or binomial-tree doubling.
     """
     data: np.ndarray | None = (
         make_items(seed, root, n) if ctx.pid == root else None
     )
     k = ctx.runtime.tree.k
     for level in range(k, 0, -1):
-        mode = _phase_of(phases, level)
+        schedule = plan.level(level) if plan is not None else None
+        mode = _phase_of(phases, level) if schedule is None else schedule.algorithm
         participants = level_participants(ctx, level, root)
         coordinator = effective_coordinator(ctx, level, root)
         am_participant = ctx.pid in participants
         if mode == "one":
-            if ctx.pid == coordinator and data is not None:
-                with ctx.phase(f"broadcast full L{level}", level=level):
-                    for peer in participants:
-                        if peer != ctx.pid:
-                            yield from ctx.send(
-                                peer, data, tag=level * _TAG_STRIDE + _TAG_FULL
-                            )
-            yield from ctx.sync(level)
-            arrived = ctx.messages(tag=level * _TAG_STRIDE + _TAG_FULL)
-            if arrived and am_participant:
-                data = arrived[0].payload
+            segments = 1 if schedule is None else schedule.segments
+            if segments == 1:
+                if ctx.pid == coordinator and data is not None:
+                    with ctx.phase(f"broadcast full L{level}", level=level):
+                        for peer in participants:
+                            if peer != ctx.pid:
+                                yield from ctx.send(
+                                    peer, data, tag=level * _TAG_STRIDE + _TAG_FULL
+                                )
+                yield from ctx.sync(level)
+                arrived = ctx.messages(tag=level * _TAG_STRIDE + _TAG_FULL)
+                if arrived and am_participant:
+                    data = arrived[0].payload
+            else:
+                offsets = None
+                if ctx.pid == coordinator and data is not None:
+                    offsets = np.cumsum(
+                        [0] + split_segments(data.size, segments)
+                    )
+                pieces: list[np.ndarray] = []
+                for s in range(segments):
+                    if offsets is not None:
+                        with ctx.phase(
+                            f"broadcast full L{level}.{s + 1}", level=level
+                        ):
+                            piece = data[offsets[s] : offsets[s + 1]]
+                            for peer in participants:
+                                if peer != ctx.pid:
+                                    yield from ctx.send(
+                                        peer, piece,
+                                        tag=level * _TAG_STRIDE + _TAG_FULL,
+                                    )
+                    yield from ctx.sync(level)
+                    arrived = ctx.messages(tag=level * _TAG_STRIDE + _TAG_FULL)
+                    if arrived and am_participant:
+                        pieces.append(arrived[0].payload)
+                if pieces and am_participant:
+                    data = concat_payloads(pieces)
+        elif mode == "binomial":
+            # Doubling over the child-coordinator positions, rotated so
+            # the coordinator holds relative position 0: in round t
+            # every holder q < 2^t forwards the payload to q + 2^t.
+            C = len(participants)
+            own_pos = participants.index(coordinator)
+            rel = (
+                (participants.index(ctx.pid) - own_pos) % C
+                if am_participant
+                else None
+            )
+            for t_round in range(binomial_rounds(C)):
+                half = 1 << t_round
+                if (
+                    rel is not None
+                    and data is not None
+                    and rel < half
+                    and rel + half < C
+                ):
+                    target = participants[(own_pos + rel + half) % C]
+                    with ctx.phase(
+                        f"binomial bcast L{level} r{t_round + 1}", level=level
+                    ):
+                        yield from ctx.send(
+                            target, data, tag=level * _TAG_STRIDE + _TAG_FULL
+                        )
+                yield from ctx.sync(level)
+                arrived = ctx.messages(tag=level * _TAG_STRIDE + _TAG_FULL)
+                if arrived and rel is not None:
+                    data = arrived[0].payload
         else:
             m = len(participants)
             my_index = participants.index(ctx.pid) if am_participant else -1
@@ -169,6 +231,7 @@ def run_broadcast(
     fault_seed: int | None = None,
     delivery: t.Any | None = None,
     macro: bool | None = None,
+    plan: SchedulePlan | None = None,
 ) -> CollectiveOutcome:
     """Run the one-to-all broadcast and predict its cost.
 
@@ -177,6 +240,8 @@ def run_broadcast(
     shares by the ``c_j`` fractions instead of equally (Fig. 4(b)).
     ``macro`` selects the macro-event fast path (default: auto on
     fault-free untraced runs; the result is bit-identical either way).
+    ``plan`` runs an explicit :class:`~repro.tuning.plan.SchedulePlan`
+    (overriding ``phases``), and the prediction prices that plan.
     """
     runtime = make_runtime(
         topology, scores=scores, trace=trace, faults=faults,
@@ -184,17 +249,26 @@ def run_broadcast(
         macro=macro,
     )
     root_pid = resolve_root(runtime, root)
-    result = runtime.run(broadcast_program, n, root_pid, phases, balanced_shares, seed)
+    result = runtime.run(
+        broadcast_program, n, root_pid, phases, balanced_shares, seed, plan
+    )
     fractions = (
         [runtime.fraction_of(j) for j in range(runtime.nprocs)]
         if balanced_shares
         else None
     )
-    predicted = predict_broadcast(
-        runtime.params, n, root=root_pid, phases=phases, fractions=fractions
-    )
+    if plan is None:
+        predicted = predict_broadcast(
+            runtime.params, n, root=root_pid, phases=phases, fractions=fractions
+        )
+        name = f"broadcast(n={n}, root=pid{root_pid}, phases={phases!r})"
+    else:
+        predicted = predict_broadcast_plan(
+            runtime.params, n, plan, root=root_pid, fractions=fractions
+        )
+        name = f"broadcast(n={n}, root=pid{root_pid}, plan={plan.key})"
     return CollectiveOutcome(
-        name=f"broadcast(n={n}, root=pid{root_pid}, phases={phases!r})",
+        name=name,
         time=result.time,
         supersteps=result.supersteps,
         values=result.values,

@@ -31,11 +31,13 @@ from repro.collectives.schedules import (
     resolve_root,
     split_counts,
 )
+from repro.collectives.schedules import level_participants
 from repro.hbsplib.context import HbspContext
 from repro.model.cost import CostLedger
 from repro.model.params import HBSPParams
-from repro.model.predict import predict_gather
+from repro.model.predict import predict_gather, predict_gather_plan
 from repro.sim.macro import macro_safe
+from repro.tuning.plan import SchedulePlan, binomial_rounds, split_segments
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
@@ -49,27 +51,81 @@ def gather_program(
     counts: t.Sequence[int],
     root: int,
     seed: int = 0,
+    plan: SchedulePlan | None = None,
 ) -> t.Generator:
     """Per-process gather program.
 
     ``counts[pid]`` items are generated locally; the program returns
     ``(held_items, checksum)`` — the root ends with ``sum(counts)``
-    items, everyone else with 0.
+    items, everyone else with 0.  ``plan`` selects per-level flat
+    (optionally segmented) or binomial-tree fan-in; ``None`` (and the
+    default plan) is the paper's single-step flat schedule.
     """
     data = make_items(seed, ctx.pid, counts[ctx.pid])
     buffer: list[np.ndarray] = [data]
     k = ctx.runtime.tree.k
     for level in range(1, k + 1):
-        sender = effective_coordinator(ctx, level - 1, root)
-        receiver = effective_coordinator(ctx, level, root)
-        if ctx.pid == sender and ctx.pid != receiver:
-            with ctx.phase(f"gather up L{level}", level=level):
-                payload = concat_payloads(buffer)
-                buffer = []
-                yield from ctx.send(receiver, payload, tag=level)
-        yield from ctx.sync(level)
-        if ctx.pid == receiver:
-            buffer.extend(m.payload for m in ctx.messages(tag=level))
+        schedule = plan.level(level) if plan is not None else None
+        if schedule is None or schedule.algorithm == "flat":
+            sender = effective_coordinator(ctx, level - 1, root)
+            receiver = effective_coordinator(ctx, level, root)
+            sending = ctx.pid == sender and ctx.pid != receiver
+            segments = 1 if schedule is None else schedule.segments
+            if segments == 1:
+                if sending:
+                    with ctx.phase(f"gather up L{level}", level=level):
+                        payload = concat_payloads(buffer)
+                        buffer = []
+                        yield from ctx.send(receiver, payload, tag=level)
+                yield from ctx.sync(level)
+                if ctx.pid == receiver:
+                    buffer.extend(m.payload for m in ctx.messages(tag=level))
+            else:
+                offsets = None
+                if sending:
+                    payload = concat_payloads(buffer)
+                    buffer = []
+                    offsets = np.cumsum(
+                        [0] + split_segments(payload.size, segments)
+                    )
+                for s in range(segments):
+                    if offsets is not None:
+                        with ctx.phase(
+                            f"gather up L{level}.{s + 1}", level=level
+                        ):
+                            yield from ctx.send(
+                                receiver,
+                                payload[offsets[s] : offsets[s + 1]],
+                                tag=level,
+                            )
+                    yield from ctx.sync(level)
+                    if ctx.pid == receiver:
+                        buffer.extend(
+                            m.payload for m in ctx.messages(tag=level)
+                        )
+        else:  # binomial fan-in over the child-coordinator positions
+            participants = level_participants(ctx, level, root)
+            receiver = effective_coordinator(ctx, level, root)
+            C = len(participants)
+            own_pos = participants.index(receiver)
+            rel = (
+                (participants.index(ctx.pid) - own_pos) % C
+                if ctx.pid in participants
+                else None
+            )
+            for t_round in range(binomial_rounds(C)):
+                half = 1 << t_round
+                if rel is not None and rel % (2 * half) == half:
+                    target = participants[(own_pos + rel - half) % C]
+                    with ctx.phase(
+                        f"binomial gather L{level} r{t_round + 1}", level=level
+                    ):
+                        payload = concat_payloads(buffer)
+                        buffer = []
+                        yield from ctx.send(target, payload, tag=level)
+                yield from ctx.sync(level)
+                if rel is not None:
+                    buffer.extend(m.payload for m in ctx.messages(tag=level))
     held = concat_payloads(buffer)
     checksum = int(held.astype(np.int64).sum()) if held.size else 0
     return (int(held.size), checksum)
@@ -89,6 +145,7 @@ def run_gather(
     fault_seed: int | None = None,
     delivery: t.Any | None = None,
     macro: bool | None = None,
+    plan: SchedulePlan | None = None,
 ) -> CollectiveOutcome:
     """Run the gather on the simulated machine and predict its cost.
 
@@ -97,7 +154,10 @@ def run_gather(
     explicit per-pid counts); ``serialize_nic=False`` is the ablation
     switch of :mod:`repro.experiments.ablations`.  ``macro`` selects
     the macro-event fast path (default: auto on fault-free untraced
-    runs; the result is bit-identical either way).
+    runs; the result is bit-identical either way).  ``plan`` runs an
+    explicit :class:`~repro.tuning.plan.SchedulePlan` (e.g. a tuned
+    one) instead of the paper's flat schedule, and the prediction
+    prices that plan.
     """
     runtime = make_runtime(
         topology, scores=scores, trace=trace, serialize_nic=serialize_nic,
@@ -107,10 +167,19 @@ def run_gather(
     )
     root_pid = resolve_root(runtime, root)
     counts = split_counts(runtime, n, workload)
-    result = runtime.run(gather_program, counts, root_pid, seed)
-    predicted = predict_gather(runtime.params, n, root=root_pid, counts=counts)
+    result = runtime.run(gather_program, counts, root_pid, seed, plan)
+    if plan is None:
+        predicted = predict_gather(
+            runtime.params, n, root=root_pid, counts=counts
+        )
+    else:
+        predicted = predict_gather_plan(
+            runtime.params, n, plan, root=root_pid, counts=counts
+        )
     return CollectiveOutcome(
-        name=f"gather(n={n}, root=pid{root_pid})",
+        name=f"gather(n={n}, root=pid{root_pid})"
+        if plan is None
+        else f"gather(n={n}, root=pid{root_pid}, plan={plan.key})",
         time=result.time,
         supersteps=result.supersteps,
         values=result.values,

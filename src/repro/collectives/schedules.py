@@ -23,8 +23,10 @@ from repro.hbsplib.runtime import HbspRuntime
 
 __all__ = [
     "RootPolicy",
+    "SchedulePolicy",
     "WorkloadPolicy",
     "resolve_root",
+    "resolve_plan",
     "effective_coordinator",
     "split_counts",
     "level_participants",
@@ -43,6 +45,42 @@ class WorkloadPolicy(enum.Enum):
 
     EQUAL = "equal"  #: homogeneous baseline: c_j = 1/p (T_u)
     BALANCED = "balanced"  #: speed-proportional c_j from scores (T_b)
+
+
+class SchedulePolicy(enum.Enum):
+    """Which per-level schedule a gather/broadcast runs."""
+
+    DEFAULT = "default"  #: the paper's hand-picked schedule
+    TUNED = "tuned"  #: auto-tuned via :mod:`repro.tuning` (cached)
+
+
+def resolve_plan(
+    topology: t.Any,
+    op: str,
+    n: int,
+    schedule: "SchedulePolicy | str | None",
+    *,
+    root: "int | RootPolicy | None" = None,
+) -> t.Any:
+    """Turn a :class:`SchedulePolicy` into a plan argument for ``run_*``.
+
+    ``DEFAULT``/``None`` returns ``None`` (the built-in schedule);
+    ``TUNED`` consults the persistent decision cache — tuning cold on a
+    first encounter — and returns the winning
+    :class:`~repro.tuning.plan.SchedulePlan`.  Only ``gather`` and
+    ``broadcast`` are tunable; ``TUNED`` on another op raises.
+    """
+    if isinstance(schedule, str):
+        schedule = SchedulePolicy(schedule)
+    if schedule in (None, SchedulePolicy.DEFAULT):
+        return None
+    if op not in ("gather", "broadcast"):
+        raise CollectiveError(
+            f"--schedule tuned supports gather/broadcast, not {op!r}"
+        )
+    from repro.tuning.tuner import tuned_plan
+
+    return tuned_plan(topology, op, n, root=root)
 
 
 def resolve_root(runtime: HbspRuntime, root: int | RootPolicy | None) -> int:

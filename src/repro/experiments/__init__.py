@@ -37,6 +37,7 @@ from repro.experiments.discovery import discovery_roundtrip
 from repro.experiments.robustness import robustness_plans, robustness_report
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
+from repro.experiments.tuning import tuning_improvement
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "app_scaling",
     "bsp_vs_hbsp",
     "calibration_sensitivity",
+    "tuning_improvement",
     "robustness_plans",
     "robustness_report",
     "discovery_roundtrip",

@@ -22,6 +22,9 @@ from repro.experiments.improvement import ExperimentReport, improvement_factor
 from repro.perf import SimJob, evaluate
 from repro.util.units import BYTES_PER_INT, kb
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.collectives.schedules import SchedulePolicy
+
 __all__ = [
     "PROBLEM_SIZES_KB",
     "PROCESSOR_COUNTS",
@@ -51,20 +54,32 @@ def fig3a_gather_root(
     processor_counts: t.Sequence[int] = PROCESSOR_COUNTS,
     *,
     seed: int = 0,
+    schedule: "SchedulePolicy | str | None" = None,
 ) -> ExperimentReport:
     """Fig. 3(a): gather ``T_s/T_f`` vs ``p``, one series per size.
 
     Equal workloads; only the root changes (``P_s`` vs ``P_f``).
+    ``schedule="tuned"`` runs every grid point under the auto-tuned
+    plan for its ``(machine, n, root)`` instead of the paper's flat
+    schedule.
     """
+    from repro.collectives.schedules import resolve_plan
+
     grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
     jobs = []
     for size_kb, p in grid:
         topology = ucf_testbed(p)
         for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+            kwargs: dict[str, t.Any] = {}
+            plan = resolve_plan(
+                topology, "gather", _items(size_kb), schedule, root=root
+            )
+            if plan is not None:
+                kwargs["plan"] = plan
             jobs.append(
                 SimJob.collective(
                     "gather", topology, _items(size_kb), root=root,
-                    workload=WorkloadPolicy.EQUAL, seed=seed,
+                    workload=WorkloadPolicy.EQUAL, seed=seed, **kwargs,
                 )
             )
     results = evaluate(jobs)

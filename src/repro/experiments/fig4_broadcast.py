@@ -27,6 +27,9 @@ from repro.experiments.fig3_gather import (
 )
 from repro.experiments.improvement import ExperimentReport, improvement_factor
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.collectives.schedules import SchedulePolicy
+
 __all__ = ["fig4a_broadcast_root", "fig4b_broadcast_balance"]
 
 
@@ -35,17 +38,30 @@ def fig4a_broadcast_root(
     processor_counts: t.Sequence[int] = PROCESSOR_COUNTS,
     *,
     seed: int = 0,
+    schedule: "SchedulePolicy | str | None" = None,
 ) -> ExperimentReport:
-    """Fig. 4(a): two-phase broadcast ``T_s/T_f`` vs ``p``."""
+    """Fig. 4(a): two-phase broadcast ``T_s/T_f`` vs ``p``.
+
+    ``schedule="tuned"`` replaces the fixed two-phase schedule with the
+    auto-tuned plan for each ``(machine, n, root)`` grid point.
+    """
+    from repro.collectives.schedules import resolve_plan
+
     grid = [(size_kb, p) for size_kb in sizes_kb for p in processor_counts]
     jobs = []
     for size_kb, p in grid:
         topology = ucf_testbed(p)
         for root in (RootPolicy.SLOWEST, RootPolicy.FASTEST):
+            kwargs: dict[str, t.Any] = {}
+            plan = resolve_plan(
+                topology, "broadcast", _items(size_kb), schedule, root=root
+            )
+            if plan is not None:
+                kwargs["plan"] = plan
             jobs.append(
                 SimJob.collective(
                     "broadcast", topology, _items(size_kb), root=root,
-                    phases="two", seed=seed,
+                    phases="two", seed=seed, **kwargs,
                 )
             )
     results = evaluate(jobs)

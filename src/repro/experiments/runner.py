@@ -12,6 +12,7 @@ from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
 from repro.experiments.discovery import discovery_roundtrip
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
+from repro.experiments.tuning import tuning_improvement
 from repro.experiments.analysis import (
     model_fidelity,
     sec4_broadcast_phases,
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "sensitivity": calibration_sensitivity,
     "robustness": robustness_report,
     "discovery": discovery_roundtrip,
+    "tuning": tuning_improvement,
 }
 
 #: Friendly aliases accepted anywhere an experiment id is (the paper's
@@ -62,12 +64,27 @@ _ACCEPTS_SEED: frozenset[str] = frozenset(
     if "seed" in inspect.signature(factory).parameters
 )
 
+#: Experiments that can run their collectives under an auto-tuned
+#: schedule (``--schedule tuned``); resolved like :data:`_ACCEPTS_SEED`.
+_ACCEPTS_SCHEDULE: frozenset[str] = frozenset(
+    experiment_id
+    for experiment_id, factory in EXPERIMENTS.items()
+    if "schedule" in inspect.signature(factory).parameters
+)
 
-def run_experiment(experiment_id: str, *, seed: int | None = None) -> ExperimentReport:
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    seed: int | None = None,
+    schedule: str | None = None,
+) -> ExperimentReport:
     """Run one experiment by id (or alias); raises for unknown ids.
 
     ``seed`` overrides the experiment's default seed for experiments
-    that accept one (raises for those that don't).
+    that accept one (raises for those that don't); ``schedule``
+    (``"default"``/``"tuned"``) likewise selects the collective
+    schedule for experiments that support it.
     """
     experiment_id = EXPERIMENT_ALIASES.get(experiment_id, experiment_id)
     try:
@@ -81,19 +98,24 @@ def run_experiment(experiment_id: str, *, seed: int | None = None) -> Experiment
         raise ExperimentError(
             f"experiment {experiment_id!r} does not accept a seed"
         )
+    if schedule is not None and experiment_id not in _ACCEPTS_SCHEDULE:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} does not accept a schedule"
+        )
+    kwargs: dict[str, t.Any] = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if schedule is not None:
+        kwargs["schedule"] = schedule
     from repro.obs.observe import current_observation
 
     observation = current_observation()
-    if observation is None:
-        if seed is None:
-            return factory()
-        return factory(seed=seed)
-    # Metrics only — no wall-clock span: exported traces carry nothing
-    # but simulated time, so identical invocations stay bit-identical.
-    observation.metrics.inc("repro_experiments_total")
-    if seed is None:
-        return factory()
-    return factory(seed=seed)
+    if observation is not None:
+        # Metrics only — no wall-clock span: exported traces carry
+        # nothing but simulated time, so identical invocations stay
+        # bit-identical.
+        observation.metrics.inc("repro_experiments_total")
+    return factory(**kwargs)
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -111,6 +133,11 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="override the experiment seed (for experiments that accept one)",
+    )
+    parser.add_argument(
+        "--schedule", choices=["default", "tuned"], default=None,
+        help="collective schedule for experiments that support it "
+        "(tuned = auto-tuned via the persistent decision cache)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -175,7 +202,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             if args.profile:
                 report = _profiled(experiment_id, args.seed, args.profile_limit)
             else:
-                report = run_experiment(experiment_id, seed=args.seed)
+                report = run_experiment(
+                    experiment_id, seed=args.seed, schedule=args.schedule
+                )
             print(report.render())
             print()
     if observation is not None:

@@ -1,0 +1,100 @@
+"""Tuned-vs-default schedules across the generator families.
+
+The auto-tuner (:mod:`repro.tuning`) claims the expanded schedule
+space — per-level flat/binomial fan-out, one-/two-phase selection,
+segmentation — contains plans the paper's hand-picked defaults leave
+on the table, and that its analytic-prune + DES-validate pipeline
+finds them.  This experiment measures exactly that, on the PR-5
+"big machine" generator families: for each family and problem size we
+tune the collective, then report the Section-5.1 improvement factor
+
+    T_default / T_tuned
+
+(both DES-simulated; a factor above 1 means the tuned plan is faster).
+Because the tuner always DES-validates the default plan alongside the
+analytic shortlist and picks the winner on *simulated* time, the
+factor is >= 1 by construction — the interesting question is where it
+is meaningfully above 1 (latency-dominated broadcasts at small ``n``,
+bimodal cloud machines) and where the defaults were already right
+(bandwidth-dominated large-``n`` regimes, most gathers).
+
+Decisions are tuned into a throwaway cache so the experiment is
+self-contained; the persistent user cache is untouched.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import typing as t
+
+from repro.cluster.discover.generators import GENERATORS
+from repro.experiments.improvement import ExperimentReport, improvement_factor
+from repro.tuning.cache import DecisionCache
+
+__all__ = ["tuning_improvement", "TUNING_SCENARIOS"]
+
+#: Family label -> (generator name, small-but-representative kwargs).
+#: Sizes are kept modest so ``python -m repro.experiments all`` stays
+#: fast; the benchmark suite exercises the 10^2..10^4-leaf end.
+TUNING_SCENARIOS: dict[str, tuple[str, dict]] = {
+    "fat_tree": ("fat_tree", dict(pods=2, racks_per_pod=2, hosts_per_rack=4)),
+    "multi_rack": ("multi_rack", dict(racks=4, hosts_per_rack=4)),
+    "cloud_spot_mix": (
+        "cloud_spot_mix",
+        dict(regions=2, zones_per_region=2, instances_per_zone=4),
+    ),
+    "multicore_nodes": (
+        "multicore_nodes",
+        dict(racks=2, nodes_per_rack=4, cores_per_node=2),
+    ),
+}
+
+
+def tuning_improvement(
+    ns: t.Sequence[int] = (64, 1_000, 20_000),
+    families: t.Sequence[str] = tuple(TUNING_SCENARIOS),
+    *,
+    op: str = "broadcast",
+    seed: int = 0,
+) -> ExperimentReport:
+    """Improvement factor of the tuned schedule over the default."""
+    from repro.tuning.tuner import tune
+
+    series: dict[str, dict[int, float]] = {}
+    winners: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-tuning-") as scratch:
+        cache = DecisionCache(scratch)
+        for family in families:
+            generator, kwargs = TUNING_SCENARIOS[family]
+            topology = GENERATORS[generator](seed=seed, **kwargs)
+            values: dict[int, float] = {}
+            for n in ns:
+                decision = tune(topology, op, int(n), seed=seed, cache=cache)
+                values[int(n)] = improvement_factor(
+                    decision.default_time, decision.simulated_time
+                )
+                if not decision.plan.is_default:
+                    winners.append(
+                        f"{family} n={n}: {decision.plan.key} "
+                        f"({100 * decision.improvement:.1f}% faster)"
+                    )
+            series[family] = values
+    notes = [
+        "factor = T_default / T_tuned, both DES-simulated; >= 1 by "
+        "construction (the default plan is always in the validated "
+        "shortlist)",
+        "expect the big wins at small n (latency-dominated: one-phase/"
+        "binomial beat the default two-phase) and on the bimodal cloud "
+        "machine; at large n the bandwidth-optimal defaults hold",
+    ]
+    if winners:
+        notes.append("non-default winners: " + "; ".join(winners))
+    else:
+        notes.append("defaults were optimal everywhere (no tuned win)")
+    return ExperimentReport(
+        experiment_id="tuning",
+        title=f"auto-tuned vs default {op} schedule (T_default / T_tuned)",
+        x_name="n",
+        series=series,
+        notes=notes,
+    )

@@ -30,7 +30,13 @@ from repro.model.kernels import (
     balanced_counts,
     equal_counts,
 )
-from repro.model.planner import best_broadcast_phases, best_root, hierarchy_penalty
+from repro.model.planner import (
+    best_broadcast_phases,
+    best_root,
+    hierarchy_penalty,
+    rank_plans,
+    score_plans,
+)
 from repro.model.probe import (
     LinkEstimate,
     ProbeReport,
@@ -57,6 +63,8 @@ __all__ = [
     "equal_counts",
     "best_broadcast_phases",
     "best_root",
+    "rank_plans",
+    "score_plans",
     "hierarchy_penalty",
     "LinkEstimate",
     "ProbeReport",

@@ -57,6 +57,7 @@ __all__ = [
     "GatherKernel",
     "BroadcastKernel",
     "KernelGrid",
+    "PlanGrid",
     "balanced_counts",
     "equal_counts",
 ]
@@ -191,6 +192,111 @@ class KernelGrid:
             f"KernelGrid({self.collective}, points={self.size}, "
             f"steps={len(self.steps)})"
         )
+
+
+class PlanGrid:
+    """A grid evaluated under per-point :class:`~repro.tuning.plan.SchedulePlan`s.
+
+    Different plans charge different step *sequences* (segmentation and
+    binomial rounds change the super-step count), so the grid is
+    partitioned into uniform-plan groups, each a :class:`KernelGrid`;
+    this wrapper scatters group results back onto the caller's axis.
+    ``totals`` and ``ledger(i)`` keep the bit-identity contract against
+    the scalar ``predict_gather_plan`` / ``predict_broadcast_plan``.
+    """
+
+    def __init__(
+        self,
+        collective: str,
+        ns: np.ndarray,
+        roots: np.ndarray,
+        plans: t.Sequence[t.Any],
+        grids: t.Sequence[KernelGrid],
+        group_of: np.ndarray,
+        pos_of: np.ndarray,
+    ) -> None:
+        self.collective = collective
+        self.ns = ns
+        self.roots = roots
+        self.plans = list(plans)
+        self.grids = list(grids)
+        self._group_of = group_of
+        self._pos_of = pos_of
+
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        return int(self.ns.size)
+
+    @functools.cached_property
+    def totals(self) -> np.ndarray:
+        """``(G,)`` ledger totals, matching ``CostLedger.total`` exactly."""
+        out = np.zeros(self.size)
+        for gid, grid in enumerate(self.grids):
+            mask = self._group_of == gid
+            out[mask] = grid.totals[self._pos_of[mask]]
+        return out
+
+    def ledger(self, i: int) -> CostLedger:
+        """The full cost ledger of grid point ``i``."""
+        if not 0 <= i < self.size:
+            raise ModelError(f"grid index {i} out of range for size {self.size}")
+        return self.grids[int(self._group_of[i])].ledger(int(self._pos_of[i]))
+
+    def ledgers(self) -> list[CostLedger]:
+        """All ledgers, in grid order."""
+        return [self.ledger(i) for i in range(self.size)]
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanGrid({self.collective}, points={self.size}, "
+            f"groups={len(self.grids)})"
+        )
+
+
+def _check_plans(
+    plans: t.Any, op: str, k: int, G: int
+) -> list[t.Any]:
+    """Normalise/validate the per-point plan axis."""
+    from repro.tuning.plan import SchedulePlan
+
+    if isinstance(plans, SchedulePlan):
+        plan_list = [plans] * G
+    else:
+        plan_list = list(plans)
+        if len(plan_list) != G:
+            raise CollectiveError(
+                f"plans must be one plan or a length-{G} sequence, "
+                f"got {len(plan_list)}"
+            )
+    for plan in set(plan_list):
+        if not isinstance(plan, SchedulePlan):
+            raise CollectiveError(f"expected a SchedulePlan, got {plan!r}")
+        if plan.op != op:
+            raise CollectiveError(f"plan is for {plan.op!r}, expected {op!r}")
+        if plan.k != k:
+            raise CollectiveError(
+                f"plan schedules {plan.k} levels, topology has k={k}"
+            )
+    return plan_list
+
+
+def _group_plans(
+    plan_list: t.Sequence[t.Any], G: int
+) -> tuple[list[tuple[t.Any, np.ndarray]], np.ndarray, np.ndarray]:
+    """Partition grid indices into uniform-plan groups."""
+    groups: dict[t.Any, list[int]] = {}
+    for i, plan in enumerate(plan_list):
+        groups.setdefault(plan, []).append(i)
+    group_of = np.zeros(G, dtype=np.int64)
+    pos_of = np.zeros(G, dtype=np.int64)
+    out = []
+    for gid, (plan, idxs) in enumerate(groups.items()):
+        sel = np.array(idxs, dtype=np.int64)
+        group_of[sel] = gid
+        pos_of[sel] = np.arange(sel.size, dtype=np.int64)
+        out.append((plan, sel))
+    return out, group_of, pos_of
 
 
 # ---------------------------------------------------------------------------
@@ -423,26 +529,9 @@ class GatherKernel:
                 totals_below, tree.child_start[level], axis=0
             )
             coords_here = tree.coords(level, roots_arr)
-            m_here = params.m[level]
-            gh_stack = np.empty((m_here, G))
-            for j in range(m_here):
-                start, stop = tree.child_slice[level][j]
-                child_tot = totals_below[start:stop]  # (C, G)
-                coord = coords_here[j]  # (G,)
-                own_pos = tree.child_pos[level][j][coord]  # (G,)
-                own_tot = np.take_along_axis(
-                    child_tot, own_pos[np.newaxis, :], axis=0
-                )[0]
-                received = totals_here[j] - own_tot
-                values = np.empty((stop - start + 1, G))
-                values[0] = tree.r0[coord] * (received * item_bytes)
-                values[1:] = tree.sender_r(level, start, stop, coords_below) * (
-                    child_tot * item_bytes
-                )
-                np.put_along_axis(
-                    values[1:], own_pos[np.newaxis, :], 0.0, axis=0
-                )
-                gh_stack[j] = tree.g * values.max(axis=0)
+            gh_stack = self._flat_gh(
+                level, totals_below, totals_here, coords_here, coords_below, G
+            )
             cost_stack = gh_stack + tree.L[level][:, np.newaxis]
             choice = np.argmax(cost_stack, axis=0)
             gh_sel = np.take_along_axis(
@@ -460,6 +549,249 @@ class GatherKernel:
             totals_below = totals_here
             coords_below = coords_here
         return KernelGrid("gather", ns, roots_arr, steps, active, name_of)
+
+    # -- schedule-plan evaluation ---------------------------------------------
+
+    def _flat_gh(
+        self,
+        level: int,
+        totals_below: np.ndarray,
+        totals_here: np.ndarray,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+        segment: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """``(m_level, G)`` per-cluster ``g·h`` of one flat fan-in step.
+
+        ``segment=(s, S)`` prices chunk ``s`` of an ``S``-way segmented
+        level (each child coordinator sends ``T//S + (1 if s < T%S)`` of
+        its ``T`` accumulated items); ``None`` is the whole message —
+        the exact arithmetic of the plan-less :meth:`evaluate`.
+        """
+        tree, item_bytes = self._tree, self.item_bytes
+        m_here = self.params.m[level]
+        gh_stack = np.empty((m_here, G))
+        for j in range(m_here):
+            start, stop = tree.child_slice[level][j]
+            child_tot = totals_below[start:stop]  # (C, G)
+            coord = coords_here[j]  # (G,)
+            own_pos = tree.child_pos[level][j][coord]  # (G,)
+            if segment is None:
+                sent = child_tot
+                own_sent = np.take_along_axis(
+                    sent, own_pos[np.newaxis, :], axis=0
+                )[0]
+                received = totals_here[j] - own_sent
+            else:
+                s, S = segment
+                sent = child_tot // S + (s < child_tot % S)
+                own_sent = np.take_along_axis(
+                    sent, own_pos[np.newaxis, :], axis=0
+                )[0]
+                received = sent.sum(axis=0) - own_sent
+            values = np.empty((stop - start + 1, G))
+            values[0] = tree.r0[coord] * (received * item_bytes)
+            values[1:] = tree.sender_r(level, start, stop, coords_below) * (
+                sent * item_bytes
+            )
+            np.put_along_axis(
+                values[1:], own_pos[np.newaxis, :], 0.0, axis=0
+            )
+            gh_stack[j] = tree.g * values.max(axis=0)
+        return gh_stack
+
+    def _binomial_steps(
+        self,
+        level: int,
+        totals_below: np.ndarray,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+    ) -> list[_Step]:
+        """Per-round steps of a binomial-tree gather level.
+
+        Child positions rotate so the cluster coordinator sits at
+        relative 0; round ``t`` sends each holder's accumulated window
+        ``[q, q+2^t)`` down to ``q - 2^t``.  Clusters run ⌈log₂C⌉
+        rounds; the later rounds' worst-cluster scans cover only the
+        clusters still active.
+        """
+        tree, item_bytes = self._tree, self.item_bytes
+        per_round: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for j in range(self.params.m[level]):
+            start, stop = tree.child_slice[level][j]
+            C = stop - start
+            R = max(0, C - 1).bit_length()
+            if R == 0:
+                continue
+            child_tot = totals_below[start:stop]
+            child_r = tree.sender_r(level, start, stop, coords_below)
+            if child_r.shape[1] == 1:
+                child_r = np.broadcast_to(child_r, (C, G))
+            coord = coords_here[j]
+            own_pos = tree.child_pos[level][j][coord]
+            idx = (
+                own_pos[np.newaxis, :]
+                + np.arange(C, dtype=np.int64)[:, np.newaxis]
+            ) % C
+            rot_tot = np.take_along_axis(child_tot, idx, axis=0)
+            rot_r = np.take_along_axis(child_r, idx, axis=0)
+            prefix = np.zeros((C + 1, G), dtype=np.int64)
+            np.cumsum(rot_tot, axis=0, out=prefix[1:])
+            for t_round in range(R):
+                half = 1 << t_round
+                rows = []
+                for q in range(half, C, 2 * half):
+                    volume = (prefix[min(q + half, C)] - prefix[q]) * item_bytes
+                    rows.append(rot_r[q] * volume)
+                    rows.append(rot_r[q - half] * volume)
+                gh = tree.g * np.max(np.stack(rows), axis=0)
+                per_round.setdefault(t_round, []).append((j, gh))
+        steps: list[_Step] = []
+        for t_round in sorted(per_round):
+            entries = per_round[t_round]
+            js = np.array([j for j, _ in entries], dtype=np.int64)
+            gh_stack = np.stack([gh for _, gh in entries])
+            L_here = tree.L[level][js]
+            cost_stack = gh_stack + L_here[:, np.newaxis]
+            choice = np.argmax(cost_stack, axis=0)
+            gh_sel = np.take_along_axis(
+                gh_stack, choice[np.newaxis, :], axis=0
+            )[0]
+            labels = tuple(
+                f"super{level}: binomial gather round {t_round + 1} "
+                f"in {(level, int(j))}"
+                for j in js
+            )
+            steps.append(
+                _Step(
+                    level=level,
+                    gh=gh_sel,
+                    L=L_here[choice],
+                    choice=choice,
+                    labels=(labels,),
+                )
+            )
+        return steps
+
+    def _plan_steps(
+        self,
+        plan: t.Any,
+        ns: np.ndarray,
+        roots_arr: np.ndarray,
+        counts: np.ndarray,
+    ) -> list[_Step]:
+        """All charged steps of one uniform-plan sub-grid."""
+        tree, params = self._tree, self.params
+        G = ns.size
+        steps: list[_Step] = []
+        totals_below = np.ascontiguousarray(counts.T)
+        coords_below: np.ndarray | None = None
+        for level in range(1, params.k + 1):
+            totals_here = np.add.reduceat(
+                totals_below, tree.child_start[level], axis=0
+            )
+            coords_here = tree.coords(level, roots_arr)
+            schedule = plan.level(level)
+            if schedule.algorithm == "flat":
+                S = schedule.segments
+                for s in range(S):
+                    gh_stack = self._flat_gh(
+                        level, totals_below, totals_here, coords_here,
+                        coords_below, G,
+                        segment=None if S == 1 else (s, S),
+                    )
+                    cost_stack = gh_stack + tree.L[level][:, np.newaxis]
+                    choice = np.argmax(cost_stack, axis=0)
+                    gh_sel = np.take_along_axis(
+                        gh_stack, choice[np.newaxis, :], axis=0
+                    )[0]
+                    labels = (
+                        self._labels[level]
+                        if S == 1
+                        else tuple(
+                            f"super{level}.{s + 1}: gather into {(level, j)}"
+                            for j in range(params.m[level])
+                        )
+                    )
+                    steps.append(
+                        _Step(
+                            level=level,
+                            gh=gh_sel,
+                            L=tree.L[level][choice],
+                            choice=choice,
+                            labels=(labels,),
+                        )
+                    )
+            else:  # binomial
+                steps.extend(
+                    self._binomial_steps(
+                        level, totals_below, coords_here, coords_below, G
+                    )
+                )
+            totals_below = totals_here
+            coords_below = coords_here
+        return steps
+
+    def evaluate_plans(
+        self,
+        ns: np.ndarray | t.Sequence[int],
+        plans: t.Any,
+        *,
+        roots: int | t.Sequence[int] | np.ndarray | None = None,
+        counts: np.ndarray | None = None,
+    ) -> PlanGrid:
+        """Evaluate ``(n, root, counts)`` points under explicit plans.
+
+        ``plans`` is one :class:`~repro.tuning.plan.SchedulePlan` for
+        the whole grid or a per-point sequence; each uniform-plan group
+        evaluates as its own vectorized pass.  Bit-identical to
+        :func:`~repro.model.predict.predict_gather_plan` per point.
+        """
+        tree = self._tree
+        params = self.params
+        ns = _check_ns(ns)
+        G = ns.size
+        roots_arr = tree.check_roots(roots, G)
+        if counts is None:
+            counts = balanced_counts(params, ns)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (G, params.p):
+                raise CollectiveError(
+                    f"counts must have shape ({G}, {params.p}), "
+                    f"got {counts.shape}"
+                )
+            sums = counts.sum(axis=1)
+            if not np.array_equal(sums, ns):
+                i = int(np.argmax(sums != ns))
+                raise CollectiveError(
+                    f"counts sum to {int(sums[i])}, expected n={int(ns[i])}"
+                )
+        plan_list = _check_plans(plans, "gather", params.k, G)
+        groups, group_of, pos_of = _group_plans(plan_list, G)
+        grids = []
+        for plan, sel in groups:
+            sub_ns = ns[sel]
+            sub_roots = roots_arr[sel]
+
+            def name_of(
+                i: int, plan: t.Any = plan, sub_ns: np.ndarray = sub_ns
+            ) -> str:
+                return f"gather(k={params.k}, n={int(sub_ns[i])}, plan={plan.key})"
+
+            active = np.ones(sub_ns.size, dtype=bool)
+            if params.k == 0 or params.p == 1 or sub_ns.size == 0:
+                grids.append(
+                    KernelGrid("gather", sub_ns, sub_roots, [], active, name_of)
+                )
+                continue
+            steps = self._plan_steps(plan, sub_ns, sub_roots, counts[sel])
+            grids.append(
+                KernelGrid("gather", sub_ns, sub_roots, steps, active, name_of)
+            )
+        return PlanGrid("gather", ns, roots_arr, plan_list, grids, group_of, pos_of)
 
 
 # ---------------------------------------------------------------------------
@@ -677,3 +1009,276 @@ class BroadcastKernel:
                 )
             )
         return KernelGrid("broadcast", ns, roots_arr, steps, active, name_of)
+
+    # -- schedule-plan evaluation ---------------------------------------------
+
+    def _cluster_tables(
+        self,
+        level: int,
+        j: int,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """(C, r_coord, child_r, own_pos) of one fanned cluster."""
+        tree = self._tree
+        start, stop = tree.child_slice[level][j]
+        C = stop - start
+        coord = coords_here[j]
+        r_coord = tree.r0[coord]
+        child_r = tree.sender_r(level, start, stop, coords_below)
+        if child_r.shape[1] == 1:
+            child_r = np.broadcast_to(child_r, (C, G))
+        own_pos = tree.child_pos[level][j][coord]
+        return C, r_coord, child_r, own_pos
+
+    def _one_phase_step(
+        self,
+        level: int,
+        ns: np.ndarray,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+        segment: tuple[int, int] | None,
+    ) -> _Step:
+        """One (possibly chunked) coordinator fan-out sub-step."""
+        tree, item_bytes = self._tree, self.item_bytes
+        fanned = self._fanned[level]
+        if segment is None:
+            chunk = ns
+        else:
+            s, S = segment
+            chunk = ns // S + (s < ns % S)
+        gh_rows = np.empty((len(fanned), G))
+        cost_rows = np.empty((len(fanned), G))
+        for row, j in enumerate(fanned):
+            C, r_coord, child_r, own_pos = self._cluster_tables(
+                level, j, coords_here, coords_below, G
+            )
+            values = np.empty((C + 1, G))
+            values[0] = r_coord * ((chunk * (C - 1)) * item_bytes)
+            values[1:] = child_r * (chunk * item_bytes)[np.newaxis, :]
+            np.put_along_axis(values[1:], own_pos[np.newaxis, :], 0.0, axis=0)
+            gh_rows[row] = tree.g * values.max(axis=0)
+            cost_rows[row] = gh_rows[row] + tree.L[level][j]
+        choice = np.argmax(cost_rows, axis=0)
+        gh = np.take_along_axis(gh_rows, choice[np.newaxis, :], axis=0)[0]
+        L_of = np.array([tree.L[level][j] for j in fanned])
+        labels = (
+            self._labels[level][0]
+            if segment is None
+            else tuple(
+                f"super{level}.{segment[0] + 1}: one-phase bcast "
+                f"in {(level, j)}"
+                for j in fanned
+            )
+        )
+        return _Step(
+            level=level, gh=gh, L=L_of[choice], choice=choice, labels=(labels,)
+        )
+
+    def _two_phase_step(
+        self,
+        level: int,
+        ns: np.ndarray,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+        fractions: t.Sequence[float] | None,
+    ) -> _Step:
+        """The scatter + total-exchange two-phase step of one level."""
+        tree, item_bytes = self._tree, self.item_bytes
+        fanned = self._fanned[level]
+        gh_rows = np.empty((len(fanned), G))
+        cost_rows = np.empty((len(fanned), G))
+        for row, j in enumerate(fanned):
+            C, r_coord, child_r, own_pos = self._cluster_tables(
+                level, j, coords_here, coords_below, G
+            )
+            shares = self._shares(level, j, C, ns, fractions)
+            own_share = np.take_along_axis(
+                shares, own_pos[np.newaxis, :], axis=0
+            )[0]
+            values_a = np.empty((C + 1, G))
+            values_a[0] = r_coord * ((ns - own_share) * item_bytes)
+            values_a[1:] = child_r * (shares * item_bytes)
+            np.put_along_axis(
+                values_a[1:], own_pos[np.newaxis, :], 0.0, axis=0
+            )
+            h_a = values_a.max(axis=0)
+            values_b = child_r * (
+                np.maximum(shares * (C - 1), ns[np.newaxis, :] - shares)
+                * item_bytes
+            )
+            h_b = values_b.max(axis=0)
+            gh_rows[row] = tree.g * (h_a + h_b)
+            cost_rows[row] = gh_rows[row] + 2 * tree.L[level][j]
+        choice = np.argmax(cost_rows, axis=0)
+        gh = np.take_along_axis(gh_rows, choice[np.newaxis, :], axis=0)[0]
+        L_of = np.array([2 * tree.L[level][j] for j in fanned])
+        return _Step(
+            level=level,
+            gh=gh,
+            L=L_of[choice],
+            choice=choice,
+            labels=(self._labels[level][1],),
+        )
+
+    def _binomial_steps(
+        self,
+        level: int,
+        ns: np.ndarray,
+        coords_here: np.ndarray,
+        coords_below: np.ndarray | None,
+        G: int,
+    ) -> list[_Step]:
+        """Per-round steps of a binomial-tree broadcast level.
+
+        Rotated so the coordinator holds relative position 0; in round
+        ``t`` every holder ``q < 2^t`` forwards the full payload to
+        ``q + 2^t``.
+        """
+        tree, item_bytes = self._tree, self.item_bytes
+        per_round: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for j in self._fanned[level]:
+            C, _r_coord, child_r, own_pos = self._cluster_tables(
+                level, j, coords_here, coords_below, G
+            )
+            R = max(0, C - 1).bit_length()
+            idx = (
+                own_pos[np.newaxis, :]
+                + np.arange(C, dtype=np.int64)[:, np.newaxis]
+            ) % C
+            rot_r = np.take_along_axis(child_r, idx, axis=0)
+            volume = ns * item_bytes
+            for t_round in range(R):
+                half = 1 << t_round
+                rows = []
+                for q in range(min(half, C - half)):
+                    rows.append(rot_r[q] * volume)
+                    rows.append(rot_r[q + half] * volume)
+                gh = tree.g * np.max(np.stack(rows), axis=0)
+                per_round.setdefault(t_round, []).append((j, gh))
+        steps: list[_Step] = []
+        for t_round in sorted(per_round):
+            entries = per_round[t_round]
+            js = np.array([j for j, _ in entries], dtype=np.int64)
+            gh_stack = np.stack([gh for _, gh in entries])
+            L_here = tree.L[level][js]
+            cost_stack = gh_stack + L_here[:, np.newaxis]
+            choice = np.argmax(cost_stack, axis=0)
+            gh_sel = np.take_along_axis(
+                gh_stack, choice[np.newaxis, :], axis=0
+            )[0]
+            labels = tuple(
+                f"super{level}: binomial bcast round {t_round + 1} "
+                f"in {(level, int(j))}"
+                for j in js
+            )
+            steps.append(
+                _Step(
+                    level=level,
+                    gh=gh_sel,
+                    L=L_here[choice],
+                    choice=choice,
+                    labels=(labels,),
+                )
+            )
+        return steps
+
+    def _plan_steps(
+        self,
+        plan: t.Any,
+        ns: np.ndarray,
+        roots_arr: np.ndarray,
+        fractions: t.Sequence[float] | None,
+    ) -> list[_Step]:
+        """All charged steps of one uniform-plan sub-grid."""
+        tree, params = self._tree, self.params
+        G = ns.size
+        steps: list[_Step] = []
+        for level in range(params.k, 0, -1):
+            if not self._fanned[level]:
+                continue
+            coords_here = tree.coords(level, roots_arr)
+            coords_below = (
+                tree.coords(level - 1, roots_arr) if level - 1 >= 1 else None
+            )
+            schedule = plan.level(level)
+            if schedule.algorithm == "one":
+                S = schedule.segments
+                for s in range(S):
+                    steps.append(
+                        self._one_phase_step(
+                            level, ns, coords_here, coords_below, G,
+                            segment=None if S == 1 else (s, S),
+                        )
+                    )
+            elif schedule.algorithm == "two":
+                steps.append(
+                    self._two_phase_step(
+                        level, ns, coords_here, coords_below, G, fractions
+                    )
+                )
+            else:  # binomial
+                steps.extend(
+                    self._binomial_steps(
+                        level, ns, coords_here, coords_below, G
+                    )
+                )
+        return steps
+
+    def evaluate_plans(
+        self,
+        ns: np.ndarray | t.Sequence[int],
+        plans: t.Any,
+        *,
+        roots: int | t.Sequence[int] | np.ndarray | None = None,
+        fractions: t.Sequence[float] | None = None,
+    ) -> PlanGrid:
+        """Evaluate ``(n, root)`` points under explicit broadcast plans.
+
+        Bit-identical per point to
+        :func:`~repro.model.predict.predict_broadcast_plan`.
+        """
+        tree = self._tree
+        params = self.params
+        ns = _check_ns(ns)
+        G = ns.size
+        roots_arr = tree.check_roots(roots, G)
+        if fractions is not None and len(fractions) != params.p:
+            raise CollectiveError(f"fractions must have p={params.p} entries")
+        plan_list = _check_plans(plans, "broadcast", params.k, G)
+        groups, group_of, pos_of = _group_plans(plan_list, G)
+        grids = []
+        degenerate = params.k == 0 or params.p == 1
+        for plan, sel in groups:
+            sub_ns = ns[sel]
+            sub_roots = roots_arr[sel]
+
+            def name_of(
+                i: int, plan: t.Any = plan, sub_ns: np.ndarray = sub_ns
+            ) -> str:
+                return (
+                    f"broadcast(k={params.k}, n={int(sub_ns[i])}, "
+                    f"plan={plan.key})"
+                )
+
+            if degenerate or sub_ns.size == 0:
+                grids.append(
+                    KernelGrid(
+                        "broadcast", sub_ns, sub_roots, [],
+                        np.zeros(sub_ns.size, dtype=bool), name_of,
+                    )
+                )
+                continue
+            steps = self._plan_steps(plan, sub_ns, sub_roots, fractions)
+            grids.append(
+                KernelGrid(
+                    "broadcast", sub_ns, sub_roots, steps,
+                    sub_ns > 0, name_of,
+                )
+            )
+        return PlanGrid(
+            "broadcast", ns, roots_arr, plan_list, grids, group_of, pos_of
+        )

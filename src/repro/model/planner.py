@@ -28,7 +28,16 @@ from repro.model.kernels import BroadcastKernel, GatherKernel
 from repro.model.params import HBSPParams
 from repro.model.predict import predict_broadcast, predict_gather
 
-__all__ = ["best_broadcast_phases", "best_root", "hierarchy_penalty"]
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.tuning.plan import SchedulePlan
+
+__all__ = [
+    "best_broadcast_phases",
+    "best_root",
+    "hierarchy_penalty",
+    "rank_plans",
+    "score_plans",
+]
 
 
 def best_broadcast_phases(
@@ -92,6 +101,66 @@ def best_root(
         grid = BroadcastKernel(params).evaluate(ns, roots=roots)
     best = int(np.argmin(grid.totals))
     return best, grid.ledger(best)
+
+
+def score_plans(
+    params: HBSPParams,
+    n: int,
+    plans: "t.Sequence[SchedulePlan]",
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+) -> np.ndarray:
+    """Predicted cost of each plan, batched through the kernels.
+
+    All plans must share one op; each becomes one grid point of a
+    single :meth:`~repro.model.kernels.GatherKernel.evaluate_plans`
+    pass, bit-identical to the scalar ``predict_*_plan`` enumeration.
+    """
+    if not plans:
+        raise ModelError("score_plans needs at least one plan")
+    ops = {plan.op for plan in plans}
+    if len(ops) > 1:
+        raise ModelError(f"plans mix ops {sorted(ops)!r}")
+    op = plans[0].op
+    ns = np.full(len(plans), n, dtype=np.int64)
+    if op == "gather":
+        counts_grid = None
+        if counts is not None:
+            counts_grid = np.broadcast_to(
+                np.asarray(list(counts), dtype=np.int64),
+                (len(plans), len(counts)),
+            )
+        grid = GatherKernel(params).evaluate_plans(
+            ns, list(plans), roots=root, counts=counts_grid
+        )
+    else:
+        grid = BroadcastKernel(params).evaluate_plans(
+            ns, list(plans), roots=root
+        )
+    return grid.totals
+
+
+def rank_plans(
+    params: HBSPParams,
+    n: int,
+    plans: "t.Sequence[SchedulePlan]",
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+    top: int | None = None,
+) -> list[tuple["SchedulePlan", float]]:
+    """Plans sorted by predicted cost, cheapest first.
+
+    Ties keep the enumeration order (stable sort), so with
+    :func:`repro.tuning.space.enumerate_plans` input the default plan
+    wins any exact tie.  ``top`` truncates the ranking.
+    """
+    totals = score_plans(params, n, plans, root=root, counts=counts)
+    order = np.argsort(totals, kind="stable")
+    if top is not None:
+        order = order[: max(0, int(top))]
+    return [(plans[int(i)], float(totals[int(i)])) for i in order]
 
 
 def hierarchy_penalty(

@@ -31,6 +31,8 @@ __all__ = [
     "default_counts",
     "predict_gather",
     "predict_broadcast",
+    "predict_gather_plan",
+    "predict_broadcast_plan",
     "paper_gather_hbsp1",
     "paper_gather_hbsp2_super2",
     "paper_broadcast_hbsp1_one_phase",
@@ -251,6 +253,314 @@ def predict_broadcast(
                 worst = (total, parts[0], parts[1], n_L, label)
         if worst is not None:
             ledger.charge(worst[4], level=level, gh=worst[1], L=worst[2])
+    return ledger
+
+
+# ---------------------------------------------------------------------------
+# Schedule-plan predictions (the auto-tuner's scalar reference)
+# ---------------------------------------------------------------------------
+#
+# ``predict_gather_plan`` / ``predict_broadcast_plan`` price an explicit
+# :class:`~repro.tuning.plan.SchedulePlan` — per-level flat/binomial
+# algorithm choice plus message segmentation — with the same per-level
+# worst-cluster accounting as the plan-less predictors above.  On the
+# default plan they charge the *identical* ledger (same floats, same
+# labels) as ``predict_gather`` / ``predict_broadcast``; the vectorized
+# ``model.kernels`` plan evaluators are bit-identical to these scalars.
+#
+# Modelling conventions for the extended space:
+#
+# * **segmentation** (``segments = S``): every sender splits its payload
+#   into ``S`` chunks (chunk ``s`` holds ``T//S + (1 if s < T%S)``
+#   items) and the level runs ``S`` chunked sub-steps, each charging its
+#   own ``g·h + L`` — latency multiplies, peak h-relation shrinks.
+# * **binomial**: ⌈log₂C⌉ rounds over the child-coordinator positions,
+#   rotated so the cluster coordinator sits at relative position 0.  In
+#   round ``t`` the holder at relative ``q`` (``q mod 2^{t+1} = 2^t``)
+#   sends its accumulated window ``[q, q+2^t)`` down to ``q - 2^t``
+#   (gather), or position ``q < 2^t`` forwards the full payload up to
+#   ``q + 2^t`` (broadcast); each round charges ``g·h + L`` with the
+#   h-relation over that round's senders and receivers.  Clusters with
+#   fewer rounds than the level's worst simply drop out of the later
+#   rounds' worst-cluster scans.
+
+
+def _binomial_rounds(fan_out: int) -> int:
+    """⌈log₂ fan_out⌉ — rounds of a binomial tree over the children."""
+    return max(0, fan_out - 1).bit_length()
+
+
+def _chunk(total: int, segments: int, s: int) -> int:
+    """Items in chunk ``s`` when ``total`` splits into ``segments``."""
+    return total // segments + (1 if s < total % segments else 0)
+
+
+def predict_gather_plan(
+    params: HBSPParams,
+    n: int,
+    plan: t.Any,
+    *,
+    root: int | None = None,
+    counts: t.Sequence[int] | None = None,
+    item_bytes: int = BYTES_PER_INT,
+) -> CostLedger:
+    """Cost of the HBSP^k gather under an explicit schedule plan.
+
+    ``plan`` is a :class:`repro.tuning.plan.SchedulePlan` with
+    ``op == "gather"`` and one :class:`~repro.tuning.plan.LevelSchedule`
+    per hierarchy level.  The default plan reproduces
+    :func:`predict_gather` exactly.
+    """
+    from repro.model.cost import h_relation
+
+    if plan.op != "gather":
+        raise CollectiveError(f"plan is for {plan.op!r}, expected 'gather'")
+    root = _check_inputs(params, n, root)
+    if counts is None:
+        counts = default_counts(params, n)
+    if len(counts) != params.p:
+        raise CollectiveError(f"counts must have p={params.p} entries")
+    if sum(counts) != n:
+        raise CollectiveError(f"counts sum to {sum(counts)}, expected n={n}")
+    if plan.k != params.k:
+        raise CollectiveError(
+            f"plan schedules {plan.k} levels, topology has k={params.k}"
+        )
+
+    ledger = CostLedger(f"gather(k={params.k}, n={n}, plan={plan.key})")
+    if params.k == 0 or params.p == 1:
+        return ledger
+
+    subtree_total: dict[Key, int] = {(0, j): int(counts[j]) for j in range(params.p)}
+
+    for level in range(1, params.k + 1):
+        schedule = plan.level(level)
+        # Per-cluster facts, shared by every sub-step of the level.
+        clusters = []
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            totals = [subtree_total[c] for c in children]
+            subtree_total[key] = sum(totals)
+            coord = _coordinator_leaf(params, key, root)
+            child_coords = [_coordinator_leaf(params, c, root) for c in children]
+            own_pos = next(
+                (i for i, c in enumerate(child_coords) if c == coord), None
+            )
+            clusters.append(
+                (
+                    key,
+                    totals,
+                    params.r_of(0, coord),
+                    [params.r_of(0, c) for c in child_coords],
+                    own_pos,
+                    params.L_of(level, j),
+                )
+            )
+        if schedule.algorithm == "flat":
+            S = schedule.segments
+            for s in range(S):
+                worst: tuple[float, float, float, str] | None = None
+                for key, totals, r_coord, child_r, own_pos, L in clusters:
+                    chunks = [_chunk(c, S, s) for c in totals]
+                    received = sum(
+                        c for i, c in enumerate(chunks) if i != own_pos
+                    )
+                    loads = [(r_coord, received * item_bytes)]
+                    loads += [
+                        (child_r[i], chunks[i] * item_bytes)
+                        for i in range(len(chunks))
+                        if i != own_pos
+                    ]
+                    gh = params.g * h_relation(loads)
+                    total = gh + L
+                    label = (
+                        f"super{level}: gather into {key}"
+                        if S == 1
+                        else f"super{level}.{s + 1}: gather into {key}"
+                    )
+                    if worst is None or total > worst[0]:
+                        worst = (total, gh, L, label)
+                assert worst is not None
+                ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+        else:  # binomial
+            rounds = [_binomial_rounds(len(c[1])) for c in clusters]
+            for t_round in range(max(rounds, default=0)):
+                worst = None
+                half = 1 << t_round
+                for (key, totals, _r_coord, child_r, own_pos, L), R in zip(
+                    clusters, rounds
+                ):
+                    if R <= t_round:
+                        continue
+                    C = len(totals)
+                    assert own_pos is not None
+                    loads = []
+                    for q in range(half, C, 2 * half):
+                        held = sum(
+                            totals[(own_pos + u) % C]
+                            for u in range(q, min(q + half, C))
+                        )
+                        volume = held * item_bytes
+                        loads.append((child_r[(own_pos + q) % C], volume))
+                        loads.append((child_r[(own_pos + q - half) % C], volume))
+                    gh = params.g * h_relation(loads)
+                    total = gh + L
+                    label = (
+                        f"super{level}: binomial gather round {t_round + 1} "
+                        f"in {key}"
+                    )
+                    if worst is None or total > worst[0]:
+                        worst = (total, gh, L, label)
+                if worst is not None:
+                    ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+    return ledger
+
+
+def predict_broadcast_plan(
+    params: HBSPParams,
+    n: int,
+    plan: t.Any,
+    *,
+    root: int | None = None,
+    fractions: t.Sequence[float] | None = None,
+    item_bytes: int = BYTES_PER_INT,
+) -> CostLedger:
+    """Cost of the HBSP^k broadcast under an explicit schedule plan.
+
+    The default plan (two-phase everywhere) reproduces
+    :func:`predict_broadcast` exactly; ``fractions`` selects the
+    c-weighted first-phase shares for two-phase levels, as there.
+    """
+    from repro.model.cost import h_relation
+
+    if plan.op != "broadcast":
+        raise CollectiveError(f"plan is for {plan.op!r}, expected 'broadcast'")
+    root = _check_inputs(params, n, root)
+    if plan.k != params.k:
+        raise CollectiveError(
+            f"plan schedules {plan.k} levels, topology has k={params.k}"
+        )
+
+    ledger = CostLedger(f"broadcast(k={params.k}, n={n}, plan={plan.key})")
+    if params.k == 0 or params.p == 1 or n == 0:
+        return ledger
+
+    for level in range(params.k, 0, -1):
+        schedule = plan.level(level)
+        clusters = []
+        for j in range(params.m[level]):
+            key = (level, j)
+            children = params.children_of(*key)
+            m = len(children)
+            if m <= 1:
+                continue  # singleton wrapper cluster: nothing to send
+            coord = _coordinator_leaf(params, key, root)
+            child_coords = [_coordinator_leaf(params, c, root) for c in children]
+            own_pos = next(
+                (i for i, c in enumerate(child_coords) if c == coord), None
+            )
+            clusters.append(
+                (
+                    key,
+                    children,
+                    params.r_of(0, coord),
+                    [params.r_of(0, c) for c in child_coords],
+                    own_pos,
+                    params.L_of(level, j),
+                )
+            )
+        if not clusters:
+            continue
+        if schedule.algorithm == "one":
+            S = schedule.segments
+            for s in range(S):
+                chunk = _chunk(n, S, s)
+                worst: tuple[float, float, float, str] | None = None
+                for key, children, r_coord, child_r, own_pos, L in clusters:
+                    m = len(children)
+                    peers = [i for i in range(m) if i != own_pos]
+                    loads = [(r_coord, chunk * len(peers) * item_bytes)]
+                    loads += [(child_r[i], chunk * item_bytes) for i in peers]
+                    gh = params.g * h_relation(loads)
+                    total = gh + L
+                    label = (
+                        f"super{level}: one-phase bcast in {key}"
+                        if S == 1
+                        else f"super{level}.{s + 1}: one-phase bcast in {key}"
+                    )
+                    if worst is None or total > worst[0]:
+                        worst = (total, gh, L, label)
+                assert worst is not None
+                ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+        elif schedule.algorithm == "two":
+            worst = None
+            for key, children, r_coord, child_r, own_pos, L in clusters:
+                m = len(children)
+                peers = [i for i in range(m) if i != own_pos]
+                if fractions is None:
+                    shares = {i: n // m + (1 if i < n % m else 0) for i in range(m)}
+                else:
+                    if len(fractions) != params.p:
+                        raise CollectiveError(
+                            f"fractions must have p={params.p} entries"
+                        )
+                    weights = {
+                        str(i): sum(
+                            params.c_of(0, leaf)
+                            for leaf in params.leaf_indices(*children[i])
+                        )
+                        for i in range(m)
+                    }
+                    total_w = sum(weights.values())
+                    part = partition_items(
+                        n, {k_: v / total_w for k_, v in weights.items()}
+                    )
+                    shares = {i: part[str(i)] for i in range(m)}
+                own_share = shares[own_pos] if own_pos is not None else 0
+                loads_a = [(r_coord, (n - own_share) * item_bytes)]
+                loads_a += [(child_r[i], shares[i] * item_bytes) for i in peers]
+                loads_b = [
+                    (
+                        child_r[i],
+                        max(shares[i] * (m - 1), n - shares[i]) * item_bytes,
+                    )
+                    for i in range(m)
+                ]
+                gh = params.g * (h_relation(loads_a) + h_relation(loads_b))
+                total = gh + 2 * L
+                label = f"super{level}: two-phase bcast in {key}"
+                if worst is None or total > worst[0]:
+                    worst = (total, gh, 2 * L, label)
+            assert worst is not None
+            ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
+        else:  # binomial
+            rounds = [_binomial_rounds(len(c[1])) for c in clusters]
+            for t_round in range(max(rounds, default=0)):
+                worst = None
+                half = 1 << t_round
+                for (key, children, _r_coord, child_r, own_pos, L), R in zip(
+                    clusters, rounds
+                ):
+                    if R <= t_round:
+                        continue
+                    m = len(children)
+                    assert own_pos is not None
+                    volume = n * item_bytes
+                    loads = []
+                    for q in range(min(half, m - half)):
+                        loads.append((child_r[(own_pos + q) % m], volume))
+                        loads.append((child_r[(own_pos + q + half) % m], volume))
+                    gh = params.g * h_relation(loads)
+                    total = gh + L
+                    label = (
+                        f"super{level}: binomial bcast round {t_round + 1} "
+                        f"in {key}"
+                    )
+                    if worst is None or total > worst[0]:
+                        worst = (total, gh, L, label)
+                if worst is not None:
+                    ledger.charge(worst[3], level=level, gh=worst[1], L=worst[2])
     return ledger
 
 

@@ -15,7 +15,12 @@ points are answered from the :class:`~repro.perf.diskcache.DiskCache`
 instead of being re-simulated.
 """
 
-from repro.perf.diskcache import CACHE_SCHEMA_VERSION, DiskCache, default_cache_dir
+from repro.perf.diskcache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    DiskCache,
+    default_cache_dir,
+)
 from repro.perf.executor import (
     SweepExecutor,
     current_executor,
@@ -28,6 +33,7 @@ from repro.perf.job import APP_OPS, COLLECTIVE_OPS, SimJob, SimResult
 __all__ = [
     "APP_OPS",
     "CACHE_SCHEMA_VERSION",
+    "CacheStats",
     "COLLECTIVE_OPS",
     "DiskCache",
     "SimJob",

@@ -40,8 +40,10 @@ silently dropped.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import re
 import shutil
 import tempfile
 from pathlib import Path
@@ -49,7 +51,7 @@ from pathlib import Path
 from repro.obs.accounting import RunObs
 from repro.perf.job import SimResult
 
-__all__ = ["CACHE_SCHEMA_VERSION", "DiskCache", "default_cache_dir"]
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "DiskCache", "default_cache_dir"]
 
 #: Bump when the on-disk entry layout changes.
 #: v2: entries carry the compact RunObs observability record, so
@@ -69,6 +71,31 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro" / "sweeps"
+
+
+#: Version directories look like ``v2-0.5.0``; anything else beneath a
+#: cache root (e.g. a nested decision-cache root) is not ours to prune.
+_VERSION_DIR = re.compile(r"^v\d+-")
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache root, split current-version vs stale.
+
+    ``stale`` covers sibling *version* directories only — orphaned by a
+    schema or package-version bump — never unrelated data that happens
+    to live under the same root.
+    """
+
+    version: str
+    entries: int
+    bytes: int
+    stale_versions: tuple[str, ...]
+    stale_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes + self.stale_bytes
 
 
 class DiskCache:
@@ -98,10 +125,39 @@ class DiskCache:
         # sweeps without hashing anything new.
         return self.dir / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> SimResult | None:
-        """The stored result for ``key``, or ``None`` on any failure."""
+    def get_json(self, key: str) -> dict | None:
+        """The raw JSON object stored for ``key``, or ``None`` on any failure."""
         try:
             data = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def put_json(self, key: str, payload: dict) -> None:
+        """Atomically persist a JSON object; failures are non-fatal."""
+        path = self._path(key)
+        text = json.dumps(payload)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def get(self, key: str) -> SimResult | None:
+        """The stored result for ``key``, or ``None`` on any failure."""
+        data = self.get_json(key)
+        if data is None:
+            return None
+        try:
             predicted = data["predicted_time"]
             obs = data["obs"]
             return SimResult(
@@ -111,39 +167,120 @@ class DiskCache:
                 supersteps=int(data["supersteps"]),
                 obs=None if obs is None else RunObs.from_jsonable(obs),
             )
-        except (OSError, ValueError, KeyError, TypeError, IndexError):
+        except (ValueError, KeyError, TypeError, IndexError):
             return None
 
     def put(self, key: str, result: SimResult) -> None:
         """Persist ``result`` atomically; failures are non-fatal."""
-        path = self._path(key)
-        payload = json.dumps(
+        self.put_json(
+            key,
             {
                 "name": result.name,
                 "time": result.time,
                 "predicted_time": result.predicted_time,
                 "supersteps": result.supersteps,
                 "obs": None if result.obs is None else result.obs.to_jsonable(),
-            }
+            },
         )
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
-        except OSError:
-            pass
 
     def wipe(self) -> None:
-        """Delete the whole cache root (all versions)."""
-        shutil.rmtree(self.root, ignore_errors=True)
+        """Delete every version directory (current and stale).
+
+        Non-version children of the root are left alone — under the
+        ``$REPRO_CACHE_DIR`` override other caches (e.g. the tuning
+        decisions) nest inside this root.
+        """
+        shutil.rmtree(self.dir, ignore_errors=True)
+        for stale in self._stale_dirs():
+            shutil.rmtree(stale, ignore_errors=True)
+
+    def _entries(self) -> list[Path]:
+        if not self.dir.is_dir():
+            return []
+        return sorted(self.dir.glob("*/*.json"))
+
+    def _stale_dirs(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            child
+            for child in self.root.iterdir()
+            if child.is_dir()
+            and child.name != self.version
+            and _VERSION_DIR.match(child.name)
+        )
+
+    def stats(self) -> CacheStats:
+        """Entry count and byte totals, current version vs stale ones."""
+
+        def tree_bytes(path: Path) -> int:
+            try:
+                return sum(
+                    f.stat().st_size for f in path.rglob("*") if f.is_file()
+                )
+            except OSError:
+                return 0
+
+        entries = self._entries()
+        size = 0
+        for entry in entries:
+            try:
+                size += entry.stat().st_size
+            except OSError:
+                pass
+        stale = self._stale_dirs()
+        return CacheStats(
+            version=self.version,
+            entries=len(entries),
+            bytes=size,
+            stale_versions=tuple(d.name for d in stale),
+            stale_bytes=sum(tree_bytes(d) for d in stale),
+        )
+
+    def prune(self, max_bytes: int = 0) -> tuple[int, int]:
+        """Shrink the cache to at most ``max_bytes`` of entry data.
+
+        Stale version directories go first (they can never be read
+        again), then the oldest current-version entries by mtime until
+        the remainder fits.  ``max_bytes=0`` keeps only the empty
+        current-version skeleton.  Returns ``(removed_items, freed_bytes)``
+        where removed_items counts stale version dirs plus evicted
+        entries.  Non-version directories under the root (for example a
+        nested decision cache) are never touched.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        removed = 0
+        freed = 0
+        for stale in self._stale_dirs():
+            size = sum(
+                f.stat().st_size for f in stale.rglob("*") if f.is_file()
+            )
+            shutil.rmtree(stale, ignore_errors=True)
+            if not stale.exists():
+                removed += 1
+                freed += size
+        aged = []  # (mtime, size, path) oldest first
+        total = 0
+        for entry in self._entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
+        aged.sort(key=lambda item: (item[0], item[2]))
+        for _, size, entry in aged:
+            if total <= max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        return removed, freed
 
     def __len__(self) -> int:
         if not self.dir.is_dir():

@@ -44,9 +44,23 @@ send into a NIC timeline this cycle's flush depends on, folding its
 drain ends — and therefore the release — upward (never downward: the
 fold is work-conserving FIFO).  The boundary callback re-derives the
 release when it fires and re-arms itself at the later time if it
-grew.  Inserts landing after the boundary fired cannot matter: they
-execute at engine time ≥ the release, so their arrivals are ≥ every
-drain end the finalize consumed.
+grew.
+
+The unpack cascade
+------------------
+
+The object path's collect loop keeps taking mailbox messages while
+charging unpack serially, so each unpack advances the receiver clock
+— and a drain that completes *while earlier unpacks run* is delivered
+in the same superstep.  The macro collect replays that loop over the
+merged put-order stream (timeline entries by drain end, loopback puts
+by send time).  Because the cascade horizon can exceed the release,
+and a different cycle releasing inside that window can register a
+send the object path would deliver in this same superstep, each
+party's collect is *finalized* separately: the boundary computes the
+cascade horizon and re-arms until the engine clock reaches it (sends
+register at engine time ≤ their arrival, so by then every candidate
+entry is on the timeline), then commits and resumes the waiter.
 """
 
 from __future__ import annotations
@@ -83,14 +97,15 @@ class _SendEntry:
     list and the receiver's NIC-in timeline."""
 
     __slots__ = (
-        "arrival", "drain", "drain_end", "reg",
+        "arrival", "inject_end", "drain", "drain_end", "reg",
         "src_tid", "dst_tid", "tag", "payload", "size", "sent_at",
     )
 
-    def __init__(self, arrival: float, drain: float, reg: int, src_tid: int,
-                 dst_tid: int, tag: int, payload: t.Any, size: int,
-                 sent_at: float) -> None:
+    def __init__(self, arrival: float, inject_end: float, drain: float,
+                 reg: int, src_tid: int, dst_tid: int, tag: int,
+                 payload: t.Any, size: int, sent_at: float) -> None:
         self.arrival = arrival
+        self.inject_end = inject_end
         self.drain = drain
         self.drain_end = 0.0  # set by _NicTimeline.insert
         self.reg = reg
@@ -105,8 +120,14 @@ class _SendEntry:
 class _NicTimeline:
     """Drain schedule of one receiver NIC-in port.
 
-    Unconsumed entries, sorted by ``(arrival, reg)`` — the FIFO grant
-    order of the serialized port.  Drain ends fold left to right:
+    Unconsumed entries, sorted by ``(arrival, inject_end, reg)`` — the
+    FIFO grant order of the serialized port.  ``inject_end`` breaks
+    arrival ties: the object path spawns each delivery process the
+    moment the sender's inject completes, so when two arrivals round
+    to the *same* double after ``+ latency`` the event heap's FIFO
+    sequence still grants the port in inject-completion order, which
+    the arrival floats alone no longer encode.  Equal inject ends fall
+    back to registration order.  Drain ends fold left to right:
     ``end = max(prev_end, arrival) + drain``, the exact float chain of
     ``Resource.occupy`` under contention.  ``prev_end`` carries the
     busy horizon of the already-consumed prefix across supersteps.
@@ -122,7 +143,8 @@ class _NicTimeline:
 
     def __init__(self) -> None:
         self.entries: list[_SendEntry] = []
-        self.keys: list[tuple[float, int]] = []  # parallel (arrival, reg)
+        #: Parallel (arrival, inject_end, reg) sort keys.
+        self.keys: list[tuple[float, float, int]] = []
         self.prev_end = 0.0
         #: First index whose drain_end may be stale (= len(entries)
         #: when the whole schedule is folded).
@@ -132,7 +154,7 @@ class _NicTimeline:
 
     def insert(self, entry: _SendEntry) -> None:
         keys = self.keys
-        key = (entry.arrival, entry.reg)
+        key = (entry.arrival, entry.inject_end, entry.reg)
         index = len(keys)
         if index and key < keys[-1]:
             index = bisect_right(keys, key)
@@ -155,25 +177,14 @@ class _NicTimeline:
             prev = end
         self.dirty = len(entries)
 
-    def consume(self, release: float) -> list[_SendEntry]:
-        """Take the prefix drained by ``release`` (drain ends are
-        monotone along the timeline, so this is exactly the messages
-        in the receiver's mailbox at the barrier release)."""
+    def discard(self, count: int) -> None:
+        """Drop the consumed prefix (``count`` > 0), carrying its busy
+        horizon into ``prev_end`` for future folds."""
         entries = self.entries
-        count = 0
-        for entry in entries:
-            if entry.drain_end <= release:
-                count += 1
-            else:
-                break
-        if not count:
-            return []
-        taken = entries[:count]
+        self.prev_end = entries[count - 1].drain_end
         del entries[:count]
         del self.keys[:count]
         self.dirty = len(entries)
-        self.prev_end = taken[-1].drain_end
-        return taken
 
 
 class _PidState:
@@ -331,6 +342,7 @@ class MacroEngine:
         # the timeline; drain_end is filled in by insert()).
         entry = _SendEntry(
             t_local + latency,
+            t_local,
             drain,
             reg, task.tid, target.task.tid, tag, payload, size, sent_at,
         )
@@ -453,40 +465,101 @@ class MacroEngine:
         for i in sorted(range(len(arrivals)), key=resumes.__getitem__):
             state, _local_t, _pending, waiter = arrivals[i]
             state.ctx._wait += release - resumes[i]
-            self._collect(state, release)
-            waiter.succeed(index)
+            self._finalize(state, release, waiter, index)
 
-    def _collect(self, state: _PidState, release: float) -> None:
-        """BSP delivery at the release: move drained + loopback
-        messages into the context in mailbox put order, charging
-        unpack serially on the receiver clock (``HbspContext._collect``
-        without the object plumbing)."""
-        drained = self._timelines[state.pid].consume(release)
-        puts: list[tuple[float, int, Message]] = [
-            (
-                entry.drain_end,
-                entry.reg,
-                Message(entry.src_tid, entry.dst_tid, entry.tag, entry.payload,
-                        entry.size, entry.sent_at, entry.drain_end),
-            )
-            for entry in drained
-        ]
-        if state.loopback:
-            # Stable sort on put time alone: drained entries keep the
-            # timeline's grant order among equal drain ends.
-            puts.extend(state.loopback)
-            state.loopback = []
-            puts.sort(key=lambda put: put[0])
-        task = state.task
+    def _walk_collect(self, state: _PidState, release: float) -> tuple[int, int, float]:
+        """Replay the object path's collect loop arithmetically.
+
+        ``HbspContext._collect`` keeps taking mailbox messages in put
+        order while charging unpack serially — and because each unpack
+        advances the receiver clock, a drain that completes *while
+        earlier unpacks run* is delivered in the same superstep (the
+        unpack cascade).  Returns ``(timeline prefix taken, loopback
+        taken, final receiver clock)`` without committing anything.
+        Drained entries keep the timeline's grant order and precede
+        loopback puts with equal put times, like the object mailbox.
+        """
+        entries = self._timelines[state.pid].entries
+        loopback = state.loopback
         unpack_time = state.spec.unpack_time
-        available = state.ctx._available
         local_t = release
-        for _put_at, _reg, message in puts:
-            task.received_messages += 1
-            task.received_bytes += message.nbytes
-            unpack = unpack_time(message.nbytes)
+        taken = 0
+        li = 0
+        n_entries = len(entries)
+        n_loop = len(loopback)
+        while True:
+            entry = entries[taken] if taken < n_entries else None
+            if entry is not None and entry.drain_end > local_t:
+                entry = None  # still draining: blocks all later entries
+            put = loopback[li] if li < n_loop else None
+            if entry is not None and (put is None or entry.drain_end <= put[0]):
+                taken += 1
+                size = entry.size
+            elif put is not None:
+                # Loopback puts happen mid-superstep, so their put
+                # times are <= the release and never block.
+                li += 1
+                size = put[2].nbytes
+            else:
+                break
+            unpack = unpack_time(size)
             if unpack > 0:
                 local_t = local_t + unpack
+        return taken, li, local_t
+
+    def _finalize(self, state: _PidState, release: float, waiter: Event,
+                  index: int) -> None:
+        """Commit one party's collect once its cascade is complete.
+
+        The cascade horizon (the receiver clock after all unpacks) can
+        exceed the release, and a *different* cycle releasing inside
+        that window can register a send that the object path would
+        drain and deliver in this same superstep.  Sends register at
+        engine time <= their arrival, so waiting until the engine
+        clock reaches the horizon guarantees every candidate entry is
+        on the timeline; the walk is monotone in the entry set, so
+        re-arming until the horizon stops growing is a fixpoint.
+        """
+        self._refold_all()
+        taken, li, local_t = self._walk_collect(state, release)
+        engine = self.engine
+        if local_t > engine.now:
+            engine.call_at(
+                local_t, lambda: self._finalize(state, release, waiter, index)
+            )
+            return
+        self._collect(state, release, taken, li, local_t)
+        waiter.succeed(index)
+
+    def _collect(self, state: _PidState, release: float, taken: int, li: int,
+                 local_t: float) -> None:
+        """BSP delivery at the release: move the walked timeline prefix
+        + loopback puts into the context in mailbox put order
+        (``HbspContext._collect`` without the object plumbing)."""
+        timeline = self._timelines[state.pid]
+        entries = timeline.entries
+        loopback = state.loopback
+        task = state.task
+        available = state.ctx._available
+        ei = 0
+        pi = 0
+        while ei < taken or pi < li:
+            entry = entries[ei] if ei < taken else None
+            put = loopback[pi] if pi < li else None
+            if entry is not None and (put is None or entry.drain_end <= put[0]):
+                ei += 1
+                message = Message(entry.src_tid, entry.dst_tid, entry.tag,
+                                  entry.payload, entry.size, entry.sent_at,
+                                  entry.drain_end)
+            else:
+                pi += 1
+                message = put[2]
+            task.received_messages += 1
+            task.received_bytes += message.nbytes
             available.append(message)
+        if taken:
+            timeline.discard(taken)
+        if li:
+            del loopback[:li]
         state.local_t = local_t
         task.macro_now = local_t

@@ -1,0 +1,183 @@
+"""Declarative, JSON-serialisable collective schedule plans.
+
+A :class:`SchedulePlan` pins, for every hierarchy level, *how* that
+level's super-step communicates — the expanded schedule space of
+Barchet-Estefanel & Mounié's tuning programme, generalised to HBSP^k:
+
+* **gather** levels choose ``flat`` (every child coordinator sends its
+  accumulated subtree to the cluster coordinator in one step,
+  optionally *segmented* into ``S`` chunked sub-steps) or ``binomial``
+  (a ⌈log₂C⌉-round binomial tree over the child-coordinator
+  positions);
+* **broadcast** levels choose ``one`` (coordinator fan-out, optionally
+  segmented), ``two`` (the paper's scatter + total-exchange two-phase
+  scheme), or ``binomial`` (log-round doubling).
+
+Plans are *pure data*: the cost model prices them
+(:func:`repro.model.predict.predict_gather_plan` /
+:func:`~repro.model.predict.predict_broadcast_plan`, vectorized by
+``model.kernels``), the DES executes them (``collectives/`` programs
+take a ``plan=`` argument), and the decision cache persists them as
+JSON.  ``default_plan`` reproduces the paper's hand schedules exactly
+— a default-plan run is bit-identical to a plan-less run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import CollectiveError
+
+__all__ = [
+    "GATHER_ALGORITHMS",
+    "BROADCAST_ALGORITHMS",
+    "LevelSchedule",
+    "SchedulePlan",
+    "default_plan",
+]
+
+#: Per-level algorithms understood by the gather program/model.
+GATHER_ALGORITHMS = ("flat", "binomial")
+#: Per-level algorithms understood by the broadcast program/model.
+BROADCAST_ALGORITHMS = ("one", "two", "binomial")
+
+#: Algorithms that accept message segmentation (``segments > 1``).
+_SEGMENTABLE = ("flat", "one")
+
+
+def binomial_rounds(fan_out: int) -> int:
+    """Rounds of a binomial tree over ``fan_out`` positions: ⌈log₂C⌉."""
+    return max(0, fan_out - 1).bit_length()
+
+
+def split_segments(total: int, segments: int) -> list[int]:
+    """Chunk sizes of ``total`` items over ``segments`` sub-steps.
+
+    The single integer rule shared by the cost model and the executable
+    programs: chunk ``s`` holds ``total // S + (1 if s < total % S)``.
+    """
+    base, extra = divmod(int(total), segments)
+    return [base + (1 if s < extra else 0) for s in range(segments)]
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelSchedule:
+    """How one hierarchy level communicates.
+
+    ``segments`` splits each message into that many chunks, one
+    cluster-scoped super-step per chunk (latency-for-bandwidth trade,
+    only meaningful for the segmentable algorithms).
+    """
+
+    algorithm: str
+    segments: int = 1
+
+    def validated(self, op: str) -> "LevelSchedule":
+        allowed = GATHER_ALGORITHMS if op == "gather" else BROADCAST_ALGORITHMS
+        if self.algorithm not in allowed:
+            raise CollectiveError(
+                f"unknown {op} level algorithm {self.algorithm!r} "
+                f"(expected one of {allowed})"
+            )
+        if not isinstance(self.segments, int) or self.segments < 1:
+            raise CollectiveError(
+                f"segments must be a positive int, got {self.segments!r}"
+            )
+        if self.segments > 1 and self.algorithm not in _SEGMENTABLE:
+            raise CollectiveError(
+                f"algorithm {self.algorithm!r} does not support "
+                f"segmentation (segments={self.segments})"
+            )
+        return self
+
+    @property
+    def key(self) -> str:
+        """Compact canonical token, e.g. ``flat``, ``flat/4``, ``binomial``."""
+        if self.segments == 1:
+            return self.algorithm
+        return f"{self.algorithm}/{self.segments}"
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {"algorithm": self.algorithm, "segments": self.segments}
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "LevelSchedule":
+        return cls(
+            algorithm=str(data["algorithm"]),
+            segments=int(data.get("segments", 1)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulePlan:
+    """A complete per-level schedule for one collective.
+
+    ``levels[i]`` schedules hierarchy level ``i + 1`` (gather ascends
+    1..k, broadcast descends k..1 — the tuple is always stored in
+    ascending level order).
+    """
+
+    op: str
+    levels: tuple[LevelSchedule, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("gather", "broadcast"):
+            raise CollectiveError(
+                f"op must be 'gather' or 'broadcast', got {self.op!r}"
+            )
+        object.__setattr__(self, "levels", tuple(self.levels))
+        for schedule in self.levels:
+            schedule.validated(self.op)
+
+    @property
+    def k(self) -> int:
+        """Number of scheduled hierarchy levels."""
+        return len(self.levels)
+
+    def level(self, level: int) -> LevelSchedule:
+        """The schedule of hierarchy level ``level`` (1-based)."""
+        if not 1 <= level <= self.k:
+            raise CollectiveError(
+                f"level {level} out of range for a k={self.k} plan"
+            )
+        return self.levels[level - 1]
+
+    @property
+    def key(self) -> str:
+        """Canonical compact form, e.g. ``gather:flat/2|binomial``."""
+        return f"{self.op}:" + "|".join(s.key for s in self.levels)
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this plan reproduces the paper's hand schedule."""
+        return self == default_plan(self.op, self.k)
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "op": self.op,
+            "levels": [s.to_dict() for s in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "SchedulePlan":
+        return cls(
+            op=str(data["op"]),
+            levels=tuple(
+                LevelSchedule.from_dict(entry) for entry in data["levels"]
+            ),
+        )
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def default_plan(op: str, k: int) -> SchedulePlan:
+    """The paper's hand schedule as a plan.
+
+    Gather: flat single-step fan-in at every level (Sections 4.2–4.3).
+    Broadcast: two-phase at every level (the paper's recommended
+    scheme, and the plan-less default of ``run_broadcast``).
+    """
+    algorithm = "flat" if op == "gather" else "two"
+    return SchedulePlan(op, tuple(LevelSchedule(algorithm) for _ in range(k)))

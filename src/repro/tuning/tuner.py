@@ -1,0 +1,200 @@
+"""The tuning pipeline: enumerate, price, validate, memoize.
+
+Cold path (:func:`tune` on an unseen ``(op, machine, n)``):
+
+1. **Enumerate** the per-level schedule space
+   (:func:`repro.tuning.space.enumerate_plans`) — every combination of
+   flat/binomial fan-out, one-/two-phase, and segmentation.
+2. **Price** the whole grid in one vectorized
+   :mod:`repro.model.kernels` pass (:func:`repro.model.rank_plans`),
+   bit-identical to the scalar predictors.
+3. **Validate** the analytic top-``shortlist`` — the default plan is
+   always re-included — by actually running each candidate through the
+   macro-event DES engine, which prices contention and overlap the
+   closed form cannot see.
+4. **Pick** the plan with the lowest *simulated* makespan (analytic
+   rank breaks ties), and **memoize** the decision in the persistent
+   :class:`~repro.tuning.cache.DecisionCache`.
+
+Because the default plan is always in the validated shortlist and the
+winner is chosen on simulated time, a tuned run can never be slower
+than the default schedule on the tuning workload.
+
+Warm path: one :meth:`DecisionCache.get` — O(1), no enumeration, no
+simulation — returning the exact plan the cold run chose, so cold and
+warm tuned runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.serialization import topology_hash
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.schedules import RootPolicy, resolve_root
+from repro.errors import CollectiveError
+from repro.model.planner import rank_plans
+from repro.tuning.cache import DecisionCache, TunedDecision
+from repro.tuning.plan import SchedulePlan, default_plan
+from repro.tuning.space import DEFAULT_SEGMENTS, enumerate_plans
+from repro.util.units import BYTES_PER_INT
+
+__all__ = ["DEFAULT_SHORTLIST", "TunedDecision", "tune", "tuned_plan"]
+
+#: How many analytically-cheapest plans get DES-validated (the default
+#: plan is appended when it is not already among them).
+DEFAULT_SHORTLIST = 4
+
+_process_cache: DecisionCache | None = None
+
+
+def _default_cache() -> DecisionCache:
+    global _process_cache
+    if _process_cache is None:
+        _process_cache = DecisionCache()
+    return _process_cache
+
+
+def _resolve_root_fast(
+    topology: ClusterTopology, root: "int | RootPolicy | None"
+) -> int:
+    """Resolve a root spec to a pid without building a runtime.
+
+    The warm path must be a cache lookup, not a simulator construction
+    — this mirrors :func:`~repro.collectives.schedules.resolve_root`
+    (normalised topology, noise-free BYTEmark ranking) on plain
+    topology data, so both spell the same pid.
+    """
+    normalized = topology.normalized()
+    if root is not None and not isinstance(root, RootPolicy):
+        if isinstance(root, bool) or not isinstance(root, int):
+            raise CollectiveError(
+                f"root must be a pid or RootPolicy, got {root!r}"
+            )
+        if not 0 <= root < normalized.num_machines:
+            raise CollectiveError(
+                f"root pid {root} out of range [0, {normalized.num_machines})"
+            )
+        return root
+    from repro.bytemark.ranking import ranking_from_scores
+    from repro.bytemark.suite import true_scores
+
+    ranking = ranking_from_scores(true_scores(normalized))
+    name = ranking[-1] if root is RootPolicy.SLOWEST else ranking[0]
+    return normalized.machine_id(name)
+
+
+def _simulate(
+    op: str,
+    topology: ClusterTopology,
+    n: int,
+    root: int,
+    plan: SchedulePlan,
+    seed: int,
+) -> float:
+    from repro.collectives.broadcast import run_broadcast
+    from repro.collectives.gather import run_gather
+
+    if op == "gather":
+        outcome = run_gather(
+            topology, n, root=root, seed=seed, macro=True, plan=plan
+        )
+    else:
+        outcome = run_broadcast(
+            topology, n, root=root, seed=seed, macro=True, plan=plan
+        )
+    return outcome.time
+
+
+def tune(
+    topology: ClusterTopology,
+    op: str,
+    n: int,
+    *,
+    root: int | RootPolicy | None = None,
+    segments: t.Sequence[int] = DEFAULT_SEGMENTS,
+    shortlist: int = DEFAULT_SHORTLIST,
+    item_bytes: int = BYTES_PER_INT,
+    seed: int = 0,
+    cache: DecisionCache | None = None,
+    force: bool = False,
+) -> TunedDecision:
+    """Pick (or recall) the best schedule for ``op`` on this machine.
+
+    ``cache=None`` uses the process-wide persistent cache under
+    :func:`~repro.tuning.cache.default_decision_dir`; ``force=True``
+    re-tunes even on a cache hit (and overwrites the stored decision).
+    The decision key is ``(op, topology-hash, n, item_bytes, root)``
+    with the root resolved to a concrete pid first, so policy spellings
+    of the same pid share one entry.
+    """
+    if op not in ("gather", "broadcast"):
+        raise CollectiveError(f"op must be 'gather' or 'broadcast', got {op!r}")
+    if n < 0:
+        raise CollectiveError(f"n must be >= 0, got {n}")
+    if shortlist < 1:
+        raise CollectiveError(f"shortlist must be >= 1, got {shortlist}")
+    if cache is None:
+        cache = _default_cache()
+    root_pid = _resolve_root_fast(topology, root)
+    topo_hash = topology_hash(topology)
+    if not force:
+        hit = cache.get(op, topo_hash, n, item_bytes, root_pid)
+        if hit is not None:
+            return hit
+    from repro.collectives.base import make_runtime
+
+    runtime = make_runtime(topology)
+    if resolve_root(runtime, root) != root_pid:  # pragma: no cover
+        raise CollectiveError("root resolution diverged from the runtime's")
+    params = runtime.params
+    plans = enumerate_plans(op, params.k, segments=segments)
+    ranked = rank_plans(
+        params, n, plans, root=root_pid, top=shortlist
+    )
+    base = default_plan(op, params.k)
+    if all(plan != base for plan, _ in ranked):
+        base_rank = rank_plans(params, n, [base], root=root_pid)
+        ranked.append(base_rank[0])
+
+    best_plan: SchedulePlan | None = None
+    best_predicted = 0.0
+    best_time = float("inf")
+    default_time = float("inf")
+    for plan, predicted in ranked:
+        simulated = _simulate(op, topology, n, root_pid, plan, seed)
+        if plan == base:
+            default_time = simulated
+        if simulated < best_time:
+            best_plan = plan
+            best_predicted = predicted
+            best_time = simulated
+    assert best_plan is not None  # shortlist >= 1
+
+    decision = TunedDecision(
+        op=op,
+        topology_hash=topo_hash,
+        n=int(n),
+        item_bytes=int(item_bytes),
+        root=root_pid,
+        plan=best_plan,
+        predicted_time=best_predicted,
+        simulated_time=best_time,
+        default_time=default_time,
+        candidates=len(plans),
+        validated=len(ranked),
+    )
+    cache.put(decision)
+    return decision
+
+
+def tuned_plan(
+    topology: ClusterTopology,
+    op: str,
+    n: int,
+    *,
+    root: int | RootPolicy | None = None,
+    cache: DecisionCache | None = None,
+) -> SchedulePlan:
+    """The winning plan only — the convenience front door for runners."""
+    return tune(topology, op, n, root=root, cache=cache).plan

@@ -14,6 +14,7 @@ from repro.cluster import (
     params_to_dict,
     smp_sgi_lan,
     topology_from_dict,
+    topology_hash,
     topology_to_dict,
     ucf_testbed,
 )
@@ -98,6 +99,69 @@ class TestDetails:
         data["root"]["children"][0]["kind"] = "mystery"
         with pytest.raises(TopologyError, match="kind"):
             topology_from_dict(data)
+
+
+class TestTopologyHash:
+    def test_hex_and_deterministic(self):
+        digest = topology_hash(ucf_testbed(4))
+        assert digest == topology_hash(ucf_testbed(4))
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_all_source_spellings_agree(self):
+        topology = grid_three_level()
+        as_dict = topology_to_dict(topology)
+        as_text = dumps(topology)
+        assert topology_hash(topology) == topology_hash(as_dict)
+        assert topology_hash(topology) == topology_hash(as_text)
+
+    def test_dict_key_order_never_matters(self):
+        data = topology_to_dict(ucf_testbed(3))
+        shuffled = json.loads(
+            json.dumps(data, sort_keys=True)
+        )  # different insertion order than the writer's
+        reversed_order = dict(reversed(list(data.items())))
+        assert topology_hash(data) == topology_hash(shuffled)
+        assert topology_hash(data) == topology_hash(reversed_order)
+
+    def test_schema_version_never_matters(self):
+        # A v1 document (no pair_multipliers key) and its v2
+        # re-serialisation describe the same machine.
+        data = topology_to_dict(ucf_testbed(3))
+        v1 = {k: v for k, v in data.items() if k not in ("pair_multipliers",)}
+        v1["schema"] = "repro.cluster/1"
+        assert topology_hash(v1) == topology_hash(data)
+
+    def test_structure_discriminates(self):
+        hashes = {
+            topology_hash(ucf_testbed(3)),
+            topology_hash(ucf_testbed(4)),
+            topology_hash(flat_cluster(3)),
+            topology_hash(grid_three_level()),
+        }
+        assert len(hashes) == 4
+
+    def test_pair_multipliers_discriminate(self):
+        plain = ucf_testbed(4)
+        degraded = ucf_testbed(4)
+        degraded.set_pair_multiplier(0, 3, 7.5)
+        assert topology_hash(plain) != topology_hash(degraded)
+
+    def test_embedded_params_discriminate(self):
+        topology = ucf_testbed(4)
+        params = calibrate(topology)
+        assert topology_hash(topology) != topology_hash(topology, params=params)
+
+    def test_params_only_with_live_topology(self):
+        data = topology_to_dict(ucf_testbed(2))
+        with pytest.raises(TopologyError, match="params"):
+            topology_hash(data, params=calibrate(ucf_testbed(2)))
+
+    def test_unknown_schema_rejected(self):
+        data = topology_to_dict(ucf_testbed(2))
+        data["schema"] = "something/else"
+        with pytest.raises(TopologyError, match="schema"):
+            topology_hash(data)
 
 
 class TestParamsRoundTrip:

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.collectives import RootPolicy, WorkloadPolicy, resolve_root, split_counts
-from repro.collectives.schedules import effective_coordinator, level_participants
+from repro.collectives.schedules import (
+    SchedulePolicy,
+    effective_coordinator,
+    level_participants,
+    resolve_plan,
+)
 from repro.errors import CollectiveError
 from repro.hbsplib import HbspRuntime
 
@@ -56,6 +61,45 @@ class TestSplitCounts:
             split_counts(runtime, 10, [10])
         with pytest.raises(CollectiveError, match="non-negative"):
             split_counts(runtime, 10, [11, 2, -3, 0])
+
+
+class TestResolvePlan:
+    @pytest.fixture
+    def tuning_cache(self, tmp_path, monkeypatch):
+        """Point the process-wide decision cache at a throwaway dir."""
+        from repro.tuning.cache import DecisionCache
+        import repro.tuning.tuner as tuner
+
+        cache = DecisionCache(tmp_path)
+        monkeypatch.setattr(tuner, "_process_cache", cache)
+        return cache
+
+    def test_default_spellings_return_none(self, testbed_small):
+        for spelling in (None, SchedulePolicy.DEFAULT, "default"):
+            assert resolve_plan(testbed_small, "gather", 100, spelling) is None
+
+    def test_unknown_spelling_rejected(self, testbed_small):
+        with pytest.raises(ValueError):
+            resolve_plan(testbed_small, "gather", 100, "bogus")
+
+    def test_tuned_rejected_on_untunable_ops(self, testbed_small):
+        with pytest.raises(CollectiveError, match="gather/broadcast"):
+            resolve_plan(testbed_small, "scatter", 100, SchedulePolicy.TUNED)
+
+    def test_tuned_returns_the_cached_winner(self, testbed_small, tuning_cache):
+        from repro.tuning.tuner import tune
+
+        plan = resolve_plan(
+            testbed_small, "gather", 2000, SchedulePolicy.TUNED
+        )
+        decision = tune(testbed_small, "gather", 2000, cache=tuning_cache)
+        assert plan == decision.plan
+        assert len(tuning_cache) == 1  # resolve_plan populated it; tune hit
+
+    def test_tuned_accepts_the_string_spelling(self, testbed_small, tuning_cache):
+        plan = resolve_plan(testbed_small, "broadcast", 2000, "tuned")
+        assert plan.op == "broadcast"
+        assert plan.k == 1
 
 
 class TestCoordinatorOverride:

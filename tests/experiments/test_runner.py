@@ -23,6 +23,7 @@ class TestRegistry:
             "sensitivity",
             "robustness",
             "discovery",
+            "tuning",
         }
         assert set(EXPERIMENTS) == expected
 

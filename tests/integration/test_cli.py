@@ -163,3 +163,79 @@ class TestTopologyCommands:
         out = capsys.readouterr().out
         assert "fat_tree" in out
         assert "cloud_spot_mix" in out
+
+
+class TestTuningCommands:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        """Point every persistent cache at a throwaway directory."""
+        import repro.tuning.tuner as tuner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(tuner, "_process_cache", None)
+        return tmp_path
+
+    def test_tune_prints_the_decision(self, capsys):
+        assert main(["tune", "gather", "testbed:4", "--n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "gather(n=2000)" in out
+        assert "plans priced analytically" in out
+        assert "verdict" in out
+
+    def test_tune_is_idempotent_across_invocations(self, capsys):
+        assert main(["tune", "broadcast", "two-lans", "--n", "2000"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["tune", "broadcast", "two-lans", "--n", "2000"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_tune_rejects_untunable_collectives(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "scatter", "testbed:4"])
+
+    def test_run_with_tuned_schedule(self, capsys):
+        assert main([
+            "run", "broadcast", "two-lans", "--n", "500",
+            "--schedule", "tuned",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tuned schedule:" in out
+        assert "simulated:" in out
+
+    def test_experiment_schedule_flag(self, capsys):
+        assert main(["experiment", "fig3a", "--schedule", "tuned"]) == 0
+        assert "[fig3a]" in capsys.readouterr().out
+
+    def test_experiment_schedule_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table1", "--schedule", "tuned"])
+
+    def test_cache_stats_prune_clear(self, tmp_path, capsys):
+        assert main(["tune", "gather", "testbed:4", "--n", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sweeps cache at" in out
+        assert "decisions cache at" in out
+        assert "1 entries" in out
+        assert main(["cache", "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions: removed 1 item(s)" in out
+        assert main(["cache", "stats"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+        # --force re-tunes (the first decision is still memoized in
+        # this process) and re-persists the decision to disk
+        assert main(
+            ["tune", "gather", "testbed:4", "--n", "2000", "--force"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions: cleared (1 entries)" in out
+
+    def test_cache_prune_honours_max_bytes(self, capsys):
+        assert main(["tune", "gather", "testbed:4", "--n", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions: removed 0 item(s)" in out

@@ -1,0 +1,252 @@
+"""Bit-identity of the plan evaluators: kernels vs scalar vs legacy.
+
+Three layers price a :class:`~repro.tuning.plan.SchedulePlan` and all
+must agree exactly (every float, label, and level — no tolerances):
+
+* ``predict_gather_plan`` / ``predict_broadcast_plan`` — the scalar
+  reference;
+* ``GatherKernel.evaluate_plans`` / ``BroadcastKernel.evaluate_plans``
+  — the vectorized grids the tuner prices candidate spaces with;
+* on the *default* plan, the plan-less ``predict_gather`` /
+  ``predict_broadcast`` — so a tuned run whose winner is the paper's
+  schedule costs exactly what an untuned run does.
+
+The hypothesis section drives all three over random k<=3 machines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+from repro.cluster.presets import grid_three_level, smp_sgi_lan, ucf_testbed
+from repro.errors import CollectiveError, ModelError
+from repro.model.kernels import BroadcastKernel, GatherKernel
+from repro.model.params import calibrate
+from repro.model.predict import (
+    predict_broadcast,
+    predict_broadcast_plan,
+    predict_gather,
+    predict_gather_plan,
+)
+from repro.model.planner import rank_plans, score_plans
+from repro.tuning import SchedulePlan, default_plan, enumerate_plans
+
+from tests.model.test_kernels import assert_ledger_identical
+
+NS = [0, 1, 7, 1000, 25_600]
+
+
+@pytest.fixture(scope="module")
+def params_by_name():
+    return {
+        "testbed": calibrate(ucf_testbed(6)),
+        "fig1": calibrate(smp_sgi_lan()),
+        "grid3": calibrate(grid_three_level(2, 2, 2)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Random k<=3 machines (bounded sizes so each example stays cheap)
+# ---------------------------------------------------------------------------
+
+_counter = 0
+
+
+def _name(prefix):
+    global _counter
+    _counter += 1
+    return f"{prefix}{_counter}"
+
+
+@st.composite
+def machine(draw):
+    return MachineSpec(
+        _name("m"),
+        cpu_rate=draw(st.floats(min_value=1e7, max_value=1e8)),
+        nic_gap=draw(st.floats(min_value=8e-8, max_value=2e-7)),
+    )
+
+
+@st.composite
+def network(draw):
+    return NetworkSpec(
+        _name("net"),
+        gap=draw(st.floats(min_value=0, max_value=2e-7)),
+        latency=draw(st.floats(min_value=0, max_value=1e-3)),
+        sync_base=draw(st.floats(min_value=0, max_value=1e-3)),
+    )
+
+
+@st.composite
+def tree(draw, depth):
+    if depth == 1:
+        members = [draw(machine()) for _ in range(draw(st.integers(1, 4)))]
+        return Cluster(_name("lan"), draw(network()), members)
+    children = [
+        draw(tree(depth=depth - 1)) for _ in range(draw(st.integers(1, 3)))
+    ]
+    return Cluster(_name("up"), draw(network()), children)
+
+
+@st.composite
+def random_topology(draw):
+    return ClusterTopology(draw(tree(depth=draw(st.integers(1, 3)))))
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive identity on the fixed calibrated machines
+# ---------------------------------------------------------------------------
+
+
+class TestScalarPlanVsLegacy:
+    @pytest.mark.parametrize("name", ["testbed", "fig1", "grid3"])
+    def test_default_gather_plan_is_the_legacy_prediction(
+        self, params_by_name, name
+    ):
+        params = params_by_name[name]
+        plan = default_plan("gather", params.k)
+        for n in NS:
+            for root in range(params.p):
+                legacy = predict_gather(params, n, root=root)
+                planned = predict_gather_plan(params, n, plan, root=root)
+                assert planned.total == legacy.total
+                assert [s.label for s in planned.steps] == [
+                    s.label for s in legacy.steps
+                ]
+                for got, want in zip(planned.steps, legacy.steps):
+                    assert (got.gh, got.L) == (want.gh, want.L)
+
+    @pytest.mark.parametrize("name", ["testbed", "fig1", "grid3"])
+    def test_default_broadcast_plan_is_the_legacy_two_phase(
+        self, params_by_name, name
+    ):
+        params = params_by_name[name]
+        plan = default_plan("broadcast", params.k)
+        for n in NS:
+            for root in range(params.p):
+                legacy = predict_broadcast(params, n, root=root, phases="two")
+                planned = predict_broadcast_plan(params, n, plan, root=root)
+                assert planned.total == legacy.total
+                for got, want in zip(planned.steps, legacy.steps):
+                    assert (got.gh, got.L) == (want.gh, want.L)
+
+    def test_wrong_op_plan_rejected(self, params_by_name):
+        params = params_by_name["testbed"]
+        with pytest.raises(CollectiveError, match="expected 'gather'"):
+            predict_gather_plan(
+                params, 100, default_plan("broadcast", params.k)
+            )
+        with pytest.raises(CollectiveError, match="expected 'broadcast'"):
+            predict_broadcast_plan(
+                params, 100, default_plan("gather", params.k)
+            )
+
+    def test_wrong_k_plan_rejected(self, params_by_name):
+        params = params_by_name["grid3"]
+        with pytest.raises(CollectiveError, match="levels"):
+            predict_gather_plan(params, 100, default_plan("gather", 1))
+
+
+class TestKernelPlanGrids:
+    @pytest.mark.parametrize("name", ["testbed", "fig1", "grid3"])
+    def test_gather_grid_bit_identical_to_scalar(self, params_by_name, name):
+        params = params_by_name[name]
+        plans = enumerate_plans("gather", params.k)
+        points = [(n, plan) for n in NS for plan in plans]
+        ns = np.array([n for n, _ in points], dtype=np.int64)
+        grid = GatherKernel(params).evaluate_plans(
+            ns, [plan for _, plan in points]
+        )
+        for i, (n, plan) in enumerate(points):
+            assert_ledger_identical(
+                predict_gather_plan(params, n, plan), grid.ledger(i)
+            )
+        assert grid.totals.shape == (len(points),)
+
+    @pytest.mark.parametrize("name", ["testbed", "fig1", "grid3"])
+    def test_broadcast_grid_bit_identical_to_scalar(
+        self, params_by_name, name
+    ):
+        params = params_by_name[name]
+        plans = enumerate_plans("broadcast", params.k)
+        points = [(n, plan) for n in NS for plan in plans]
+        ns = np.array([n for n, _ in points], dtype=np.int64)
+        grid = BroadcastKernel(params).evaluate_plans(
+            ns, [plan for _, plan in points]
+        )
+        for i, (n, plan) in enumerate(points):
+            assert_ledger_identical(
+                predict_broadcast_plan(params, n, plan), grid.ledger(i)
+            )
+
+    def test_single_plan_broadcasts_over_the_grid(self, params_by_name):
+        params = params_by_name["testbed"]
+        plan = default_plan("gather", params.k)
+        ns = np.array(NS, dtype=np.int64)
+        grid = GatherKernel(params).evaluate_plans(ns, plan)
+        for i, n in enumerate(NS):
+            assert grid.totals[i] == predict_gather_plan(params, n, plan).total
+
+
+class TestPlannerHelpers:
+    def test_score_plans_matches_scalar_totals(self, params_by_name):
+        params = params_by_name["grid3"]
+        plans = enumerate_plans("broadcast", params.k)[:7]
+        totals = score_plans(params, 25_600, plans)
+        assert totals.shape == (len(plans),)
+        for plan, total in zip(plans, totals):
+            assert total == predict_broadcast_plan(params, 25_600, plan).total
+
+    def test_rank_plans_sorted_and_truncated(self, params_by_name):
+        params = params_by_name["grid3"]
+        plans = enumerate_plans("gather", params.k)
+        ranked = rank_plans(params, 25_600, plans, top=5)
+        assert len(ranked) == 5
+        totals = [total for _, total in ranked]
+        assert totals == sorted(totals)
+        full = rank_plans(params, 25_600, plans)
+        assert len(full) == len(plans)
+        assert full[0][1] == min(t for _, t in full)
+
+    def test_empty_and_mixed_op_rejected(self, params_by_name):
+        params = params_by_name["testbed"]
+        with pytest.raises(ModelError, match="at least one plan"):
+            score_plans(params, 100, [])
+        mixed = [
+            default_plan("gather", params.k),
+            default_plan("broadcast", params.k),
+        ]
+        with pytest.raises(ModelError, match="op"):
+            score_plans(params, 100, mixed)
+
+
+# ---------------------------------------------------------------------------
+# Property: identity holds on random k<=3 machines
+# ---------------------------------------------------------------------------
+
+
+class TestRandomMachines:
+    @given(topology=random_topology(), data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_plan_layers_agree_everywhere(self, topology, data):
+        params = calibrate(topology)
+        op = data.draw(st.sampled_from(["gather", "broadcast"]))
+        plans = enumerate_plans(op, params.k, segments=(1, 3))
+        plan = data.draw(st.sampled_from(plans))
+        n = data.draw(st.sampled_from([0, 1, 997, 25_600]))
+        root = data.draw(st.integers(0, params.p - 1))
+        kernel = (GatherKernel if op == "gather" else BroadcastKernel)(params)
+        scalar_fn = (
+            predict_gather_plan if op == "gather" else predict_broadcast_plan
+        )
+        scalar = scalar_fn(params, n, plan, root=root)
+        grid = kernel.evaluate_plans(
+            np.array([n], dtype=np.int64), [plan], roots=root
+        )
+        assert_ledger_identical(scalar, grid.ledger(0))
+        if plan.is_default:
+            legacy_fn = predict_gather if op == "gather" else predict_broadcast
+            kwargs = {} if op == "gather" else {"phases": "two"}
+            assert scalar.total == legacy_fn(params, n, root=root, **kwargs).total

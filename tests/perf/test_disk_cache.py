@@ -111,12 +111,13 @@ class TestDiskCache:
         cache.put("ab" + "0" * 62, _result())  # must not raise
         assert cache.get("ab" + "0" * 62) is None
 
-    def test_wipe_removes_everything(self, tmp_path):
+    def test_wipe_removes_every_version_dir(self, tmp_path):
         cache = DiskCache(tmp_path / "sweeps")
         cache.put("ab" + "0" * 62, _result())
         cache.wipe()
-        assert not (tmp_path / "sweeps").exists()
+        assert not cache.dir.exists()
         assert len(cache) == 0
+        assert cache.stats().entries == 0
 
     def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
@@ -124,6 +125,116 @@ class TestDiskCache:
         monkeypatch.delenv("REPRO_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"
+
+    def test_get_put_json_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ef" + "0" * 62
+        payload = {"plan": {"op": "gather"}, "time": 0.1 + 0.2}
+        cache.put_json(key, payload)
+        assert cache.get_json(key) == payload  # same doubles back
+
+    def test_get_json_non_dict_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ef" + "0" * 62
+        cache.put_json(key, {"ok": 1})
+        (cache.dir / key[:2] / f"{key}.json").write_text("[1, 2]")
+        assert cache.get_json(key) is None
+
+
+class TestStatsAndPrune:
+    def _fill(self, cache: DiskCache, count: int) -> list[str]:
+        keys = [f"{i:02x}" + "0" * 62 for i in range(count)]
+        for i, key in enumerate(keys):
+            cache.put(key, _result(name=f"r{i}"))
+        return keys
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.stats().entries == 0
+        self._fill(cache, 3)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.bytes > 0
+        assert stats.stale_versions == () and stats.stale_bytes == 0
+        assert stats.total_bytes == stats.bytes
+
+    def test_stats_reports_stale_version_dirs(self, tmp_path):
+        old = DiskCache(tmp_path, version="v1-0.1.0")
+        self._fill(old, 2)
+        new = DiskCache(tmp_path, version="v2-0.2.0")
+        self._fill(new, 1)
+        stats = new.stats()
+        assert stats.entries == 1
+        assert stats.stale_versions == ("v1-0.1.0",)
+        assert stats.stale_bytes > 0
+        assert stats.total_bytes == stats.bytes + stats.stale_bytes
+
+    def test_prune_zero_empties_current_version(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._fill(cache, 3)
+        before = cache.stats().bytes
+        removed, freed = cache.prune(0)
+        assert removed == 3 and freed == before
+        assert len(cache) == 0
+
+    def test_prune_removes_stale_versions_first(self, tmp_path):
+        old = DiskCache(tmp_path, version="v1-0.1.0")
+        self._fill(old, 2)
+        new = DiskCache(tmp_path, version="v2-0.2.0")
+        self._fill(new, 1)
+        # A budget large enough for the current entries: only the stale
+        # version directory goes.
+        removed, freed = new.prune(max_bytes=10**6)
+        assert removed == 1 and freed > 0
+        assert not (tmp_path / "v1-0.1.0").exists()
+        assert len(new) == 1
+
+    def test_prune_evicts_oldest_entries_first(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        keys = self._fill(cache, 3)
+        paths = [cache.dir / k[:2] / f"{k}.json" for k in keys]
+        for age, path in enumerate(paths):
+            os.utime(path, (1000 + age, 1000 + age))
+        size = paths[0].stat().st_size
+        # Budget for roughly two entries: the oldest one is evicted.
+        cache.prune(max_bytes=2 * size + 1)
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_prune_never_touches_non_version_dirs(self, tmp_path):
+        """A nested decision-cache root under the sweep root survives."""
+        cache = DiskCache(tmp_path)
+        self._fill(cache, 1)
+        nested = tmp_path / "decisions" / "v2-0.2.0" / "ab"
+        nested.mkdir(parents=True)
+        (nested.parent.parent / "note.txt").write_text("keep me")
+        removed, _ = cache.prune(0)
+        assert removed == 1
+        assert nested.is_dir()
+        assert (tmp_path / "decisions" / "note.txt").read_text() == "keep me"
+
+    def test_wipe_never_touches_non_version_dirs(self, tmp_path):
+        """wipe() drops every version dir but spares nested caches."""
+        cache = DiskCache(tmp_path)
+        self._fill(cache, 2)
+        stale = tmp_path / "v1-0.1.0"
+        stale.mkdir()
+        (stale / "old.json").write_text("{}")
+        nested = tmp_path / "decisions" / "v2-0.2.0"
+        nested.mkdir(parents=True)
+        (tmp_path / "decisions" / "note.txt").write_text("keep me")
+        cache.wipe()
+        assert len(cache) == 0
+        assert not stale.exists()
+        assert nested.is_dir()
+        assert (tmp_path / "decisions" / "note.txt").read_text() == "keep me"
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(tmp_path).prune(-1)
+
+    def test_prune_on_empty_cache_is_a_noop(self, tmp_path):
+        assert DiskCache(tmp_path).prune(0) == (0, 0)
 
 
 class TestExecutorIntegration:

@@ -117,6 +117,70 @@ class TestBitIdenticalOnRandomMachines:
 
 
 # ---------------------------------------------------------------------------
+# Regression: arrival-tie drain order on a shared receiver NIC
+# ---------------------------------------------------------------------------
+
+def _ulp_collapse_topology():
+    """Hypothesis-found machine where two same-cluster senders' NIC
+    arrivals collapse to one double.
+
+    Both leaves of ``lan`` gather into the middle machine with inject
+    ends one ulp apart; adding the wire latency rounds both arrivals
+    to the *same* float.  The object path still drains the
+    earlier-injecting sender first (its delivery process is spawned
+    first, so the event heap's FIFO sequence orders the grants), which
+    the macro timeline can only reproduce by tie-breaking equal
+    arrivals on the sender's inject end — without it, the two waiters'
+    barrier-wait attribution swaps.
+    """
+    lan = Cluster("c41", NetworkSpec(
+        "net42", gap=1.8106817994039848e-07,
+        latency=0.0009186785954551233, sync_base=0.0,
+    ), [
+        MachineSpec("m38", cpu_rate=1e7, nic_gap=8e-08),
+        MachineSpec("m39", cpu_rate=10000001.0, nic_gap=1.940032868120623e-07),
+        MachineSpec("m40", cpu_rate=10000000.000000002,
+                    nic_gap=1.6562397650912794e-07),
+    ])
+    zero = dict(gap=0.0, latency=0.0, sync_base=0.0)
+    quad = Cluster("c28", NetworkSpec("net29", **zero), [
+        MachineSpec("m24", cpu_rate=1e7, nic_gap=1.802386175945286e-07),
+        MachineSpec("m25", cpu_rate=1e7, nic_gap=1.8866400762020322e-07),
+        MachineSpec("m26", cpu_rate=1e7, nic_gap=1.2466596832982166e-07),
+        MachineSpec("m27", cpu_rate=1e7, nic_gap=1.0465764667212104e-07),
+    ])
+    mixed = Cluster("c34", NetworkSpec("net35", **zero), [
+        MachineSpec("m30", cpu_rate=1e7, nic_gap=8e-08),
+        MachineSpec("m31", cpu_rate=1e7, nic_gap=8e-08),
+        MachineSpec("m32", cpu_rate=13209504.0, nic_gap=8e-08),
+        MachineSpec("m33", cpu_rate=17903826.0, nic_gap=8e-08),
+    ])
+    return ClusterTopology(Cluster("c45", NetworkSpec("net46", **zero), [
+        Cluster("c36", NetworkSpec("net37", **zero), [quad, mixed]),
+        Cluster("c43", NetworkSpec("net44", **zero), [lan]),
+    ]))
+
+
+class TestArrivalTieDrainOrder:
+    def test_gather_wait_attribution_matches_object_path(self):
+        topology = _ulp_collapse_topology()
+        macro = run_gather(topology, N, root=0, seed=1, macro=True)
+        obj = run_gather(topology, N, root=0, seed=1, macro=False)
+        _assert_bit_identical(macro, obj)
+        # The collapse really happens here: per-pid waits differ
+        # between the lan's two senders, so a swapped attribution
+        # cannot hide behind symmetry.
+        marks = obj.runtime.superstep_marks()
+        assert marks[8][0][1] != marks[10][0][1]
+
+    def test_broadcast_on_same_topology(self):
+        topology = _ulp_collapse_topology()
+        macro = run_broadcast(topology, N, root=0, seed=1, macro=True)
+        obj = run_broadcast(topology, N, root=0, seed=1, macro=False)
+        _assert_bit_identical(macro, obj)
+
+
+# ---------------------------------------------------------------------------
 # Fallback: any live hook reverts to the object path
 # ---------------------------------------------------------------------------
 

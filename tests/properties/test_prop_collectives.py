@@ -164,14 +164,26 @@ class TestPredictionProperties:
     @given(topology=small_topology())
     @settings(max_examples=15, deadline=None)
     def test_simulated_at_least_predicted(self, topology):
-        """The model omits pack/unpack CPU time and per-message
-        overheads, so the simulator can never beat the prediction.
-        On some hierarchical topologies the prediction overshoots the
-        simulation by a hair over 2% (the coordinator-chain heuristic
-        double-counts a partially overlapped level), so the tolerance
-        is 3% rather than exact."""
+        """On a single-level machine the bound is exact: the model
+        omits pack/unpack CPU time and per-message overheads, so the
+        simulator can never beat the prediction.
+
+        On hierarchical machines the closed form *sums* per-level
+        worst-cluster costs as if every super-step ran in lockstep,
+        but the simulator's syncs are cluster-scoped: a subtree that
+        finishes its level-l gather early starts its level-(l+1) sends
+        inside the slower siblings' slack, so the simulation can undercut
+        the summed prediction by far more than a few percent (observed
+        down to 0.85x — see ``TestPredictionOvershoot``).  What every
+        run must still pay is each super-step's worst-cluster cost
+        individually, so the sound per-level bound is the *largest*
+        ledger step, not the sum."""
         outcome = run_gather(topology, N)
-        assert outcome.time >= outcome.predicted_time * 0.97
+        steps = outcome.predicted.steps
+        if len(steps) <= 1:
+            assert outcome.time >= outcome.predicted_time
+        else:
+            assert outcome.time >= max(step.total for step in steps)
 
     @given(topology=small_topology(), factor=st.integers(min_value=2, max_value=8))
     @settings(max_examples=10, deadline=None)
@@ -179,3 +191,39 @@ class TestPredictionProperties:
         small = run_gather(topology, N).predicted_time
         large = run_gather(topology, N * factor).predicted_time
         assert large >= small
+
+
+class TestPredictionOvershoot:
+    """Pins the root cause of the old ``predicted * 0.97`` tolerance.
+
+    The distilled adversarial machine: a singleton fast LAN beside a
+    slow LAN whose ``sync_base`` dominates level 1.  The singleton's
+    coordinator has no level-1 work, so its level-2 send overlaps the
+    slow LAN's level-1 super-step in the simulator, while the closed
+    form charges both levels back to back.  The overshoot here is ~15%
+    — five times the old tolerance — which is why the property above
+    uses the per-step bound instead of a fudge factor on the sum.
+    """
+
+    def _machine(self):
+        from repro.cluster import Cluster, ClusterTopology, MachineSpec, NetworkSpec
+
+        quiet = dict(gap=0.0, latency=0.0, sync_base=0.0)
+        return ClusterTopology(
+            Cluster("campus", NetworkSpec("wan", **quiet), [
+                Cluster("lanA", NetworkSpec("a", **quiet),
+                        [MachineSpec("a0", cpu_rate=7.9e7, nic_gap=1.94e-7)]),
+                Cluster("lanB", NetworkSpec("b", gap=0.0, latency=0.0,
+                                            sync_base=9.5e-4),
+                        [MachineSpec("b0", cpu_rate=1e7, nic_gap=1.73e-7),
+                         MachineSpec("b1", cpu_rate=1e7, nic_gap=8e-8),
+                         MachineSpec("b2", cpu_rate=8e7, nic_gap=9.2e-8)]),
+            ])
+        )
+
+    def test_cross_level_overlap_undercuts_summed_prediction(self):
+        outcome = run_gather(self._machine(), N)
+        # The overlap is real: simulated well below the lockstep sum...
+        assert outcome.time < outcome.predicted_time * 0.9
+        # ...but never below any single super-step's worst-cluster cost.
+        assert outcome.time >= max(s.total for s in outcome.predicted.steps)

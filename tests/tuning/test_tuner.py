@@ -1,0 +1,138 @@
+"""Tests for the tuning pipeline: enumerate, price, validate, memoize."""
+
+import pytest
+
+from repro.cluster import topology_hash
+from repro.cluster.presets import deep_hierarchy, two_lans
+from repro.collectives import RootPolicy, run_broadcast, run_gather
+from repro.errors import CollectiveError
+from repro.tuning.cache import DecisionCache
+from repro.tuning.tuner import _resolve_root_fast, tune, tuned_plan
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DecisionCache(tmp_path)
+
+
+@pytest.fixture
+def topology():
+    return deep_hierarchy(2, 4)
+
+
+class TestTune:
+    def test_cold_tune_returns_a_validated_decision(self, topology, cache):
+        decision = tune(topology, "broadcast", 4000, cache=cache)
+        assert decision.op == "broadcast"
+        assert decision.topology_hash == topology_hash(topology)
+        assert decision.plan.k == 2
+        assert decision.candidates == 25  # 5^2 broadcast space
+        assert decision.validated >= 1
+        assert decision.simulated_time > 0
+
+    def test_tuned_never_slower_than_default(self, cache):
+        """The default plan is always in the validated shortlist and
+        the winner is picked on simulated time."""
+        for op in ("gather", "broadcast"):
+            for n in (64, 4000):
+                decision = tune(
+                    deep_hierarchy(2, 3), op, n, cache=cache, force=True
+                )
+                assert decision.simulated_time <= decision.default_time
+
+    def test_decision_replays_exactly_in_the_simulator(self, topology, cache):
+        decision = tune(topology, "gather", 4000, cache=cache)
+        outcome = run_gather(
+            topology, 4000, root=decision.root, plan=decision.plan
+        )
+        assert outcome.time == decision.simulated_time
+        decision = tune(topology, "broadcast", 4000, cache=cache)
+        outcome = run_broadcast(
+            topology, 4000, root=decision.root, plan=decision.plan
+        )
+        assert outcome.time == decision.simulated_time
+
+    def test_warm_hit_skips_the_pipeline(self, topology, cache, monkeypatch):
+        decision = tune(topology, "broadcast", 4000, cache=cache)
+
+        def boom(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("warm path must not simulate")
+
+        monkeypatch.setattr("repro.tuning.tuner._simulate", boom)
+        assert tune(topology, "broadcast", 4000, cache=cache) == decision
+
+    def test_cold_and_warm_decisions_byte_identical(self, topology, tmp_path):
+        """Satellite invariant: a fresh process resolving from disk gets
+        the exact decision the cold run stored."""
+        cold = tune(topology, "gather", 4000, cache=DecisionCache(tmp_path))
+        warm = tune(topology, "gather", 4000, cache=DecisionCache(tmp_path))
+        assert warm == cold
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_force_retunes_on_a_hit(self, topology, cache, monkeypatch):
+        tune(topology, "broadcast", 4000, cache=cache)
+        calls = []
+        import repro.tuning.tuner as tuner_module
+
+        original = tuner_module._simulate
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(tuner_module, "_simulate", counting)
+        tune(topology, "broadcast", 4000, cache=cache, force=True)
+        assert calls
+
+    def test_topology_mutation_changes_the_key(self, cache):
+        """Satellite invariant: a mutated machine never reuses the old
+        machine's decision."""
+        a = tune(two_lans(3), "broadcast", 4000, cache=cache)
+        mutated = two_lans(3, nic_slowdown=1.5)
+        b = tune(mutated, "broadcast", 4000, cache=cache)
+        assert a.topology_hash != b.topology_hash
+        assert len(cache) == 2
+
+    def test_root_policy_and_pid_share_one_entry(self, topology, cache):
+        by_policy = tune(
+            topology, "gather", 2000, root=RootPolicy.FASTEST, cache=cache
+        )
+        by_pid = tune(
+            topology, "gather", 2000, root=by_policy.root, cache=cache
+        )
+        assert by_pid == by_policy
+        assert len(cache) == 1
+
+    def test_input_validation(self, topology, cache):
+        with pytest.raises(CollectiveError, match="op must be"):
+            tune(topology, "scatter", 100, cache=cache)
+        with pytest.raises(CollectiveError, match="n must be"):
+            tune(topology, "gather", -1, cache=cache)
+        with pytest.raises(CollectiveError, match="shortlist"):
+            tune(topology, "gather", 100, shortlist=0, cache=cache)
+
+    def test_tuned_plan_returns_the_winning_plan(self, topology, cache):
+        decision = tune(topology, "broadcast", 4000, cache=cache)
+        assert tuned_plan(
+            topology, "broadcast", 4000, cache=cache
+        ) == decision.plan
+
+
+class TestResolveRootFast:
+    """The warm path resolves roots without building a runtime; it must
+    agree with the runtime's own resolution on every spelling."""
+
+    def test_matches_runtime_resolution(self, topology):
+        from repro.collectives.base import make_runtime
+        from repro.collectives.schedules import resolve_root
+
+        runtime = make_runtime(topology)
+        for spec in (None, RootPolicy.FASTEST, RootPolicy.SLOWEST, 0, 5):
+            assert _resolve_root_fast(topology, spec) == resolve_root(
+                runtime, spec
+            )
+
+    def test_rejects_bad_roots(self, topology):
+        for bad in (True, -1, 10**6, "fastest"):
+            with pytest.raises(CollectiveError):
+                _resolve_root_fast(topology, bad)
