@@ -43,6 +43,13 @@ Emits two machine-readable artifacts next to this file's repo root:
     speedup floor, tuned never slower than default, and the expected
     >=10% win on the latency-dominated broadcast scenario.
 
+``BENCH_serve.json``
+    Open-loop serving layer (``benchmarks/bench_serve.py``): the
+    goodput-vs-offered-load curve, simulated p99 at the reference
+    rate, and cold-session wall-clock vs a raw ``evaluate()`` of the
+    same kernel-job universe.  ``--check`` gates the p99 ceiling,
+    goodput monotone up to the knee, and service overhead under 5%.
+
 Modes:
 
 ``--quick``
@@ -428,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_discover
     import bench_obs_overhead
     import bench_scale
+    import bench_serve
     import bench_tuning
 
     repeats = 1 if args.quick else 3
@@ -445,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
     scale_entry = bench_scale.run_scale(args.quick)
     print("auto-tuned schedules (cold tune, warm lookup, tuned vs default):")
     tuning_entry = bench_tuning.run_tuning(args.quick)
+    print("open-loop serving (goodput curve, reference p99, overhead):")
+    serve_entry = bench_serve.run_serve(args.quick)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -524,6 +534,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: tuning_entry,
     }
+    serve_doc = {
+        "benchmark": "open-loop serving goodput, tail latency, overhead",
+        "machine": machine,
+        "note": (
+            "curve/goodput/p99 are simulated (deterministic per seed); "
+            "session_seconds is the cold session wall-clock (kernel-cost "
+            "prewarm + service loop), raw_universe_seconds the bare "
+            "evaluate() of the same job universe; their ratio is the "
+            "service overhead"
+        ),
+        scope: serve_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
@@ -533,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
     discover_path = args.output_dir / "BENCH_discover.json"
     scale_path = args.output_dir / "BENCH_scale.json"
     tuning_path = args.output_dir / "BENCH_tuning.json"
+    serve_path = args.output_dir / "BENCH_serve.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -561,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
             (discover_path, bench_discover.check_discover, discover_entry),
             (scale_path, bench_scale.check_scale, scale_entry),
             (tuning_path, bench_tuning.check_tuning, tuning_entry),
+            (serve_path, bench_serve.check_serve, serve_entry),
         ):
             mismatch = machine_mismatch(path)
             if mismatch:
@@ -576,7 +600,8 @@ def main(argv: list[str] | None = None) -> int:
                           (obs_path, obs_doc),
                           (discover_path, discover_doc),
                           (scale_path, scale_doc),
-                          (tuning_path, tuning_doc)):
+                          (tuning_path, tuning_doc),
+                          (serve_path, serve_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

@@ -17,6 +17,10 @@ Layered architecture (bottom-up):
 * :mod:`repro.faults` — deterministic fault injection and background load;
 * :mod:`repro.perf` — parallel sweep execution with deterministic merge;
 * :mod:`repro.obs` — span tracing, metrics, and superstep cost accounting;
+* :mod:`repro.tuning` — auto-tuned collective schedules with a
+  persistent decision cache;
+* :mod:`repro.serve` — an open-loop serving layer: seeded arrivals,
+  admission control, batching, and proportional subtree placement;
 * :mod:`repro.experiments` — the harness regenerating every figure/table.
 
 Quickstart::
@@ -86,8 +90,14 @@ from repro.obs import (
     prometheus_text,
 )
 from repro.perf import SimJob, SimResult, SweepExecutor, evaluate, sweep
+from repro.serve import (
+    ServiceConfig,
+    ServiceReport,
+    default_config,
+    run_service,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Cluster",
@@ -147,5 +157,9 @@ __all__ = [
     "current_observation",
     "observe",
     "prometheus_text",
+    "ServiceConfig",
+    "ServiceReport",
+    "default_config",
+    "run_service",
     "__version__",
 ]

@@ -21,7 +21,11 @@ Subcommands:
     resolves it in O(1).
 ``cache {stats,prune,clear}``
     Inspect or reclaim the persistent sweep-result and
-    tuning-decision caches.
+    tuning-decision caches (per-tier breakdown plus totals).
+``serve``
+    Play one open-loop serving session (seeded arrivals, admission
+    control, batching, subtree placement) and print its goodput,
+    latency percentiles, and per-slice utilisation.
 ``experiment ID``
     Regenerate a paper artifact (same ids as ``python -m
     repro.experiments``).
@@ -309,6 +313,7 @@ def _cmd_cache(action: str, max_bytes: int | None) -> int:
         ("decisions", DecisionCache()),
     ]
     if action == "stats":
+        per_tier: list[tuple[str, int, int]] = []
         for label, store in stores:
             stats = store.stats()
             root = store.root if hasattr(store, "root") else store.disk.root
@@ -320,12 +325,21 @@ def _cmd_cache(action: str, max_bytes: int | None) -> int:
                       f"{', '.join(stats.stale_versions)}")
             else:
                 print("  stale: none")
+            per_tier.append((label, stats.entries, stats.bytes))
+        breakdown = ", ".join(f"{label} {n}" for label, n, _ in per_tier)
+        print(f"total: {sum(n for _, n, _ in per_tier)} entries, "
+              f"{format_bytes(sum(b for _, _, b in per_tier))} ({breakdown})")
         return 0
     if action == "prune":
         limit = 0 if max_bytes is None else max_bytes
+        totals = [0, 0]
         for label, store in stores:
             removed, freed = store.prune(limit)
+            totals[0] += removed
+            totals[1] += freed
             print(f"{label}: removed {removed} item(s), freed {format_bytes(freed)}")
+        print(f"total: removed {totals[0]} item(s), freed "
+              f"{format_bytes(totals[1])}")
         return 0
     # clear
     for label, store in stores:
@@ -335,6 +349,53 @@ def _cmd_cache(action: str, max_bytes: int | None) -> int:
         else:
             store.clear()
         print(f"{label}: cleared ({entries} entries)")
+    return 0
+
+
+def _cmd_serve(
+    config_path: str | None,
+    seed: int | None = None,
+    duration: float | None = None,
+    rate: float | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
+    obs_summary: bool = False,
+) -> int:
+    import contextlib
+    import dataclasses
+
+    from repro.perf import effective_jobs, sweep
+    from repro.serve import ServiceConfig, default_config, run_service
+
+    if config_path is not None:
+        config = ServiceConfig.from_file(config_path)
+    else:
+        config = default_config()
+    if seed is not None:
+        config = dataclasses.replace(config, seed=seed)
+    if duration is not None:
+        config = dataclasses.replace(config, duration=duration)
+    if rate is not None:
+        config = dataclasses.replace(
+            config, arrival=dataclasses.replace(config.arrival, rate=rate)
+        )
+    observation = None
+    with contextlib.ExitStack() as stack:
+        if trace_out or metrics_out or obs_summary:
+            from repro.obs import observe
+
+            observation = stack.enter_context(observe(spans=trace_out is not None))
+        stack.enter_context(sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir))
+        report = run_service(config)
+    print(report.render())
+    if observation is not None:
+        from repro.experiments.runner import _export_observation
+
+        if obs_summary:
+            print()
+        _export_observation(observation, trace_out, metrics_out, obs_summary)
     return 0
 
 
@@ -610,6 +671,31 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                                    "that support it (fig3a, fig4a)")
     _add_obs_flags(experiment_parser)
 
+    serve_parser = sub.add_parser(
+        "serve", help="play one open-loop serving session"
+    )
+    serve_parser.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="ServiceConfig JSON (see docs/serving.md); defaults to a "
+        "built-in demo session on two-lans:3",
+    )
+    serve_parser.add_argument("--seed", type=int, default=None,
+                              help="override the session seed (arrivals, "
+                              "kind mix, kernel inputs)")
+    serve_parser.add_argument("--duration", type=float, default=None,
+                              help="override the arrival window in "
+                              "simulated seconds")
+    serve_parser.add_argument("--rate", type=float, default=None,
+                              help="override the mean offered load in "
+                              "requests per simulated second")
+    serve_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for the kernel-cost "
+                              "prewarm (output is bit-identical)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="persist kernel-cost results under this "
+                              "directory and reuse them across sessions")
+    _add_obs_flags(serve_parser)
+
     topology_parser = sub.add_parser(
         "topology", help="generate, discover, and inspect cluster hierarchies"
     )
@@ -686,6 +772,13 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             )
         if args.command == "cache":
             return _cmd_cache(args.cache_action, args.max_bytes)
+        if args.command == "serve":
+            return _cmd_serve(
+                args.config, seed=args.seed, duration=args.duration,
+                rate=args.rate, jobs=args.jobs, cache_dir=args.cache_dir,
+                trace_out=args.trace_out, metrics_out=args.metrics_out,
+                obs_summary=args.obs_summary,
+            )
         if args.command == "topology":
             if args.topology_command == "generate":
                 return _cmd_topology_generate(

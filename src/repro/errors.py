@@ -28,6 +28,7 @@ __all__ = [
     "DiscoveryError",
     "CollectiveError",
     "ExperimentError",
+    "ServeError",
 ]
 
 
@@ -151,3 +152,12 @@ class CollectiveError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was configured inconsistently."""
+
+
+class ServeError(ReproError):
+    """A serving-session configuration is malformed or inconsistent.
+
+    Raised by :mod:`repro.serve` for invalid :class:`ServiceConfig`
+    documents (unknown stage ops, non-positive rates, bad policy knobs)
+    and for cluster specs that cannot host the configured placement.
+    """

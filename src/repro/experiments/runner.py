@@ -26,6 +26,7 @@ from repro.experiments.fig4_broadcast import (
 )
 from repro.experiments.improvement import ExperimentReport
 from repro.experiments.robustness import robustness_report
+from repro.experiments.serving import serving_curves
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "robustness": robustness_report,
     "discovery": discovery_roundtrip,
     "tuning": tuning_improvement,
+    "serve": serving_curves,
 }
 
 #: Friendly aliases accepted anywhere an experiment id is (the paper's

@@ -1,0 +1,126 @@
+"""Goodput-vs-offered-load and latency-percentile curves for repro.serve.
+
+The serving layer's headline claim is the classic open-loop shape: as
+offered load rises, goodput tracks it 1:1 until the shared cluster
+saturates (the *knee*), then flattens while admission control sheds
+the excess and tail latency pins against the queue bound.  This
+experiment sweeps one seeded session per offered rate over a fixed
+mixed workload on the two-LAN campus machine and reports four series
+against offered load: goodput, p50 latency, p99 latency, and the shed
+fraction.
+
+Determinism: arrivals and per-request latencies are pure functions of
+the config seed (see :mod:`repro.serve.arrivals`), and every kernel
+makespan flows through :func:`repro.perf.evaluate`'s deterministic
+merge — one prewarmed :class:`~repro.serve.costs.StageCostModel` is
+shared across all rate points, so under ``--jobs N`` the whole job
+universe fans out in a single batch and the report is bit-identical at
+any ``N``.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.improvement import ExperimentReport
+from repro.serve.config import ArrivalSpec, PolicySpec, RequestKind, ServiceConfig
+
+__all__ = ["serving_curves", "serving_config", "SERVING_RATES"]
+
+#: Offered-load grid (requests per simulated second).  The knee of the
+#: default workload on two-lans:3 sits around 24-32 req/s.
+SERVING_RATES: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0)
+
+
+def serving_config(
+    rate: float,
+    *,
+    seed: int = 0,
+    duration: float = 20.0,
+    process: str = "poisson",
+) -> ServiceConfig:
+    """The experiment's session at one offered rate.
+
+    Problem sizes are chosen so a single request costs ~80-150 ms of
+    simulated time per subtree — large enough that the 2-slice machine
+    saturates inside the swept rate range, small enough that the whole
+    sweep's job universe prewars in well under a second of wall-clock.
+    """
+    return ServiceConfig(
+        cluster="two-lans:3",
+        arrival=ArrivalSpec(process=process, rate=rate, period=10.0, amplitude=0.6),
+        workload=(
+            RequestKind.from_dict(
+                {"template": "interactive", "n": 300_000, "weight": 3}
+            ),
+            RequestKind.from_dict(
+                {"template": "analytics", "n": 500_000, "weight": 2}
+            ),
+            RequestKind.from_dict({"template": "sort", "n": 400_000, "weight": 1}),
+        ),
+        policy=PolicySpec(queue_limit=32, max_batch=4, slo=2.0),
+        duration=duration,
+        seed=seed,
+    )
+
+
+def serving_curves(
+    rates: t.Sequence[float] = SERVING_RATES,
+    *,
+    seed: int = 0,
+    process: str = "poisson",
+) -> ExperimentReport:
+    """Sweep offered load; report goodput, latency percentiles, shed."""
+    from repro.serve.costs import StageCostModel
+    from repro.serve.placement import carve_slices
+    from repro.serve.service import resolve_cluster, run_service
+
+    base = serving_config(rates[0], seed=seed, process=process)
+    slices = carve_slices(resolve_cluster(base.cluster), base.policy.placement)
+    # One shared cost model: the job universe is independent of the
+    # arrival rate, so every rate point reuses one prewarmed batch.
+    model = StageCostModel(base, slices)
+
+    goodput: dict[float, float] = {}
+    p50: dict[float, float] = {}
+    p99: dict[float, float] = {}
+    shed: dict[float, float] = {}
+    knee_rate, knee_goodput = rates[0], 0.0
+    for rate in rates:
+        report = run_service(
+            serving_config(rate, seed=seed, process=process), costs=model
+        )
+        goodput[rate] = report.goodput
+        p50[rate] = report.latency_p50
+        p99[rate] = report.latency_p99
+        shed[rate] = report.shed_fraction
+        if report.goodput > knee_goodput:
+            knee_rate, knee_goodput = rate, report.goodput
+    return ExperimentReport(
+        experiment_id="serve",
+        title=(
+            "open-loop serving on two-lans:3 — goodput and latency vs "
+            "offered load"
+        ),
+        x_name="offered (req/s)",
+        series={
+            "goodput (req/s)": goodput,
+            "p50 latency (s)": p50,
+            "p99 latency (s)": p99,
+            "shed fraction": shed,
+        },
+        notes=[
+            "open-loop arrivals: load keeps coming whether or not the "
+            "cluster keeps up (Poisson by default; --seed reseeds the "
+            "whole session)",
+            "goodput counts completions within the 2 s SLO per second of "
+            "offered-arrival window; below the knee it tracks offered "
+            "load ~1:1",
+            f"knee: goodput peaks at {knee_goodput:.3g} req/s around "
+            f"{knee_rate:g} req/s offered; past it admission control "
+            "sheds the excess and p99 pins against the bounded queue",
+            "bit-identical at any --jobs N: the kernel-cost universe is "
+            "prewarmed through one evaluate() batch, the service loop "
+            "replays it serially",
+        ],
+    )

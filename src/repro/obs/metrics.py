@@ -45,6 +45,12 @@ BUCKET_BOUNDS: dict[str, tuple[float, ...]] = {
     "repro_superstep_seconds": (
         1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
     ),
+    "repro_serve_latency_seconds": (
+        1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 60.0,
+    ),
+    "repro_serve_queue_depth": (
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    ),
 }
 
 #: name -> (prometheus type, help line) for every metric the stack emits.
@@ -77,6 +83,22 @@ METRIC_HELP: dict[str, tuple[str, str]] = {
         "histogram", "Per-superstep h-relation (max bytes in/out per machine)."),
     "repro_superstep_seconds": (
         "histogram", "Simulated duration of each observed superstep."),
+    "repro_serve_requests_total": (
+        "counter", "Requests offered to the serving front door, by kind."),
+    "repro_serve_shed_total": (
+        "counter", "Requests shed by admission control (queue full)."),
+    "repro_serve_completed_total": (
+        "counter", "Requests completed by the serving loop."),
+    "repro_serve_batches_total": (
+        "counter", "Batches dispatched onto topology slices."),
+    "repro_serve_goodput": (
+        "gauge", "Completed (SLO-conformant) requests per simulated second."),
+    "repro_serve_queue_depth_max": (
+        "gauge", "Peak admission-queue depth over the session."),
+    "repro_serve_latency_seconds": (
+        "histogram", "End-to-end request latency (arrival to completion)."),
+    "repro_serve_queue_depth": (
+        "histogram", "Admission-queue depth sampled at each admission."),
 }
 
 

@@ -1,0 +1,340 @@
+"""Declarative configuration for the open-loop serving simulator.
+
+A :class:`ServiceConfig` is a plain JSON document describing one
+serving session end to end:
+
+* **cluster** — the shared heterogeneous machine, as a preset name
+  (``"two-lans"``) or generator spec (``"multi_rack:racks=4,..."``);
+* **arrival** — the open-loop arrival process (Poisson or
+  diurnal-modulated Poisson) and its mean rate;
+* **workload** — the request mix: each :class:`RequestKind` is a small
+  chain-shaped DAG of kernel stages (``apps/`` kernels plus
+  gather/broadcast collectives) with a base problem size and a mix
+  weight;
+* **policy** — admission control (bounded queue), batching, placement
+  (whole machine vs per-subtree carving) and the collective schedule
+  (the paper's defaults or :mod:`repro.tuning`'s auto-tuned plans).
+
+Everything is frozen plain data so a config can ride through
+:func:`repro.perf.job.content_tokens` untouched, and every stochastic
+choice it implies is derived from ``seed`` alone — two sessions built
+from equal configs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as t
+from pathlib import Path
+
+from repro.errors import ServeError
+
+__all__ = [
+    "STAGE_OPS",
+    "REQUEST_TEMPLATES",
+    "StageSpec",
+    "RequestKind",
+    "ArrivalSpec",
+    "PolicySpec",
+    "ServiceConfig",
+    "default_config",
+]
+
+#: Kernels a request stage may invoke: the compute-carrying ``apps/``
+#: programs plus the two tuned collectives.
+STAGE_OPS: tuple[str, ...] = (
+    "histogram",
+    "matvec",
+    "sample_sort",
+    "gather",
+    "broadcast",
+)
+
+#: Built-in request shapes, usable as ``{"template": "<name>"}`` in a
+#: workload entry.  ``scale`` multiplies the kind's base problem size
+#: per stage (a broadcast fanning out a quarter of the working set,
+#: say, ahead of a full-size histogram pass).
+REQUEST_TEMPLATES: dict[str, tuple[tuple[str, float], ...]] = {
+    "interactive": (("broadcast", 0.25), ("histogram", 1.0)),
+    "analytics": (("histogram", 1.0), ("gather", 0.5)),
+    "train_step": (("broadcast", 1.0), ("matvec", 1.0)),
+    "sort": (("sample_sort", 1.0),),
+    "fanout": (("broadcast", 1.0), ("gather", 1.0)),
+}
+
+_ARRIVAL_PROCESSES = ("poisson", "diurnal")
+_PLACEMENTS = ("subtrees", "whole")
+_SCHEDULES = ("default", "tuned")
+
+
+@dataclasses.dataclass(frozen=True)
+class StageSpec:
+    """One kernel invocation inside a request's stage chain."""
+
+    op: str
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in STAGE_OPS:
+            raise ServeError(
+                f"unknown stage op {self.op!r}; known: {', '.join(STAGE_OPS)}"
+            )
+        if not self.scale > 0:
+            raise ServeError(f"stage scale must be > 0, got {self.scale!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestKind:
+    """A named request shape: stages, base problem size, mix weight."""
+
+    name: str
+    stages: tuple[StageSpec, ...]
+    n: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("RequestKind.name must be non-empty")
+        if not self.stages:
+            raise ServeError(f"request kind {self.name!r} has no stages")
+        if self.n < 1:
+            raise ServeError(f"request kind {self.name!r} needs n >= 1, got {self.n}")
+        if not self.weight > 0:
+            raise ServeError(
+                f"request kind {self.name!r} needs weight > 0, got {self.weight!r}"
+            )
+
+    def stage_n(self, stage: StageSpec, batch: int = 1) -> int:
+        """Effective problem size of ``stage`` when ``batch`` requests coalesce."""
+        return max(1, round(self.n * stage.scale)) * max(1, int(batch))
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "RequestKind":
+        if "template" in data:
+            template = data["template"]
+            try:
+                shape = REQUEST_TEMPLATES[template]
+            except KeyError:
+                known = ", ".join(sorted(REQUEST_TEMPLATES))
+                raise ServeError(
+                    f"unknown request template {template!r}; known: {known}"
+                ) from None
+            stages = tuple(StageSpec(op, scale) for op, scale in shape)
+            name = str(data.get("name", template))
+        else:
+            try:
+                raw = data["stages"]
+            except KeyError:
+                raise ServeError(
+                    "request kind needs 'template' or 'stages'"
+                ) from None
+            stages = tuple(
+                StageSpec(str(item), 1.0)
+                if isinstance(item, str)
+                else StageSpec(str(item["op"]), float(item.get("scale", 1.0)))
+                for item in raw
+            )
+            name = str(data.get("name", ""))
+        try:
+            n = int(data["n"])
+        except KeyError:
+            raise ServeError(f"request kind {name!r} needs a problem size 'n'") from None
+        return cls(
+            name=name, stages=stages, n=n, weight=float(data.get("weight", 1.0))
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stages": [
+                {"op": stage.op, "scale": stage.scale} for stage in self.stages
+            ],
+            "n": self.n,
+            "weight": self.weight,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalSpec:
+    """Open-loop arrival process: requests arrive regardless of progress.
+
+    ``poisson`` draws i.i.d. exponential inter-arrivals at ``rate``
+    requests per simulated second.  ``diurnal`` modulates the rate as
+    ``rate * (1 + amplitude * sin(2*pi*t / period))`` via thinning, so
+    the session sees alternating peak and trough load.
+    """
+
+    process: str = "poisson"
+    rate: float = 2.0
+    period: float = 60.0
+    amplitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.process not in _ARRIVAL_PROCESSES:
+            raise ServeError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {', '.join(_ARRIVAL_PROCESSES)}"
+            )
+        if not self.rate > 0:
+            raise ServeError(f"arrival rate must be > 0, got {self.rate!r}")
+        if self.process == "diurnal":
+            if not self.period > 0:
+                raise ServeError(f"diurnal period must be > 0, got {self.period!r}")
+            if not 0 <= self.amplitude < 1:
+                raise ServeError(
+                    f"diurnal amplitude must be in [0, 1), got {self.amplitude!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ArrivalSpec":
+        return cls(
+            process=str(data.get("process", "poisson")),
+            rate=float(data.get("rate", 2.0)),
+            period=float(data.get("period", 60.0)),
+            amplitude=float(data.get("amplitude", 0.5)),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"process": self.process, "rate": self.rate}
+        if self.process == "diurnal":
+            out["period"] = self.period
+            out["amplitude"] = self.amplitude
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySpec:
+    """Service policy knobs: admission, batching, placement, schedule."""
+
+    queue_limit: int = 64
+    max_batch: int = 4
+    placement: str = "subtrees"
+    schedule: str = "default"
+    slo: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0:
+            raise ServeError(
+                f"queue_limit must be >= 0 (0 = unbounded), got {self.queue_limit}"
+            )
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.placement not in _PLACEMENTS:
+            raise ServeError(
+                f"unknown placement {self.placement!r}; "
+                f"known: {', '.join(_PLACEMENTS)}"
+            )
+        if self.schedule not in _SCHEDULES:
+            raise ServeError(
+                f"unknown schedule {self.schedule!r}; "
+                f"known: {', '.join(_SCHEDULES)}"
+            )
+        if self.slo is not None and not self.slo > 0:
+            raise ServeError(f"slo must be > 0 seconds or null, got {self.slo!r}")
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "PolicySpec":
+        slo = data.get("slo")
+        return cls(
+            queue_limit=int(data.get("queue_limit", 64)),
+            max_batch=int(data.get("max_batch", 4)),
+            placement=str(data.get("placement", "subtrees")),
+            schedule=str(data.get("schedule", "default")),
+            slo=None if slo is None else float(slo),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "queue_limit": self.queue_limit,
+            "max_batch": self.max_batch,
+            "placement": self.placement,
+            "schedule": self.schedule,
+            "slo": self.slo,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """One complete serving session, JSON-round-trippable."""
+
+    cluster: str
+    arrival: ArrivalSpec
+    workload: tuple[RequestKind, ...]
+    policy: PolicySpec = PolicySpec()
+    duration: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cluster:
+            raise ServeError("ServiceConfig.cluster must be non-empty")
+        if not self.workload:
+            raise ServeError("ServiceConfig.workload must name at least one kind")
+        names = [kind.name for kind in self.workload]
+        if len(set(names)) != len(names):
+            raise ServeError(f"duplicate request kind names in workload: {names}")
+        if not self.duration > 0:
+            raise ServeError(f"duration must be > 0 seconds, got {self.duration!r}")
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ServiceConfig":
+        try:
+            cluster = str(data["cluster"])
+        except KeyError:
+            raise ServeError("ServiceConfig needs a 'cluster' spec") from None
+        workload = data.get("workload")
+        if not isinstance(workload, t.Sequence) or isinstance(workload, str):
+            raise ServeError("ServiceConfig needs a 'workload' list of request kinds")
+        return cls(
+            cluster=cluster,
+            arrival=ArrivalSpec.from_dict(data.get("arrival", {})),
+            workload=tuple(RequestKind.from_dict(item) for item in workload),
+            policy=PolicySpec.from_dict(data.get("policy", {})),
+            duration=float(data.get("duration", 60.0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServiceConfig":
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            raise ServeError(f"cannot read service config {path}: {error}") from None
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ServeError(f"service config {path} is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ServeError(f"service config {path} must be a JSON object")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        return {
+            "cluster": self.cluster,
+            "arrival": self.arrival.to_dict(),
+            "workload": [kind.to_dict() for kind in self.workload],
+            "policy": self.policy.to_dict(),
+            "duration": self.duration,
+            "seed": self.seed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def default_config(
+    *, seed: int = 0, duration: float = 30.0, rate: float | None = None
+) -> ServiceConfig:
+    """The built-in demo session: a mixed workload on two campus LANs."""
+    return ServiceConfig(
+        cluster="two-lans:3",
+        arrival=ArrivalSpec(process="poisson", rate=4.0 if rate is None else rate),
+        workload=(
+            RequestKind.from_dict({"template": "interactive", "n": 1500, "weight": 3}),
+            RequestKind.from_dict({"template": "analytics", "n": 2500, "weight": 2}),
+            RequestKind.from_dict({"template": "sort", "n": 2000, "weight": 1}),
+        ),
+        policy=PolicySpec(queue_limit=64, max_batch=4),
+        duration=duration,
+        seed=seed,
+    )

@@ -1,0 +1,86 @@
+"""Carving one shared cluster into placement slices.
+
+The paper's proportional rule assigns each machine ``j`` the fraction
+``c_{i,j}`` of a cluster's work that its speed can absorb.  The serving
+layer lifts the same idea one level up: concurrent *requests* are
+carved across the root cluster's subtrees, and the dispatcher awards
+each batch to the idle subtree that would finish it soonest — so over
+a saturated session every subtree absorbs work in proportion to its
+effective speed on that workload, exactly the ``c_{i,j}`` shares
+without anyone computing them explicitly.
+
+Each slice is a full :class:`~repro.cluster.topology.ClusterTopology`
+of its own (a bare machine child is wrapped into a singleton cluster
+by the topology constructor), so the whole existing runtime — apps,
+collectives, tuned schedules, the macro engine — runs inside a slice
+unchanged.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ServeError
+
+__all__ = ["Slice", "carve_slices", "pick_slice"]
+
+
+class Slice(t.NamedTuple):
+    """One placement target: a subtree and its aggregate speed."""
+
+    index: int
+    name: str
+    topology: ClusterTopology
+    capacity: float  # sum of member cpu_rate (tie-break weight)
+
+
+def carve_slices(topology: ClusterTopology, placement: str) -> tuple[Slice, ...]:
+    """Split ``topology`` into placement slices.
+
+    ``"whole"`` keeps the machine intact (one slice — requests queue
+    for the full cluster).  ``"subtrees"`` gives every child of the
+    root cluster its own slice; a root with a single child degenerates
+    to ``"whole"``.
+    """
+    if placement == "whole" or len(topology.root.children) < 2:
+        return (
+            Slice(
+                index=0,
+                name=topology.root.name,
+                topology=topology,
+                capacity=_capacity(topology),
+            ),
+        )
+    if placement != "subtrees":
+        raise ServeError(f"unknown placement {placement!r}")
+    slices = []
+    for index, child in enumerate(topology.root.children):
+        sliced = ClusterTopology(child)
+        slices.append(
+            Slice(
+                index=index,
+                name=getattr(child, "name", f"slice{index}"),
+                topology=sliced,
+                capacity=_capacity(sliced),
+            )
+        )
+    return tuple(slices)
+
+
+def _capacity(topology: ClusterTopology) -> float:
+    return float(sum(machine.cpu_rate for machine in topology.machines))
+
+
+def pick_slice(
+    idle: t.Sequence[int], costs: t.Sequence[float], slices: t.Sequence[Slice]
+) -> int:
+    """The idle slice finishing this batch soonest.
+
+    Ties (identical costs — e.g. homogeneous subtrees) break toward the
+    higher-capacity slice, then the lower index, keeping the choice
+    deterministic and capacity-proportional.
+    """
+    if not idle:
+        raise ServeError("pick_slice needs at least one idle slice")
+    return min(idle, key=lambda j: (costs[j], -slices[j].capacity, j))

@@ -1,0 +1,149 @@
+"""The outcome of one serving session.
+
+A :class:`ServiceReport` carries exactly the curves the serving
+experiments plot — goodput vs offered load, p50/p99 latency, shed
+fraction — plus the per-slice utilisation that shows the proportional
+placement doing its job.  Latencies are kept exact (every completed
+request's number, in completion order), so determinism tests can
+assert bit-identity rather than "close enough".
+
+Percentiles are the exact order statistic (nearest-rank,
+``ceil(q * count)``), not an interpolation: two identical sessions
+report identical doubles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.util.units import format_time
+
+__all__ = ["ServiceReport", "percentile"]
+
+
+def percentile(latencies: t.Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``latencies`` (0 for an empty set)."""
+    if not latencies:
+        return 0.0
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q!r}")
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceReport:
+    """Everything a finished session measured."""
+
+    cluster: str
+    seed: int
+    duration: float
+    offered: int
+    offered_rate: float
+    admitted: int
+    completed: int
+    shed: int
+    batches: int
+    goodput: float
+    slo: float | None
+    makespan: float
+    queue_depth_max: int
+    latencies: tuple[float, ...]
+    slice_names: tuple[str, ...]
+    slice_busy: tuple[float, ...]
+    slice_completed: tuple[int, ...]
+    kind_completed: tuple[tuple[str, int], ...]
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def latency_p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+    @property
+    def latency_mean(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def latency_max(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
+    def slice_utilization(self) -> tuple[float, ...]:
+        """Busy fraction of each slice over the session makespan."""
+        if self.makespan <= 0:
+            return tuple(0.0 for _ in self.slice_busy)
+        return tuple(busy / self.makespan for busy in self.slice_busy)
+
+    def render(self) -> str:
+        """Human-readable session summary."""
+        lines = [
+            f"serving session on {self.cluster} "
+            f"(seed {self.seed}, {format_time(self.duration)} of arrivals)",
+            f"  offered   : {self.offered} requests "
+            f"({self.offered_rate:.3g} req/s open-loop)",
+            f"  admitted  : {self.admitted}   shed: {self.shed} "
+            f"({100 * self.shed_fraction:.1f}%)",
+            f"  completed : {self.completed} in {self.batches} batches over "
+            f"{format_time(self.makespan)} (max queue depth {self.queue_depth_max})",
+            f"  goodput   : {self.goodput:.3g} req/s"
+            + (f" (SLO {format_time(self.slo)})" if self.slo is not None else ""),
+            f"  latency   : p50 {format_time(self.latency_p50)}   "
+            f"p99 {format_time(self.latency_p99)}   "
+            f"mean {format_time(self.latency_mean)}   "
+            f"max {format_time(self.latency_max)}",
+        ]
+        utilization = self.slice_utilization()
+        for name, busy, count, util in zip(
+            self.slice_names, self.slice_busy, self.slice_completed, utilization
+        ):
+            lines.append(
+                f"  slice {name:16s}: {count:5d} completed, "
+                f"busy {format_time(busy)} ({100 * util:.0f}%)"
+            )
+        mix = ", ".join(f"{name} {count}" for name, count in self.kind_completed)
+        lines.append(f"  mix       : {mix}")
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        """Plain-data dump for benchmark artifacts and tooling."""
+        return {
+            "cluster": self.cluster,
+            "seed": self.seed,
+            "duration": self.duration,
+            "offered": self.offered,
+            "offered_rate": self.offered_rate,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "batches": self.batches,
+            "goodput": self.goodput,
+            "slo": self.slo,
+            "makespan": self.makespan,
+            "queue_depth_max": self.queue_depth_max,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "latency_mean": self.latency_mean,
+            "latency_max": self.latency_max,
+            "slices": {
+                name: {"completed": count, "busy_seconds": busy}
+                for name, count, busy in zip(
+                    self.slice_names, self.slice_completed, self.slice_busy
+                )
+            },
+            "kinds": dict(self.kind_completed),
+        }
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,223 @@
+"""The open-loop serving loop on the discrete-event engine.
+
+``run_service`` plays one :class:`~repro.serve.config.ServiceConfig`
+session: seeded arrivals hit a bounded admission queue, a dispatcher
+coalesces same-kind neighbours into batches and places each batch on
+the idle topology slice that finishes it soonest (the proportional
+``c_{i,j}`` rule lifted to subtrees — see :mod:`repro.serve.placement`),
+and per-stage makespans come from real kernel simulations through
+:class:`~repro.serve.costs.StageCostModel`.
+
+Two clocks, one determinism story:
+
+* the *service clock* is a fresh :class:`~repro.sim.engine.Engine`
+  whose events are arrivals and batch completions — thousands of
+  events, microseconds of wall-clock;
+* the *kernel clock* lives inside the stage simulations, which were
+  prewarmed through :func:`repro.perf.evaluate` in one batch — so a
+  ``sweep(jobs=N)`` context parallelises the expensive part while the
+  loop stays serial, and the whole session is bit-identical at any
+  ``N``.
+
+When a :func:`repro.obs.observe` observation is active the session
+emits ``repro_serve_*`` metrics (arrival/shed/batch counters, latency
+and queue-depth histograms) and, with spans on, one span per request —
+so the Chrome-trace and Prometheus exporters work on serving sessions
+for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ServeError
+from repro.obs.observe import current_observation
+from repro.serve.arrivals import Arrival, generate_arrivals, offered_rate
+from repro.serve.config import ServiceConfig
+from repro.serve.costs import StageCostModel
+from repro.serve.placement import carve_slices, pick_slice
+from repro.serve.report import ServiceReport
+from repro.sim.engine import Engine
+
+__all__ = ["run_service", "resolve_cluster"]
+
+
+def resolve_cluster(spec: str) -> ClusterTopology:
+    """Build the shared cluster from a preset name or generator spec."""
+    from repro.cli import _build_any
+
+    return _build_any(spec)
+
+
+def _check_shared_model(model: StageCostModel, config: ServiceConfig) -> None:
+    """A shared cost model must describe the same traffic shapes."""
+    ours = (config.cluster, config.workload, config.policy, config.seed)
+    theirs = (
+        model.config.cluster,
+        model.config.workload,
+        model.config.policy,
+        model.config.seed,
+    )
+    if ours != theirs:
+        raise ServeError(
+            "shared StageCostModel was built for a different session shape "
+            "(cluster/workload/policy/seed must match; only arrival and "
+            "duration may differ)"
+        )
+
+
+def run_service(
+    config: ServiceConfig, *, costs: StageCostModel | None = None
+) -> ServiceReport:
+    """Simulate one serving session and return its report.
+
+    ``costs`` shares a prewarmed :class:`StageCostModel` across
+    sessions that differ only in arrival process/duration (the
+    goodput-vs-offered-load sweeps); by default the session builds and
+    prewarms its own.
+    """
+    topology = resolve_cluster(config.cluster)
+    slices = carve_slices(topology, config.policy.placement)
+    if costs is None:
+        model = StageCostModel(config, slices)
+    else:
+        _check_shared_model(costs, config)
+        model = costs
+    model.prewarm()
+
+    observation = current_observation()
+    metrics = observation.metrics if observation is not None else None
+    tracer = (
+        observation.tracer
+        if observation is not None and observation.tracer.enabled
+        else None
+    )
+
+    arrivals = generate_arrivals(config)
+    engine = Engine()
+    queue: deque[Arrival] = deque()
+    idle = [True] * len(slices)
+    busy_time = [0.0] * len(slices)
+    slice_completed = [0] * len(slices)
+    kind_completed = [0] * len(config.workload)
+    latencies: list[float] = []
+    state = {"admitted": 0, "shed": 0, "batches": 0, "depth_max": 0}
+    limit = config.policy.queue_limit
+    max_batch = config.policy.max_batch
+
+    def dispatch() -> None:
+        while queue:
+            idle_slices = [j for j in range(len(slices)) if idle[j]]
+            if not idle_slices:
+                return
+            kind = queue[0].kind
+            size = 1
+            while (
+                size < max_batch
+                and size < len(queue)
+                and queue[size].kind == kind
+            ):
+                size += 1
+            batch_costs = [
+                model.request_cost(kind, j, size) for j in range(len(slices))
+            ]
+            target = pick_slice(idle_slices, batch_costs, slices)
+            batch = [queue.popleft() for _ in range(size)]
+            idle[target] = False
+            state["batches"] += 1
+            if metrics is not None:
+                metrics.inc("repro_serve_batches_total")
+            cost = batch_costs[target]
+            start = engine.now
+            engine.call_at(
+                start + cost,
+                lambda j=target, b=batch, s=start, c=cost: _complete(j, b, s, c),
+            )
+
+    def _complete(
+        target: int, batch: list[Arrival], start: float, cost: float
+    ) -> None:
+        idle[target] = True
+        busy_time[target] += cost
+        slice_completed[target] += len(batch)
+        now = engine.now
+        for request in batch:
+            kind = config.workload[request.kind]
+            # Queue wait + service time, not (now - arrival): for a
+            # request dispatched the instant it arrived this is the
+            # batch-runner makespan *exactly* (no float round-trip
+            # through the event clock), which the vanishing-load
+            # degeneration tests assert bit-for-bit.
+            latency = (start - request.time) + cost
+            latencies.append(latency)
+            kind_completed[request.kind] += 1
+            if metrics is not None:
+                metrics.inc("repro_serve_completed_total")
+                metrics.observe("repro_serve_latency_seconds", latency)
+            if tracer is not None:
+                tracer.add(
+                    "serve", kind.name,
+                    group="serve", actor=f"slice {slices[target].name}",
+                    start=request.time, end=now,
+                    request=request.request_id, batch=len(batch),
+                )
+        dispatch()
+
+    def _admit(arrival: Arrival) -> None:
+        kind = config.workload[arrival.kind]
+        if metrics is not None:
+            metrics.inc(
+                "repro_serve_requests_total", labels=(("kind", kind.name),)
+            )
+        if limit and len(queue) >= limit:
+            state["shed"] += 1
+            if metrics is not None:
+                metrics.inc("repro_serve_shed_total")
+            return
+        queue.append(arrival)
+        state["admitted"] += 1
+        depth = len(queue)
+        state["depth_max"] = max(state["depth_max"], depth)
+        if metrics is not None:
+            metrics.observe("repro_serve_queue_depth", float(depth))
+        dispatch()
+
+    for arrival in arrivals:
+        engine.call_at(arrival.time, lambda a=arrival: _admit(a))
+    makespan = engine.run()
+
+    slo = config.policy.slo
+    good = (
+        sum(1 for latency in latencies if latency <= slo)
+        if slo is not None
+        else len(latencies)
+    )
+    goodput = good / config.duration
+    if metrics is not None:
+        metrics.set_gauge("repro_serve_goodput", goodput)
+        metrics.set_gauge("repro_serve_queue_depth_max", float(state["depth_max"]))
+
+    return ServiceReport(
+        cluster=config.cluster,
+        seed=config.seed,
+        duration=config.duration,
+        offered=len(arrivals),
+        offered_rate=offered_rate(config),
+        admitted=state["admitted"],
+        completed=len(latencies),
+        shed=state["shed"],
+        batches=state["batches"],
+        goodput=goodput,
+        slo=slo,
+        makespan=makespan,
+        queue_depth_max=state["depth_max"],
+        latencies=tuple(latencies),
+        slice_names=tuple(s.name for s in slices),
+        slice_busy=tuple(busy_time),
+        slice_completed=tuple(slice_completed),
+        kind_completed=tuple(
+            (kind.name, kind_completed[i])
+            for i, kind in enumerate(config.workload)
+        ),
+    )

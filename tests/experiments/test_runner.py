@@ -24,6 +24,7 @@ class TestRegistry:
             "robustness",
             "discovery",
             "tuning",
+            "serve",
         }
         assert set(EXPERIMENTS) == expected
 

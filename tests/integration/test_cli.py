@@ -239,3 +239,82 @@ class TestTuningCommands:
         assert main(["cache", "prune", "--max-bytes", "1000000"]) == 0
         out = capsys.readouterr().out
         assert "decisions: removed 0 item(s)" in out
+
+    def test_cache_stats_breaks_down_tiers(self, capsys):
+        """stats counts the decisions tier apart from sweeps, plus a total."""
+        assert main(["tune", "gather", "testbed:4", "--n", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        # The tune above stored exactly one decision and no sweep results.
+        assert "(sweeps 0, decisions 1)" in out
+        assert "total: 1 entries" in out
+
+    def test_cache_prune_prints_total(self, capsys):
+        assert main(["tune", "gather", "testbed:4", "--n", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "sweeps: removed 0 item(s)" in out
+        assert "decisions: removed 1 item(s)" in out
+        assert "total: removed 1 item(s)" in out
+
+
+class TestServeCommand:
+    def test_serve_default_session(self, capsys):
+        assert main(["serve", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "serving session on two-lans:3" in out
+        assert "goodput" in out
+        assert "p50" in out
+
+    def test_serve_from_config_file(self, tmp_path, capsys):
+        from repro.serve import default_config
+
+        config = default_config(seed=7, duration=5.0)
+        path = tmp_path / "service.json"
+        path.write_text(config.to_json())
+        assert main(["serve", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "seed 7" in out
+
+    def test_serve_overrides(self, capsys):
+        assert main([
+            "serve", "--duration", "5", "--rate", "1.0", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seed 3" in out
+        assert "1 req/s open-loop" in out
+
+    def test_serve_metrics_export(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.prom"
+        assert main([
+            "serve", "--duration", "5", "--metrics-out", str(metrics_file),
+        ]) == 0
+        text = metrics_file.read_text()
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_latency_seconds_bucket" in text
+
+
+class TestVersionSingleSource:
+    """One version string, asserted everywhere it is declared."""
+
+    def test_cli_version_flag_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_pyproject_matches_package(self):
+        import pathlib
+
+        import repro
+
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = pathlib.Path(__file__).parents[2] / "pyproject.toml"
+        if not pyproject.exists():
+            pytest.skip("pyproject.toml not present in this checkout")
+        data = tomllib.loads(pyproject.read_text())
+        assert data["project"]["version"] == repro.__version__

@@ -1,0 +1,74 @@
+"""Tests for seeded open-loop arrival generation."""
+
+import dataclasses
+import math
+
+from repro.serve import default_config, generate_arrivals, offered_rate
+from repro.serve.arrivals import kind_counts
+
+
+def _diurnal(seed=0, duration=40.0, rate=5.0, amplitude=0.8, period=10.0):
+    config = default_config(seed=seed, duration=duration)
+    return dataclasses.replace(
+        config,
+        arrival=dataclasses.replace(
+            config.arrival,
+            process="diurnal", rate=rate, amplitude=amplitude, period=period,
+        ),
+    )
+
+
+class TestPoissonArrivals:
+    def test_bit_identical_across_calls(self):
+        config = default_config(seed=3, duration=30.0)
+        assert generate_arrivals(config) == generate_arrivals(config)
+
+    def test_seed_changes_sequence(self):
+        a = generate_arrivals(default_config(seed=0, duration=30.0))
+        b = generate_arrivals(default_config(seed=1, duration=30.0))
+        assert a != b
+
+    def test_sorted_and_bounded(self):
+        arrivals = generate_arrivals(default_config(seed=0, duration=30.0))
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 30.0 for t in times)
+        assert [a.request_id for a in arrivals] == list(range(len(arrivals)))
+
+    def test_rate_roughly_respected(self):
+        config = default_config(seed=0, duration=200.0, rate=4.0)
+        arrivals = generate_arrivals(config)
+        realised = len(arrivals) / config.duration
+        assert abs(realised - offered_rate(config)) < 1.0
+
+    def test_kind_mix_follows_weights(self):
+        # Weights 3:2:1 over a long window — interactive dominates.
+        config = default_config(seed=0, duration=500.0, rate=4.0)
+        counts = kind_counts(config, generate_arrivals(config))
+        assert counts["interactive"] > counts["analytics"] > counts["sort"]
+
+
+class TestDiurnalArrivals:
+    def test_bit_identical_across_calls(self):
+        config = _diurnal(seed=7)
+        assert generate_arrivals(config) == generate_arrivals(config)
+
+    def test_thinning_never_exceeds_duration(self):
+        arrivals = generate_arrivals(_diurnal())
+        assert all(a.time < 40.0 for a in arrivals)
+
+    def test_peak_half_busier_than_trough_half(self):
+        # sin > 0 on the first half of each period: arrivals cluster there.
+        config = _diurnal(seed=0, duration=400.0, amplitude=0.9, period=10.0)
+        arrivals = generate_arrivals(config)
+        peak = sum(
+            1 for a in arrivals if math.sin(2 * math.pi * a.time / 10.0) > 0
+        )
+        trough = len(arrivals) - peak
+        assert peak > 1.5 * trough
+
+    def test_mean_rate_matches_base_rate(self):
+        # The modulation integrates to ~zero over whole periods.
+        config = _diurnal(seed=0, duration=400.0, rate=5.0)
+        arrivals = generate_arrivals(config)
+        assert abs(len(arrivals) / 400.0 - 5.0) < 0.5

@@ -1,0 +1,166 @@
+"""Tests for the declarative ServiceConfig layer."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    REQUEST_TEMPLATES,
+    STAGE_OPS,
+    ArrivalSpec,
+    PolicySpec,
+    RequestKind,
+    ServiceConfig,
+    StageSpec,
+    default_config,
+)
+
+
+class TestStageSpec:
+    def test_known_ops(self):
+        for op in STAGE_OPS:
+            assert StageSpec(op).op == op
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServeError, match="unknown stage op"):
+            StageSpec("fft")
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ServeError, match="scale"):
+            StageSpec("gather", scale=0.0)
+
+
+class TestRequestKind:
+    def test_templates_all_build(self):
+        for template in REQUEST_TEMPLATES:
+            kind = RequestKind.from_dict({"template": template, "n": 100})
+            assert kind.name == template
+            assert kind.stages
+
+    def test_template_name_override(self):
+        kind = RequestKind.from_dict(
+            {"template": "sort", "name": "bigsort", "n": 100}
+        )
+        assert kind.name == "bigsort"
+
+    def test_explicit_stages(self):
+        kind = RequestKind.from_dict({
+            "name": "custom",
+            "stages": ["broadcast", {"op": "histogram", "scale": 0.5}],
+            "n": 1000,
+        })
+        assert kind.stages == (
+            StageSpec("broadcast", 1.0), StageSpec("histogram", 0.5),
+        )
+
+    def test_stage_n_scales_and_batches(self):
+        kind = RequestKind.from_dict(
+            {"name": "k", "stages": [{"op": "gather", "scale": 0.25}], "n": 1000}
+        )
+        stage = kind.stages[0]
+        assert kind.stage_n(stage) == 250
+        assert kind.stage_n(stage, batch=4) == 1000
+        # Tiny scaled sizes never collapse below one item.
+        tiny = RequestKind.from_dict(
+            {"name": "t", "stages": [{"op": "gather", "scale": 0.001}], "n": 10}
+        )
+        assert tiny.stage_n(tiny.stages[0]) == 1
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ServeError, match="unknown request template"):
+            RequestKind.from_dict({"template": "video", "n": 10})
+
+    def test_needs_template_or_stages(self):
+        with pytest.raises(ServeError, match="'template' or 'stages'"):
+            RequestKind.from_dict({"name": "x", "n": 10})
+
+    def test_needs_problem_size(self):
+        with pytest.raises(ServeError, match="problem size"):
+            RequestKind.from_dict({"template": "sort"})
+
+
+class TestArrivalSpec:
+    def test_poisson_defaults(self):
+        spec = ArrivalSpec()
+        assert spec.process == "poisson"
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ServeError, match="unknown arrival process"):
+            ArrivalSpec(process="bursty")
+
+    def test_diurnal_amplitude_bounds(self):
+        assert ArrivalSpec(process="diurnal", amplitude=0.0).amplitude == 0.0
+        with pytest.raises(ServeError, match="amplitude"):
+            ArrivalSpec(process="diurnal", amplitude=1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ServeError, match="rate"):
+            ArrivalSpec(rate=0.0)
+
+
+class TestPolicySpec:
+    def test_defaults_valid(self):
+        spec = PolicySpec()
+        assert spec.queue_limit == 64
+        assert spec.placement == "subtrees"
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("queue_limit", -1, "queue_limit"),
+        ("max_batch", 0, "max_batch"),
+        ("placement", "spread", "placement"),
+        ("schedule", "greedy", "schedule"),
+        ("slo", 0.0, "slo"),
+    ])
+    def test_invalid_values_rejected(self, field, value, match):
+        with pytest.raises(ServeError, match=match):
+            PolicySpec(**{field: value})
+
+
+class TestServiceConfig:
+    def test_default_config_builds(self):
+        config = default_config()
+        assert config.cluster == "two-lans:3"
+        assert len(config.workload) == 3
+
+    def test_json_round_trip(self):
+        config = default_config(seed=5, duration=12.0)
+        rebuilt = ServiceConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        import json
+
+        rebuilt2 = ServiceConfig.from_dict(json.loads(config.to_json()))
+        assert rebuilt2 == config
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "svc.json"
+        config = default_config(seed=2)
+        path.write_text(config.to_json())
+        assert ServiceConfig.from_file(path) == config
+
+    def test_from_file_errors(self, tmp_path):
+        with pytest.raises(ServeError, match="cannot read"):
+            ServiceConfig.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ServeError, match="not valid JSON"):
+            ServiceConfig.from_file(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(ServeError, match="JSON object"):
+            ServiceConfig.from_file(array)
+
+    def test_duplicate_kind_names_rejected(self):
+        with pytest.raises(ServeError, match="duplicate"):
+            ServiceConfig(
+                cluster="two-lans",
+                arrival=ArrivalSpec(),
+                workload=(
+                    RequestKind.from_dict({"template": "sort", "n": 10}),
+                    RequestKind.from_dict({"template": "sort", "n": 20}),
+                ),
+            )
+
+    def test_needs_cluster_and_workload(self):
+        with pytest.raises(ServeError, match="'cluster'"):
+            ServiceConfig.from_dict({"workload": []})
+        with pytest.raises(ServeError, match="'workload'"):
+            ServiceConfig.from_dict({"cluster": "two-lans"})

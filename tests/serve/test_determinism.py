@@ -1,0 +1,106 @@
+"""The serving determinism contract.
+
+Two properties the experiments lean on, asserted with exact float
+equality (never ``approx``):
+
+* one config seed -> one arrival sequence and one latency sequence,
+  bit-identical whether the kernel costs were prewarmed serially or
+  across a worker pool;
+* at vanishing load with batching off, the service adds nothing: each
+  request's latency IS the batch-runner makespan of its stage chain on
+  the best slice.
+"""
+
+import dataclasses
+
+from repro.perf import evaluate, sweep
+from repro.perf.job import APP_OPS, SimJob
+from repro.serve import (
+    StageCostModel,
+    carve_slices,
+    default_config,
+    generate_arrivals,
+    run_service,
+)
+from repro.serve.service import resolve_cluster
+
+
+class TestJobsBitIdentity:
+    def test_latencies_identical_serial_vs_pool(self):
+        config = default_config(seed=11, duration=15.0, rate=8.0)
+        with sweep(jobs=1):
+            serial = run_service(config)
+        with sweep(jobs=4):
+            pooled = run_service(config)
+        assert serial.latencies == pooled.latencies
+        assert serial.makespan == pooled.makespan
+        assert serial.goodput == pooled.goodput
+        assert serial.slice_completed == pooled.slice_completed
+
+    def test_arrivals_identical_serial_vs_pool(self):
+        # Arrival generation never touches the executor, but the
+        # contract is end-to-end: same config -> same sequence, in or
+        # out of any sweep block.
+        config = default_config(seed=11, duration=15.0, rate=8.0)
+        bare = generate_arrivals(config)
+        with sweep(jobs=4):
+            pooled = generate_arrivals(config)
+        assert bare == pooled
+
+    def test_experiment_report_identical_serial_vs_pool(self):
+        from repro.experiments.serving import serving_curves
+
+        with sweep(jobs=1):
+            serial = serving_curves(rates=(4.0, 16.0), seed=0)
+        with sweep(jobs=4):
+            pooled = serving_curves(rates=(4.0, 16.0), seed=0)
+        assert serial.series == pooled.series
+
+
+class TestVanishingLoadDegeneration:
+    def test_latency_is_exactly_the_best_slice_makespan(self):
+        # ~4 arrivals spaced seconds apart, batching off: every request
+        # runs alone, so its latency must equal the evaluate()'d stage
+        # chain on the cheapest slice — exactly, not approximately.
+        config = default_config(seed=0, duration=20.0, rate=0.2)
+        config = dataclasses.replace(
+            config, policy=dataclasses.replace(config.policy, max_batch=1)
+        )
+        report = run_service(config)
+        assert report.completed == report.offered > 0
+
+        slices = carve_slices(
+            resolve_cluster(config.cluster), config.policy.placement
+        )
+
+        def chain_makespan(kind_index: int, slice_index: int) -> float:
+            kind = config.workload[kind_index]
+            jobs = []
+            for stage in kind.stages:
+                n = kind.stage_n(stage, 1)
+                topology = slices[slice_index].topology
+                if stage.op in APP_OPS:
+                    jobs.append(SimJob.app(stage.op, topology, n, seed=config.seed))
+                else:
+                    jobs.append(
+                        SimJob.collective(stage.op, topology, n, seed=config.seed)
+                    )
+            return sum(result.time for result in evaluate(jobs))
+
+        arrivals = generate_arrivals(config)
+        for arrival, latency in zip(arrivals, report.latencies):
+            expected = min(
+                chain_makespan(arrival.kind, j) for j in range(len(slices))
+            )
+            assert latency == expected
+
+    def test_prewarmed_model_agrees_with_direct_evaluate(self):
+        config = default_config(seed=0, duration=10.0)
+        slices = carve_slices(
+            resolve_cluster(config.cluster), config.policy.placement
+        )
+        model = StageCostModel(config, slices)
+        model.prewarm()
+        for key in model.universe():
+            (direct,) = evaluate([model.job(key)])
+            assert model.stage_cost(key) == direct.time
