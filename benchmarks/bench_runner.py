@@ -50,6 +50,14 @@ Emits two machine-readable artifacts next to this file's repo root:
     same kernel-job universe.  ``--check`` gates the p99 ceiling,
     goodput monotone up to the knee, and service overhead under 5%.
 
+``BENCH_dynamics.json``
+    Dynamic clusters (``benchmarks/bench_dynamics.py``): churned-vs-
+    static session wall-clock on shared prewarmed cost models, and one
+    ``fit_params`` call at the calibration acceptance operating point.
+    ``--check`` gates churn overhead under 10%, the fit wall-time
+    ceiling, and three deterministic gates (empty plan bit-identical,
+    request conservation under churn, exact noise-free round-trip).
+
 Modes:
 
 ``--quick``
@@ -433,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
     sys.path.insert(0, str(SRC))
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     import bench_discover
+    import bench_dynamics
     import bench_obs_overhead
     import bench_scale
     import bench_serve
@@ -455,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
     tuning_entry = bench_tuning.run_tuning(args.quick)
     print("open-loop serving (goodput curve, reference p99, overhead):")
     serve_entry = bench_serve.run_serve(args.quick)
+    print("dynamic clusters (churn overhead, calibration fit):")
+    dynamics_entry = bench_dynamics.run_dynamics(args.quick)
     print("experiment sweep:")
     sweep_entry = run_sweep(args.quick, runs, args.jobs)
     print("  persistent cache (cold vs warm, fresh --cache-dir):")
@@ -546,6 +557,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scope: serve_entry,
     }
+    dynamics_doc = {
+        "benchmark": "dynamic clusters: churn overhead and calibration fit",
+        "machine": machine,
+        "note": (
+            "static/dynamic sessions share prewarmed cost models so "
+            "churn_overhead isolates the dynamics machinery; fit_seconds "
+            "times one fit_params call at the acceptance operating "
+            "point; the three boolean gates are deterministic on any "
+            "host"
+        ),
+        scope: dynamics_entry,
+    }
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     substrate_path = args.output_dir / "BENCH_substrate.json"
@@ -556,6 +579,7 @@ def main(argv: list[str] | None = None) -> int:
     scale_path = args.output_dir / "BENCH_scale.json"
     tuning_path = args.output_dir / "BENCH_tuning.json"
     serve_path = args.output_dir / "BENCH_serve.json"
+    dynamics_path = args.output_dir / "BENCH_dynamics.json"
     regressed = False
     if args.check:
         print("regression gate (limit "
@@ -585,6 +609,7 @@ def main(argv: list[str] | None = None) -> int:
             (scale_path, bench_scale.check_scale, scale_entry),
             (tuning_path, bench_tuning.check_tuning, tuning_entry),
             (serve_path, bench_serve.check_serve, serve_entry),
+            (dynamics_path, bench_dynamics.check_dynamics, dynamics_entry),
         ):
             mismatch = machine_mismatch(path)
             if mismatch:
@@ -601,7 +626,8 @@ def main(argv: list[str] | None = None) -> int:
                           (discover_path, discover_doc),
                           (scale_path, scale_doc),
                           (tuning_path, tuning_doc),
-                          (serve_path, serve_doc)):
+                          (serve_path, serve_doc),
+                          (dynamics_path, dynamics_doc)):
             if path.exists():
                 previous = json.loads(path.read_text())
                 for key in ("full", "quick"):

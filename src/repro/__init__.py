@@ -97,7 +97,7 @@ from repro.serve import (
     run_service,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Cluster",

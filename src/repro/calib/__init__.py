@@ -1,0 +1,25 @@
+"""repro.calib — closing the loop from traces back to model parameters.
+
+:func:`repro.model.calibrate` derives :class:`~repro.model.HBSPParams`
+from a topology's *specs*; this package derives them from *observed
+runs*: :func:`calibration_campaign` sweeps gathers so every machine
+becomes identifiable, :func:`fit_params` solves the superstep cost
+equations by iterated least squares, and ``repro calibrate --fit``
+wires the two into a CLI (trace in -> topology JSON v2 with fitted
+parameters out).  See ``docs/calibration.md``.
+"""
+
+from repro.calib.campaign import DEFAULT_SIZES, calibration_campaign
+from repro.calib.fit import FitResult, fit_params, load_runs
+from repro.model.residuals import OBSERVATION_SOURCES, StepEquation, step_equations
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "FitResult",
+    "OBSERVATION_SOURCES",
+    "StepEquation",
+    "calibration_campaign",
+    "fit_params",
+    "load_runs",
+    "step_equations",
+]

@@ -141,10 +141,29 @@ def _cmd_describe(preset: str) -> int:
     return 0
 
 
-def _cmd_calibrate(preset: str) -> int:
+def _cmd_calibrate(
+    preset: str,
+    fit: str | None = None,
+    out: str | None = None,
+    source: str = "simulated",
+) -> int:
     from repro.model import calibrate
 
-    print(calibrate(build_preset(preset)).describe())
+    topology = build_preset(preset)
+    if fit is None:
+        print(calibrate(topology).describe())
+        return 0
+    from repro.calib import fit_params, load_runs
+
+    result = fit_params(load_runs(fit), topology, source=source)
+    print(result.describe())
+    if out is not None:
+        from pathlib import Path
+
+        from repro.cluster.serialization import dumps
+
+        Path(out).write_text(dumps(topology, params=result.params))
+        print(f"wrote fitted topology (+params) to {out}")
     return 0
 
 
@@ -180,6 +199,7 @@ def _cmd_run(
     trace_out: str | None = None,
     metrics_out: str | None = None,
     obs_summary: bool = False,
+    runs_out: str | None = None,
     schedule: str = "default",
 ) -> int:
     import contextlib
@@ -231,7 +251,7 @@ def _cmd_run(
         )
     observation = None
     with contextlib.ExitStack() as stack:
-        if trace_out or metrics_out or obs_summary:
+        if trace_out or metrics_out or obs_summary or runs_out:
             from repro.obs import observe
 
             observation = stack.enter_context(observe(spans=trace_out is not None))
@@ -257,7 +277,9 @@ def _cmd_run(
 
         if obs_summary:
             print()
-        _export_observation(observation, trace_out, metrics_out, obs_summary)
+        _export_observation(
+            observation, trace_out, metrics_out, obs_summary, runs_out
+        )
     return 0
 
 
@@ -270,7 +292,6 @@ def _cmd_tune(
     shortlist: int,
 ) -> int:
     from repro.collectives import RootPolicy
-    from repro.tuning import space_size
     from repro.tuning.tuner import tune
     from repro.util.units import format_time
 
@@ -359,9 +380,11 @@ def _cmd_serve(
     rate: float | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    dynamics: str | None = None,
     trace_out: str | None = None,
     metrics_out: str | None = None,
     obs_summary: bool = False,
+    runs_out: str | None = None,
 ) -> int:
     import contextlib
     import dataclasses
@@ -381,21 +404,28 @@ def _cmd_serve(
         config = dataclasses.replace(
             config, arrival=dataclasses.replace(config.arrival, rate=rate)
         )
+    plan = None
+    if dynamics is not None:
+        from repro.dynamics import DynamicPlan
+
+        plan = DynamicPlan.from_file(dynamics)
     observation = None
     with contextlib.ExitStack() as stack:
-        if trace_out or metrics_out or obs_summary:
+        if trace_out or metrics_out or obs_summary or runs_out:
             from repro.obs import observe
 
             observation = stack.enter_context(observe(spans=trace_out is not None))
         stack.enter_context(sweep(jobs=effective_jobs(jobs), cache_dir=cache_dir))
-        report = run_service(config)
+        report = run_service(config, dynamics=plan)
     print(report.render())
     if observation is not None:
         from repro.experiments.runner import _export_observation
 
         if obs_summary:
             print()
-        _export_observation(observation, trace_out, metrics_out, obs_summary)
+        _export_observation(
+            observation, trace_out, metrics_out, obs_summary, runs_out
+        )
     return 0
 
 
@@ -408,6 +438,7 @@ def _cmd_experiment(
     trace_out: str | None = None,
     metrics_out: str | None = None,
     obs_summary: bool = False,
+    runs_out: str | None = None,
     schedule: str | None = None,
 ) -> int:
     import contextlib
@@ -417,7 +448,7 @@ def _cmd_experiment(
 
     observation = None
     with contextlib.ExitStack() as stack:
-        if trace_out or metrics_out or obs_summary:
+        if trace_out or metrics_out or obs_summary or runs_out:
             from repro.obs import observe
 
             observation = stack.enter_context(observe(spans=trace_out is not None))
@@ -429,7 +460,9 @@ def _cmd_experiment(
 
         if obs_summary:
             print()
-        _export_observation(observation, trace_out, metrics_out, obs_summary)
+        _export_observation(
+            observation, trace_out, metrics_out, obs_summary, runs_out
+        )
     return 0
 
 
@@ -585,6 +618,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--obs-summary", action="store_true",
         help="print the per-superstep predicted-vs-simulated ledger",
     )
+    parser.add_argument(
+        "--runs-out", metavar="FILE", default=None,
+        help="write the observed run records as JSON — the input "
+        "format of 'repro calibrate --fit' (docs/calibration.md)",
+    )
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -600,9 +638,31 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list presets, collectives, experiments")
-    for name in ("describe", "calibrate", "probe"):
+    for name in ("describe", "probe"):
         command = sub.add_parser(name, help=f"{name} a preset machine")
         command.add_argument("preset")
+    calibrate_parser = sub.add_parser(
+        "calibrate",
+        help="derive HBSP^k parameters from specs, or fit them from traces",
+    )
+    calibrate_parser.add_argument("preset")
+    calibrate_parser.add_argument(
+        "--fit", metavar="RUNS.json", default=None,
+        help="fit parameters from exported run records "
+        "(write them with --runs-out) instead of the topology specs",
+    )
+    calibrate_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="with --fit: write the topology + fitted params as "
+        "topology JSON v2 (repro.cluster/2)",
+    )
+    calibrate_parser.add_argument(
+        "--source", default="simulated",
+        choices=["simulated", "predicted"],
+        help="with --fit: fit against what the DES took (effective "
+        "parameters) or the exported analytic step costs "
+        "(estimator round-trip)",
+    )
     run_parser = sub.add_parser("run", help="simulate one collective")
     run_parser.add_argument("collective")
     run_parser.add_argument("preset")
@@ -648,10 +708,13 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     )
     cache_parser.add_argument("cache_action",
                               choices=["stats", "prune", "clear"],
-                              help="stats: sizes per cache; prune: drop stale "
-                              "versions then oldest entries; clear: wipe all")
+                              help="stats: per-tier (sweeps/decisions) entries "
+                              "and bytes plus totals; prune: per tier, drop "
+                              "stale versions then oldest entries, reporting "
+                              "a combined total; clear: wipe both tiers")
     cache_parser.add_argument("--max-bytes", type=int, default=None,
-                              help="prune target size per cache "
+                              help="prune target size per tier — sweeps and "
+                              "decisions each keep at most this many bytes "
                               "(default 0 = keep nothing)")
     experiment_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment_parser.add_argument("id")
@@ -694,6 +757,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     serve_parser.add_argument("--cache-dir", default=None,
                               help="persist kernel-cost results under this "
                               "directory and reuse them across sessions")
+    serve_parser.add_argument("--dynamics", metavar="PLAN.json", default=None,
+                              help="play the session against a DynamicPlan "
+                              "(churn/drift/diurnal; see docs/faults.md)")
     _add_obs_flags(serve_parser)
 
     topology_parser = sub.add_parser(
@@ -753,7 +819,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         if args.command == "describe":
             return _cmd_describe(args.preset)
         if args.command == "calibrate":
-            return _cmd_calibrate(args.preset)
+            return _cmd_calibrate(
+                args.preset, fit=args.fit, out=args.out, source=args.source
+            )
         if args.command == "probe":
             return _cmd_probe(args.preset)
         if args.command == "run":
@@ -763,7 +831,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 faults=args.faults, retries=args.retries,
                 send_timeout=args.send_timeout,
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
-                obs_summary=args.obs_summary, schedule=args.schedule,
+                obs_summary=args.obs_summary, runs_out=args.runs_out,
+                schedule=args.schedule,
             )
         if args.command == "tune":
             return _cmd_tune(
@@ -776,8 +845,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             return _cmd_serve(
                 args.config, seed=args.seed, duration=args.duration,
                 rate=args.rate, jobs=args.jobs, cache_dir=args.cache_dir,
+                dynamics=args.dynamics,
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
-                obs_summary=args.obs_summary,
+                obs_summary=args.obs_summary, runs_out=args.runs_out,
             )
         if args.command == "topology":
             if args.topology_command == "generate":
@@ -797,7 +867,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 args.id, plot=args.plot, seed=args.seed, jobs=args.jobs,
                 cache_dir=args.cache_dir,
                 trace_out=args.trace_out, metrics_out=args.metrics_out,
-                obs_summary=args.obs_summary, schedule=args.schedule,
+                obs_summary=args.obs_summary, runs_out=args.runs_out,
+                schedule=args.schedule,
             )
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")

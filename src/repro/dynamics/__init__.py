@@ -1,0 +1,41 @@
+"""Dynamic clusters: churn, drift, and diurnal load as declarative plans.
+
+The static :class:`~repro.faults.FaultPlan` describes *windows*; a
+:class:`DynamicPlan` describes *behaviour* — membership churn
+(:class:`MachineJoin` / :class:`MachineLeave`), seeded speed-drift
+processes (:class:`SpeedDrift`), and diurnal background-load curves
+(:class:`DiurnalLoad`).  :func:`compile_plan` lowers a plan onto the
+existing fault injector plus a deterministic membership-epoch sequence
+(:func:`membership_epochs`) that the serving layer re-plans against.
+
+Everything is seeded and pure data: plans JSON-round-trip, equal plans
+compile identically, and the empty plan is a guaranteed bit-for-bit
+no-op.
+"""
+
+from repro.dynamics.compile import CompiledDynamics, compile_plan
+from repro.dynamics.epochs import Epoch, epoch_at, membership_epochs
+from repro.dynamics.plan import (
+    DiurnalLoad,
+    DynamicPlan,
+    MachineJoin,
+    MachineLeave,
+    SpeedDrift,
+    churn_plan,
+    drift_plan,
+)
+
+__all__ = [
+    "DynamicPlan",
+    "MachineJoin",
+    "MachineLeave",
+    "SpeedDrift",
+    "DiurnalLoad",
+    "churn_plan",
+    "drift_plan",
+    "Epoch",
+    "membership_epochs",
+    "epoch_at",
+    "CompiledDynamics",
+    "compile_plan",
+]

@@ -1,0 +1,195 @@
+"""Compile a :class:`DynamicPlan` onto the fault injector.
+
+Dynamic events are *declarative* (processes and curves); the simulator
+speaks *windows* (:mod:`repro.faults.plan` specs).  ``compile_plan``
+lowers one into the other deterministically:
+
+* joins/leaves become :class:`~repro.faults.MachinePause` windows (a
+  machine that is "not in the cluster" makes no progress — exactly the
+  pause semantics), plus the membership-epoch sequence the serving
+  layer re-plans against;
+* speed-drift processes are sampled on a fixed grid of ``step``-wide
+  segments into piecewise-constant
+  :class:`~repro.faults.MachineSlowdown` windows, with every draw taken
+  from ``RngStream(seed, "dynamics", "drift", machine, <event#>)``;
+* diurnal load curves are sliced into eight segments per period, each a
+  :class:`~repro.faults.BackgroundLoad` whose intensity is the curve's
+  value at the segment midpoint — the same sinusoid the arrival
+  thinning uses (:func:`repro.serve.arrivals.diurnal_rate`).
+
+The empty plan compiles to ``FaultPlan.empty()`` and one all-present
+epoch, so carrying it through a run changes nothing, bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.dynamics.epochs import Epoch, membership_epochs
+from repro.dynamics.plan import (
+    DiurnalLoad,
+    DynamicPlan,
+    MachineJoin,
+    MachineLeave,
+    SpeedDrift,
+)
+from repro.errors import DynamicsError
+from repro.faults.plan import (
+    BackgroundLoad,
+    FaultPlan,
+    FaultSpec,
+    MachinePause,
+    MachineSlowdown,
+)
+from repro.serve.arrivals import diurnal_rate
+from repro.util.rng import RngStream
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import ClusterTopology
+
+__all__ = ["CompiledDynamics", "compile_plan"]
+
+#: Segments per diurnal period — enough to track the sinusoid without
+#: flooding the engine with hog processes.
+_DIURNAL_SEGMENTS = 8
+
+#: Hard ceiling on windows emitted per event, so a tiny ``step`` against
+#: a huge horizon fails loudly instead of materialising millions of specs.
+_MAX_WINDOWS = 10_000
+
+#: Intensities are clamped inside BackgroundLoad's open (0, 1) interval.
+_EPS = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledDynamics:
+    """A plan lowered onto the simulator: fault windows + epochs."""
+
+    plan: DynamicPlan
+    fault_plan: FaultPlan
+    epochs: tuple[Epoch, ...]
+
+    @property
+    def is_static(self) -> bool:
+        """True when nothing changes over the run."""
+        return self.fault_plan.is_empty and len(self.epochs) == 1
+
+
+def _segment_count(start: float, end: float, step: float) -> int:
+    count = int(math.ceil((end - start) / step - 1e-12))
+    if count > _MAX_WINDOWS:
+        raise DynamicsError(
+            f"event would compile to {count} windows (> {_MAX_WINDOWS}); "
+            "increase step/period or shorten the horizon"
+        )
+    return max(count, 0)
+
+
+def _compile_drift(
+    event: SpeedDrift, index: int, *, seed: int, horizon: float
+) -> list[FaultSpec]:
+    end = min(event.end, horizon)
+    count = _segment_count(event.start, end, event.step)
+    stream = RngStream(seed, "dynamics", "drift", event.machine, str(index))
+    out: list[FaultSpec] = []
+    factor = 1.0
+    for i in range(count):
+        lo = event.start + i * event.step
+        hi = min(lo + event.step, end)
+        if event.process == "random_walk":
+            factor = min(
+                max(factor * stream.lognormal_factor(event.magnitude), event.floor),
+                event.ceiling,
+            )
+            level = factor
+        else:  # piecewise_linear: ramp to a fresh target, charge the midpoint
+            target = event.floor + stream.uniform() * (event.ceiling - event.floor)
+            level = (factor + target) / 2.0
+            factor = target
+        if level > 1.0 and hi > lo:
+            out.append(
+                MachineSlowdown(
+                    machine=event.machine, factor=level, start=lo, duration=hi - lo
+                )
+            )
+    return out
+
+
+def _compile_diurnal(event: DiurnalLoad, *, horizon: float) -> list[FaultSpec]:
+    end = min(event.end, horizon)
+    step = event.period / _DIURNAL_SEGMENTS
+    count = _segment_count(event.start, end, step)
+    out: list[FaultSpec] = []
+    for i in range(count):
+        lo = event.start + i * step
+        hi = min(lo + step, end)
+        if hi <= lo:
+            continue
+        mid = (lo + hi) / 2.0
+        intensity = diurnal_rate(
+            mid, base=event.intensity,
+            amplitude=event.amplitude, period=event.period,
+        )
+        intensity = min(max(intensity, _EPS), 1.0 - _EPS)
+        out.append(
+            BackgroundLoad(
+                machine=event.machine,
+                intensity=intensity,
+                start=lo,
+                duration=hi - lo,
+                burst_mean=event.burst_mean,
+            )
+        )
+    return out
+
+
+def compile_plan(
+    plan: DynamicPlan,
+    topology: "ClusterTopology",
+    *,
+    seed: int = 0,
+    horizon: float,
+) -> CompiledDynamics:
+    """Lower ``plan`` to fault windows and membership epochs.
+
+    ``horizon`` bounds unbounded processes (drift/diurnal windows with
+    ``duration=None`` and leaves that never rejoin) so the emitted
+    fault plan stays finite — pass the run or session duration.  Equal
+    ``(plan, topology, seed, horizon)`` always compile identically.
+    """
+    if horizon <= 0 or not math.isfinite(horizon):
+        raise DynamicsError(f"horizon must be finite and > 0, got {horizon!r}")
+    plan.validate(topology)
+    epochs = membership_epochs(plan, topology)
+    if plan.is_empty:
+        return CompiledDynamics(
+            plan=plan, fault_plan=FaultPlan.empty(), epochs=epochs
+        )
+
+    specs: list[FaultSpec] = []
+    for index, event in enumerate(plan):
+        if isinstance(event, MachineJoin):
+            if event.start > 0:
+                specs.append(
+                    MachinePause(
+                        machine=event.machine, start=0.0, duration=event.start
+                    )
+                )
+        elif isinstance(event, MachineLeave):
+            if event.start >= horizon:
+                continue
+            pause_end = min(event.end, horizon)
+            specs.append(
+                MachinePause(
+                    machine=event.machine,
+                    start=event.start,
+                    duration=pause_end - event.start,
+                )
+            )
+        elif isinstance(event, SpeedDrift):
+            specs.extend(_compile_drift(event, index, seed=seed, horizon=horizon))
+        elif isinstance(event, DiurnalLoad):
+            specs.extend(_compile_diurnal(event, horizon=horizon))
+    return CompiledDynamics(plan=plan, fault_plan=FaultPlan(specs), epochs=epochs)

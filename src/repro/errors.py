@@ -29,6 +29,7 @@ __all__ = [
     "CollectiveError",
     "ExperimentError",
     "ServeError",
+    "DynamicsError",
 ]
 
 
@@ -160,4 +161,13 @@ class ServeError(ReproError):
     Raised by :mod:`repro.serve` for invalid :class:`ServiceConfig`
     documents (unknown stage ops, non-positive rates, bad policy knobs)
     and for cluster specs that cannot host the configured placement.
+    """
+
+
+class DynamicsError(ReproError, ValueError):
+    """A dynamic-cluster plan is malformed or names unknown entities.
+
+    Raised by :mod:`repro.dynamics` for invalid :class:`DynamicPlan`
+    documents (unknown event kinds, bad windows or drift processes) and
+    for plans that reference machines absent from the target topology.
     """

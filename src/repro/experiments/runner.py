@@ -10,6 +10,7 @@ from repro.errors import ExperimentError
 from repro.experiments.ablations import ablation_report
 from repro.experiments.bsp_vs_hbsp import bsp_vs_hbsp
 from repro.experiments.discovery import discovery_roundtrip
+from repro.experiments.dynamics import dynamics_curves
 from repro.experiments.scaling import app_scaling
 from repro.experiments.sensitivity import calibration_sensitivity
 from repro.experiments.tuning import tuning_improvement
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, t.Callable[[], ExperimentReport]] = {
     "discovery": discovery_roundtrip,
     "tuning": tuning_improvement,
     "serve": serving_curves,
+    "dynamics": dynamics_curves,
 }
 
 #: Friendly aliases accepted anywhere an experiment id is (the paper's
@@ -180,6 +182,11 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         help="print the per-superstep predicted-vs-simulated ledger "
         "after the reports",
     )
+    parser.add_argument(
+        "--runs-out", metavar="FILE", default=None,
+        help="write the observed run records as JSON — the input "
+        "format of 'repro calibrate --fit'",
+    )
     args = parser.parse_args(argv)
     wanted = list(args.experiment)
     if wanted == ["all"]:
@@ -193,7 +200,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     observation = None
     with contextlib.ExitStack() as stack:
-        if args.trace_out or args.metrics_out or args.obs_summary:
+        if args.trace_out or args.metrics_out or args.obs_summary or args.runs_out:
             from repro.obs import observe
 
             observation = stack.enter_context(
@@ -211,7 +218,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             print()
     if observation is not None:
         _export_observation(
-            observation, args.trace_out, args.metrics_out, args.obs_summary
+            observation, args.trace_out, args.metrics_out, args.obs_summary,
+            args.runs_out,
         )
     return 0
 
@@ -221,16 +229,19 @@ def _export_observation(
     trace_out: str | None,
     metrics_out: str | None,
     obs_summary: bool,
+    runs_out: str | None = None,
 ) -> None:
     """Write the requested observability outputs (shared with repro.cli)."""
     from pathlib import Path
 
-    from repro.obs import chrome_trace, prometheus_text, summary
+    from repro.obs import chrome_trace, prometheus_text, runs_json, summary
 
     if trace_out:
         Path(trace_out).write_text(chrome_trace(observation.tracer))
     if metrics_out:
         Path(metrics_out).write_text(prometheus_text(observation.metrics))
+    if runs_out:
+        Path(runs_out).write_text(runs_json(observation))
     if obs_summary:
         print(summary(observation))
 

@@ -37,6 +37,7 @@ from repro.model.planner import (
     rank_plans,
     score_plans,
 )
+from repro.model.residuals import OBSERVATION_SOURCES, StepEquation, step_equations
 from repro.model.probe import (
     LinkEstimate,
     ProbeReport,
@@ -55,6 +56,9 @@ __all__ = [
     "SuperstepCost",
     "h_relation",
     "superstep_cost",
+    "OBSERVATION_SOURCES",
+    "StepEquation",
+    "step_equations",
     "predict",
     "BroadcastKernel",
     "GatherKernel",

@@ -29,7 +29,7 @@ from repro.obs.accounting import (
     SuperstepLedger,
     collect_run_obs,
 )
-from repro.obs.export import chrome_trace, prometheus_text, summary
+from repro.obs.export import chrome_trace, prometheus_text, runs_json, summary
 from repro.obs.metrics import METRIC_HELP, MetricsRegistry
 from repro.obs.observe import Observation, current_observation, observe
 from repro.obs.spans import NULL_TRACER, Span, Tracer
@@ -50,5 +50,6 @@ __all__ = [
     "current_observation",
     "chrome_trace",
     "prometheus_text",
+    "runs_json",
     "summary",
 ]

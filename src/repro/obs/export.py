@@ -27,7 +27,7 @@ from repro.obs.spans import Tracer
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.obs.observe import Observation
 
-__all__ = ["chrome_trace", "prometheus_text", "summary"]
+__all__ = ["chrome_trace", "prometheus_text", "runs_json", "summary"]
 
 
 # -- Chrome trace_event -------------------------------------------------------
@@ -128,6 +128,24 @@ def prometheus_text(metrics: MetricsRegistry) -> str:
             if sample_name == name:
                 lines.append(f"{name}{_label_text(labels)} {_sample_value(value)}")
     return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- run records (calibration input) -----------------------------------------
+def runs_json(observation: "Observation", *, indent: int | None = None) -> str:
+    """Serialise the observation's run records as calibration input.
+
+    One :class:`~repro.obs.accounting.RunObs` JSON object per observed
+    run, in observation order — exactly what ``repro calibrate --fit``
+    and :func:`repro.calib.load_runs` consume.
+    """
+    return json.dumps(
+        {
+            "schema": "repro.obs.runs/1",
+            "runs": [ledger.run.to_jsonable() for ledger in observation.ledgers],
+        },
+        indent=indent,
+        separators=None if indent else (",", ":"),
+    )
 
 
 # -- plain-text summary -------------------------------------------------------

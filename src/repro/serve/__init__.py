@@ -14,7 +14,7 @@ Quickstart::
     print(report.render())
 """
 
-from repro.serve.arrivals import Arrival, generate_arrivals, offered_rate
+from repro.serve.arrivals import Arrival, diurnal_rate, generate_arrivals, offered_rate
 from repro.serve.config import (
     REQUEST_TEMPLATES,
     STAGE_OPS,
@@ -26,9 +26,15 @@ from repro.serve.config import (
     default_config,
 )
 from repro.serve.costs import StageCostModel
-from repro.serve.placement import Slice, carve_slices, pick_slice
+from repro.serve.placement import (
+    Slice,
+    carve_slices,
+    pick_slice,
+    restrict_topology,
+    slice_variants,
+)
 from repro.serve.report import ServiceReport, percentile
-from repro.serve.service import run_service, resolve_cluster
+from repro.serve.service import run_service, resolve_cluster, serve_slices
 
 __all__ = [
     "Arrival",
@@ -44,10 +50,14 @@ __all__ = [
     "StageSpec",
     "carve_slices",
     "default_config",
+    "diurnal_rate",
     "generate_arrivals",
     "offered_rate",
     "percentile",
     "pick_slice",
     "resolve_cluster",
+    "restrict_topology",
     "run_service",
+    "serve_slices",
+    "slice_variants",
 ]

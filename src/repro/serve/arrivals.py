@@ -29,7 +29,19 @@ import typing as t
 from repro.serve.config import ServiceConfig
 from repro.util.rng import RngStream
 
-__all__ = ["Arrival", "generate_arrivals", "offered_rate"]
+__all__ = ["Arrival", "diurnal_rate", "generate_arrivals", "offered_rate"]
+
+
+def diurnal_rate(
+    t_now: float, *, base: float, amplitude: float, period: float
+) -> float:
+    """The diurnal curve ``base * (1 + amplitude * sin(2*pi*t/period))``.
+
+    The single source of truth for the sinusoid: arrival thinning uses
+    it for request rates and :mod:`repro.dynamics` reuses it for
+    background-load intensities, so both layers modulate identically.
+    """
+    return base * (1.0 + amplitude * math.sin(2.0 * math.pi * t_now / period))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,8 +82,8 @@ def generate_arrivals(config: ServiceConfig) -> tuple[Arrival, ...]:
         if now >= config.duration:
             break
         if spec.process == "diurnal":
-            lam = spec.rate * (
-                1.0 + spec.amplitude * math.sin(2.0 * math.pi * now / spec.period)
+            lam = diurnal_rate(
+                now, base=spec.rate, amplitude=spec.amplitude, period=spec.period
             )
             if times.uniform() >= lam / peak:
                 continue

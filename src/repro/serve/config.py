@@ -181,10 +181,17 @@ class ArrivalSpec:
         if self.process == "diurnal":
             if not self.period > 0:
                 raise ServeError(f"diurnal period must be > 0, got {self.period!r}")
-            if not 0 <= self.amplitude < 1:
+            if not self.amplitude >= 0:
                 raise ServeError(
-                    f"diurnal amplitude must be in [0, 1), got {self.amplitude!r}"
+                    f"diurnal amplitude must be >= 0, got {self.amplitude!r}"
                 )
+
+    @property
+    def trough_rate(self) -> float:
+        """The curve's minimum instantaneous rate (= rate for poisson)."""
+        if self.process == "diurnal":
+            return self.rate * (1.0 - self.amplitude)
+        return self.rate
 
     @classmethod
     def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ArrivalSpec":
@@ -205,21 +212,34 @@ class ArrivalSpec:
 
 @dataclasses.dataclass(frozen=True)
 class PolicySpec:
-    """Service policy knobs: admission, batching, placement, schedule."""
+    """Service policy knobs: admission, batching, placement, schedule.
 
-    queue_limit: int = 64
+    ``queue_limit`` bounds the admission queue: ``None`` means
+    unbounded, ``0`` sheds every arrival (the degenerate limit the
+    shedding tests pin).  ``max_redispatch`` bounds how many times a
+    request interrupted by membership churn is re-queued before the
+    service gives up and sheds it as degraded.
+    """
+
+    queue_limit: int | None = 64
     max_batch: int = 4
     placement: str = "subtrees"
     schedule: str = "default"
     slo: float | None = None
+    max_redispatch: int = 2
 
     def __post_init__(self) -> None:
-        if self.queue_limit < 0:
+        if self.queue_limit is not None and self.queue_limit < 0:
             raise ServeError(
-                f"queue_limit must be >= 0 (0 = unbounded), got {self.queue_limit}"
+                f"queue_limit must be >= 0 or null (null = unbounded), "
+                f"got {self.queue_limit}"
             )
         if self.max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_redispatch < 0:
+            raise ServeError(
+                f"max_redispatch must be >= 0, got {self.max_redispatch}"
+            )
         if self.placement not in _PLACEMENTS:
             raise ServeError(
                 f"unknown placement {self.placement!r}; "
@@ -236,12 +256,14 @@ class PolicySpec:
     @classmethod
     def from_dict(cls, data: t.Mapping[str, t.Any]) -> "PolicySpec":
         slo = data.get("slo")
+        queue_limit = data.get("queue_limit", 64)
         return cls(
-            queue_limit=int(data.get("queue_limit", 64)),
+            queue_limit=None if queue_limit is None else int(queue_limit),
             max_batch=int(data.get("max_batch", 4)),
             placement=str(data.get("placement", "subtrees")),
             schedule=str(data.get("schedule", "default")),
             slo=None if slo is None else float(slo),
+            max_redispatch=int(data.get("max_redispatch", 2)),
         )
 
     def to_dict(self) -> dict:
@@ -251,6 +273,7 @@ class PolicySpec:
             "placement": self.placement,
             "schedule": self.schedule,
             "slo": self.slo,
+            "max_redispatch": self.max_redispatch,
         }
 
 
@@ -275,6 +298,17 @@ class ServiceConfig:
             raise ServeError(f"duplicate request kind names in workload: {names}")
         if not self.duration > 0:
             raise ServeError(f"duration must be > 0 seconds, got {self.duration!r}")
+        # Reject degenerate diurnal curves *eagerly*, at config build
+        # time: a trough rate <= 0 means lambda(t) hits zero or goes
+        # negative, and thinning would silently generate little or no
+        # traffic — a session that "runs fine" and serves nothing.
+        if self.arrival.process == "diurnal" and not self.arrival.trough_rate > 0:
+            raise ServeError(
+                "arrival.amplitude: diurnal trough rate "
+                f"rate*(1-amplitude) = {self.arrival.trough_rate!r} must be > 0 "
+                f"(arrival.rate={self.arrival.rate!r}, "
+                f"arrival.amplitude={self.arrival.amplitude!r})"
+            )
 
     @classmethod
     def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ServiceConfig":

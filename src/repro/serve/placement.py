@@ -20,10 +20,20 @@ from __future__ import annotations
 
 import typing as t
 
-from repro.cluster.topology import ClusterTopology
+from repro.cluster.machine import MachineSpec
+from repro.cluster.topology import Cluster, ClusterTopology
 from repro.errors import ServeError
 
-__all__ = ["Slice", "carve_slices", "pick_slice"]
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.dynamics.epochs import Epoch
+
+__all__ = [
+    "Slice",
+    "carve_slices",
+    "pick_slice",
+    "restrict_topology",
+    "slice_variants",
+]
 
 
 class Slice(t.NamedTuple):
@@ -84,3 +94,75 @@ def pick_slice(
     if not idle:
         raise ServeError("pick_slice needs at least one idle slice")
     return min(idle, key=lambda j: (costs[j], -slices[j].capacity, j))
+
+
+def restrict_topology(
+    topology: ClusterTopology, present: frozenset[str]
+) -> ClusterTopology | None:
+    """``topology`` with only the machines named in ``present``.
+
+    Clusters keep their names and networks; a cluster whose whole
+    subtree left is dropped.  Returns ``None`` when nothing remains —
+    the slice is offline for the epoch.
+    """
+
+    def rebuild(node: "Cluster | MachineSpec") -> "Cluster | MachineSpec | None":
+        if isinstance(node, MachineSpec):
+            return node if node.name in present else None
+        kept = [c for c in map(rebuild, node.children) if c is not None]
+        if not kept:
+            return None
+        return Cluster(node.name, node.network, kept)
+
+    root = rebuild(topology.root)
+    return None if root is None else ClusterTopology(root)
+
+
+def slice_variants(
+    slices: t.Sequence[Slice], epochs: "t.Sequence[Epoch]"
+) -> tuple[tuple[Slice, ...], dict[tuple[int, int], int | None]]:
+    """Expand base slices with their per-epoch degraded variants.
+
+    Returns ``(expanded, live)``: ``expanded`` is the base slices
+    followed by every *distinct* restricted sub-topology any epoch
+    induces (deduplicated by surviving-member set, so ten epochs that
+    all lose the same machine share one variant), and
+    ``live[(slice_index, epoch_index)]`` maps a base slice to the index
+    in ``expanded`` serving it during that epoch — the base index when
+    the slice is whole, a variant index when degraded, ``None`` when
+    every member is absent (the slice is offline).
+
+    The expansion is what lets one prewarmed
+    :class:`~repro.serve.costs.StageCostModel` cover churn: variants
+    are ordinary slices, so the model's job universe spans them.
+    """
+    expanded = list(slices)
+    live: dict[tuple[int, int], int | None] = {}
+    by_signature: dict[tuple[int, frozenset[str]], int | None] = {}
+    for base in slices:
+        members = frozenset(m.name for m in base.topology.machines)
+        degraded = 0
+        for epoch in epochs:
+            signature = members & epoch.present
+            key = (base.index, signature)
+            if key not in by_signature:
+                if signature == members:
+                    by_signature[key] = base.index
+                elif not signature:
+                    by_signature[key] = None
+                else:
+                    sub = restrict_topology(base.topology, signature)
+                    assert sub is not None  # signature is non-empty
+                    degraded += 1
+                    index = len(expanded)
+                    expanded.append(
+                        Slice(
+                            index=index,
+                            name=f"{base.name}~deg{degraded}",
+                            topology=sub,
+                            capacity=_capacity(sub),
+                        )
+                    )
+                    by_signature[key] = index
+            live[(base.index, epoch.index)] = by_signature[key]
+    return tuple(expanded), live

@@ -56,6 +56,13 @@ class ServiceReport:
     slice_busy: tuple[float, ...]
     slice_completed: tuple[int, ...]
     kind_completed: tuple[tuple[str, int], ...]
+    # Dynamic-cluster accounting; the defaults are exactly a static
+    # session's values, so reports with and without an (empty) plan
+    # compare equal field-for-field.
+    epochs: int = 1
+    redispatched: int = 0
+    degraded: int = 0
+    degraded_shed: int = 0
 
     @property
     def shed_fraction(self) -> float:
@@ -113,6 +120,13 @@ class ServiceReport:
             )
         mix = ", ".join(f"{name} {count}" for name, count in self.kind_completed)
         lines.append(f"  mix       : {mix}")
+        if self.epochs > 1:
+            lines.append(
+                f"  dynamics  : {self.epochs} membership epochs, "
+                f"{self.redispatched} redispatched, "
+                f"{self.degraded} served degraded, "
+                f"{self.degraded_shed} shed degraded"
+            )
         return "\n".join(lines)
 
     def to_jsonable(self) -> dict:
@@ -143,6 +157,10 @@ class ServiceReport:
                 )
             },
             "kinds": dict(self.kind_completed),
+            "epochs": self.epochs,
+            "redispatched": self.redispatched,
+            "degraded": self.degraded,
+            "degraded_shed": self.degraded_shed,
         }
 
     def __str__(self) -> str:

@@ -1,0 +1,147 @@
+"""Compiling dynamic plans onto the fault injector."""
+
+import pytest
+
+from repro.cluster import two_lans
+from repro.errors import DynamicsError
+from repro.dynamics import (
+    DiurnalLoad,
+    DynamicPlan,
+    MachineJoin,
+    MachineLeave,
+    SpeedDrift,
+    compile_plan,
+)
+from repro.faults import BackgroundLoad, FaultPlan, MachinePause, MachineSlowdown
+
+TOPOLOGY = two_lans()
+
+
+class TestCompilePlan:
+    def test_empty_plan_is_static(self):
+        compiled = compile_plan(DynamicPlan.empty(), TOPOLOGY, horizon=10.0)
+        assert compiled.is_static
+        assert compiled.fault_plan == FaultPlan.empty()
+        assert len(compiled.epochs) == 1
+
+    def test_horizon_must_be_finite_positive(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(DynamicsError):
+                compile_plan(DynamicPlan.empty(), TOPOLOGY, horizon=bad)
+
+    def test_join_becomes_leading_pause(self):
+        plan = DynamicPlan(MachineJoin("lan0-m0", start=3.0))
+        compiled = compile_plan(plan, TOPOLOGY, horizon=10.0)
+        (pause,) = compiled.fault_plan
+        assert isinstance(pause, MachinePause)
+        assert pause.machine == "lan0-m0"
+        assert pause.start == 0.0
+        assert pause.end == 3.0
+
+    def test_join_at_zero_emits_nothing(self):
+        plan = DynamicPlan(MachineJoin("lan0-m0", start=0.0))
+        compiled = compile_plan(plan, TOPOLOGY, horizon=10.0)
+        assert compiled.fault_plan.is_empty
+
+    def test_leave_clipped_to_horizon(self):
+        plan = DynamicPlan(MachineLeave("lan0-m0", start=2.0))  # forever
+        compiled = compile_plan(plan, TOPOLOGY, horizon=10.0)
+        (pause,) = compiled.fault_plan
+        assert pause.start == 2.0
+        assert pause.end == 10.0
+
+    def test_leave_past_horizon_skipped(self):
+        plan = DynamicPlan(MachineLeave("lan0-m0", start=20.0, duration=1.0))
+        compiled = compile_plan(plan, TOPOLOGY, horizon=10.0)
+        assert compiled.fault_plan.is_empty
+        assert len(compiled.epochs) == 3  # the epoch split still exists
+
+    def test_drift_deterministic_and_bounded(self):
+        plan = DynamicPlan(
+            SpeedDrift("lan0-m0", magnitude=0.5, step=1.0, ceiling=3.0)
+        )
+        a = compile_plan(plan, TOPOLOGY, seed=5, horizon=10.0)
+        b = compile_plan(plan, TOPOLOGY, seed=5, horizon=10.0)
+        assert a.fault_plan == b.fault_plan
+        assert not a.is_static
+        for spec in a.fault_plan:
+            assert isinstance(spec, MachineSlowdown)
+            assert 1.0 < spec.factor <= 3.0
+            assert 0.0 <= spec.start < 10.0
+
+    def test_drift_seed_matters(self):
+        plan = DynamicPlan(SpeedDrift("lan0-m0", magnitude=0.5, step=1.0))
+        a = compile_plan(plan, TOPOLOGY, seed=1, horizon=10.0)
+        b = compile_plan(plan, TOPOLOGY, seed=2, horizon=10.0)
+        assert a.fault_plan != b.fault_plan
+
+    def test_piecewise_linear_drift(self):
+        plan = DynamicPlan(
+            SpeedDrift(
+                "lan0-m0", process="piecewise_linear",
+                step=2.0, floor=1.0, ceiling=4.0,
+            )
+        )
+        compiled = compile_plan(plan, TOPOLOGY, horizon=8.0)
+        for spec in compiled.fault_plan:
+            assert 1.0 < spec.factor <= 4.0
+
+    def test_diurnal_segments_follow_curve(self):
+        plan = DynamicPlan(
+            DiurnalLoad(
+                "lan0-m0", intensity=0.4, period=8.0, amplitude=0.5,
+            )
+        )
+        compiled = compile_plan(plan, TOPOLOGY, horizon=8.0)
+        specs = list(compiled.fault_plan)
+        assert len(specs) == 8  # one period, eight segments
+        for spec in specs:
+            assert isinstance(spec, BackgroundLoad)
+            assert 0.0 < spec.intensity < 1.0
+        # The curve peaks a quarter-period in and troughs at three quarters.
+        assert specs[1].intensity == max(s.intensity for s in specs)
+        assert specs[5].intensity == min(s.intensity for s in specs)
+
+    def test_window_explosion_fails_loudly(self):
+        plan = DynamicPlan(SpeedDrift("lan0-m0", step=1e-4))
+        with pytest.raises(DynamicsError):
+            compile_plan(plan, TOPOLOGY, horizon=10.0)
+
+    def test_compiled_faults_validate_against_topology(self):
+        plan = DynamicPlan([
+            MachineLeave("lan0-m0", start=1.0, duration=2.0),
+            SpeedDrift("lan1-m1", step=2.0),
+            DiurnalLoad("lan0-m2", period=5.0),
+        ])
+        compiled = compile_plan(plan, TOPOLOGY, horizon=10.0)
+        compiled.fault_plan.validate(TOPOLOGY)  # must not raise
+
+    def test_unknown_machine_rejected(self):
+        plan = DynamicPlan(MachineLeave("nope", start=1.0, duration=1.0))
+        with pytest.raises(DynamicsError):
+            compile_plan(plan, TOPOLOGY, horizon=10.0)
+
+
+class TestCompiledRuns:
+    def test_leave_slows_collective(self):
+        from repro.collectives import run_gather
+
+        n = 20_000
+        base = run_gather(TOPOLOGY, n, seed=1).time
+        plan = DynamicPlan(MachineLeave("lan0-m0", start=0.0, duration=base))
+        compiled = compile_plan(plan, TOPOLOGY, horizon=max(base * 4, 1.0))
+        paused = run_gather(
+            TOPOLOGY, n, seed=1, faults=compiled.fault_plan
+        ).time
+        assert paused > base
+
+    def test_empty_compile_is_bit_identical(self):
+        from repro.collectives import run_gather
+
+        n = 20_000
+        base = run_gather(TOPOLOGY, n, seed=1).time
+        compiled = compile_plan(DynamicPlan.empty(), TOPOLOGY, horizon=10.0)
+        again = run_gather(
+            TOPOLOGY, n, seed=1, faults=compiled.fault_plan
+        ).time
+        assert again == base

@@ -25,6 +25,7 @@ class TestRegistry:
             "discovery",
             "tuning",
             "serve",
+            "dynamics",
         }
         assert set(EXPERIMENTS) == expected
 

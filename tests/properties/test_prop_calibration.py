@@ -1,0 +1,112 @@
+"""Acceptance property: calibration round-trips the analytic model.
+
+Two halves of the ISSUE criterion.  Noise-free, ``fit_params`` over a
+campaign's *predicted* step costs must recover ``calibrate``'s priors
+exactly (to solver precision) — the estimator is the inverse of the
+cost model.  Under multiplicative lognormal noise at ``sigma = 0.1``
+on every per-step cost, a realistic campaign (three message sizes, 40
+replicated measurements per configuration — independent noise draws of
+the same runs, as a real testbed would collect) must land every fitted
+parameter within 5% relative error of the truth.
+
+The noise model perturbs ``gh`` and ``L`` jointly per step (``w`` is
+zero for gathers), so the observed step duration ``d' = d * e`` with
+``e ~ lognormal(sigma)`` — per-step timing jitter, not parameter
+drift.  Replicas are distinct run records (suffixed names) exactly as
+``repro calibrate --fit`` would receive them from repeated exports.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.calib import calibration_campaign, fit_params
+from repro.cluster import two_lans
+from repro.model import calibrate
+from repro.util.rng import RngStream
+
+TOPOLOGY = two_lans()
+PRIORS = calibrate(TOPOLOGY)
+NAMES = [m.name for m in TOPOLOGY.machines]
+SIGMA = 0.1
+SIZES = (16384, 65536, 262144)
+REPLICAS = 40
+
+
+def _perturb(runs, sigma, seed, replicas):
+    """Replicate a campaign with independent per-step lognormal noise."""
+    out = []
+    stream = RngStream(seed, "test", "noise")
+    for rep in range(replicas):
+        for i, run in enumerate(runs):
+            s = stream.child(str(rep), str(i))
+            predicted = tuple(
+                (label, level, w, gh * e, L * e)
+                for (label, level, w, gh, L), e in (
+                    (step, s.lognormal_factor(sigma)) for step in run.predicted
+                )
+            )
+            out.append(
+                dataclasses.replace(
+                    run, predicted=predicted, name=f"{run.name}#r{rep}"
+                )
+            )
+    return out
+
+
+def _relative_errors(result):
+    g_err = abs(result.g - PRIORS.g) / PRIORS.g
+    fitted_G = dict(result.G)
+    r_errs = {
+        name: abs(fitted_G[name] / result.g - PRIORS.r_of(0, j))
+        / PRIORS.r_of(0, j)
+        for j, name in enumerate(NAMES)
+    }
+    return g_err, r_errs
+
+
+class TestNoiseFreeRoundTrip:
+    def test_predicted_fit_is_exact(self):
+        runs = calibration_campaign(TOPOLOGY, sizes=SIZES)
+        result = fit_params(runs, TOPOLOGY, source="predicted")
+        g_err, r_errs = _relative_errors(result)
+        assert g_err <= 1e-9
+        assert all(err <= 1e-9 for err in r_errs.values())
+        assert result.residual < 1e-9
+        assert result.runs_skipped == 0
+
+    def test_fitted_params_reproduce_predictions(self):
+        # The fitted parameter set must price the campaign's own steps
+        # identically to the priors it recovered.
+        runs = calibration_campaign(TOPOLOGY, sizes=(16384,))
+        result = fit_params(runs, TOPOLOGY, source="predicted")
+        assert result.params.g == pytest.approx(PRIORS.g, rel=1e-9)
+        assert result.params.r == pytest.approx(PRIORS.r, rel=1e-9)
+
+
+class TestNoisyRoundTrip:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return calibration_campaign(TOPOLOGY, sizes=SIZES)
+
+    @pytest.mark.parametrize("noise_seed", [0, 1, 2])
+    def test_within_five_percent_at_sigma_point_one(self, campaign, noise_seed):
+        noisy = _perturb(campaign, SIGMA, noise_seed, REPLICAS)
+        result = fit_params(noisy, TOPOLOGY, source="predicted")
+        g_err, r_errs = _relative_errors(result)
+        assert g_err <= 0.05, f"g off by {g_err:.2%}"
+        for name, err in r_errs.items():
+            assert err <= 0.05, f"r[{name}] off by {err:.2%}"
+        # Every machine measured, none fell back to priors: the whole
+        # bound is earned from the noisy data.
+        assert result.fallback_machines == ()
+
+    def test_noise_widens_the_residual(self, campaign):
+        clean = fit_params(campaign, TOPOLOGY, source="predicted")
+        noisy = fit_params(
+            _perturb(campaign, SIGMA, 0, REPLICAS),
+            TOPOLOGY,
+            source="predicted",
+        )
+        assert noisy.residual > clean.residual
+        assert noisy.residual == pytest.approx(SIGMA, rel=0.5)

@@ -1,0 +1,224 @@
+"""Churn-tolerant serving: re-dispatch, degraded slices, epoch re-planning."""
+
+import dataclasses
+
+import pytest
+
+from repro.dynamics import (
+    DynamicPlan,
+    MachineLeave,
+    churn_plan,
+    membership_epochs,
+)
+from repro.obs import observe
+from repro.serve import default_config, restrict_topology, run_service, slice_variants
+from repro.serve.arrivals import generate_arrivals
+from repro.serve.placement import carve_slices
+from repro.serve.service import resolve_cluster
+
+
+def _with_policy(config, **kwargs):
+    return dataclasses.replace(
+        config, policy=dataclasses.replace(config.policy, **kwargs)
+    )
+
+
+def _short_config(**kwargs):
+    config = dataclasses.replace(default_config(), duration=5.0)
+    return _with_policy(config, **kwargs) if kwargs else config
+
+
+def _interrupting_plan(config, duration=None):
+    """Leave events on every machine just after the first arrival.
+
+    Placing the boundary inside the first in-flight batch guarantees
+    the interrupt/re-dispatch path fires (request costs are a few ms,
+    so a boundary at t0 + 1ms lands mid-request).
+    """
+    t0 = generate_arrivals(config)[0].time
+    topology = resolve_cluster(config.cluster)
+    return DynamicPlan([
+        MachineLeave(m.name, start=t0 + 0.001, duration=duration or 1.0)
+        for m in topology.machines
+    ])
+
+
+class TestRestrictTopology:
+    def test_drops_absent_machines(self):
+        topology = resolve_cluster("two-lans:3")
+        present = {m.name for m in topology.machines} - {topology.machines[0].name}
+        restricted = restrict_topology(topology, present)
+        assert restricted.num_machines == topology.num_machines - 1
+        assert topology.machines[0].name not in {
+            m.name for m in restricted.machines
+        }
+
+    def test_nothing_left_returns_none(self):
+        topology = resolve_cluster("two-lans:3")
+        assert restrict_topology(topology, frozenset()) is None
+
+    def test_full_presence_keeps_structure(self):
+        topology = resolve_cluster("two-lans:3")
+        present = frozenset(m.name for m in topology.machines)
+        restricted = restrict_topology(topology, present)
+        assert [m.name for m in restricted.machines] == [
+            m.name for m in topology.machines
+        ]
+
+
+class TestSliceVariants:
+    def test_static_epochs_add_no_variants(self):
+        topology = resolve_cluster("two-lans:3")
+        base = carve_slices(topology, "subtrees")
+        epochs = membership_epochs(DynamicPlan.empty(), topology)
+        expanded, live = slice_variants(base, epochs)
+        assert len(expanded) == len(base)
+        assert all(
+            live[(j, 0)] == j for j in range(len(base))
+        )
+
+    def test_degraded_variants_deduplicate(self):
+        topology = resolve_cluster("two-lans:3")
+        base = carve_slices(topology, "subtrees")
+        victim = base[0].topology.machines[0].name
+        # Two distinct outages of the same machine: same surviving set,
+        # so both epochs must map to one shared degraded variant.
+        plan = DynamicPlan([
+            MachineLeave(victim, start=1.0, duration=1.0),
+            MachineLeave(victim, start=3.0, duration=1.0),
+        ])
+        epochs = membership_epochs(plan, topology)
+        expanded, live = slice_variants(base, epochs)
+        assert len(expanded) == len(base) + 1
+        degraded = [
+            live[(0, e.index)] for e in epochs if victim not in e.present
+        ]
+        assert len(set(degraded)) == 1
+        assert degraded[0] == len(base)
+        assert "~deg" in expanded[len(base)].name
+
+    def test_fully_offline_slice_maps_to_none(self):
+        topology = resolve_cluster("two-lans:3")
+        base = carve_slices(topology, "subtrees")
+        members = [m.name for m in base[0].topology.machines]
+        plan = DynamicPlan([
+            MachineLeave(name, start=1.0, duration=1.0) for name in members
+        ])
+        epochs = membership_epochs(plan, topology)
+        expanded, live = slice_variants(base, epochs)
+        dark = [e for e in epochs if not set(members) & e.present]
+        assert dark
+        assert all(live[(0, e.index)] is None for e in dark)
+
+
+class TestChurnService:
+    def test_dynamic_session_is_deterministic(self):
+        config = _short_config()
+        names = [
+            m.name for m in resolve_cluster(config.cluster).machines
+        ]
+        plan = churn_plan(names, rate=1.0, duration=config.duration, seed=3)
+        a = run_service(config, dynamics=plan)
+        b = run_service(config, dynamics=plan)
+        assert a == b
+
+    def test_interrupt_redispatches_and_completes(self):
+        config = _short_config()
+        plan = _interrupting_plan(config)
+        report = run_service(config, dynamics=plan)
+        assert report.redispatched >= 1
+        assert report.epochs > 1
+        assert report.completed + report.shed + report.degraded_shed == (
+            report.offered
+        )
+
+    def test_exhausted_retries_shed_degraded(self):
+        config = _short_config(max_redispatch=0)
+        plan = _interrupting_plan(config)
+        report = run_service(config, dynamics=plan)
+        assert report.degraded_shed >= 1
+
+    def test_offline_forever_sheds_backlog(self):
+        config = _short_config()
+        topology = resolve_cluster(config.cluster)
+        # Every machine gone before arrivals start, never to return:
+        # nothing can complete, everything admitted must be shed.
+        plan = DynamicPlan([
+            MachineLeave(m.name, start=1e-9) for m in topology.machines
+        ])
+        report = run_service(config, dynamics=plan)
+        assert report.completed == 0
+        assert report.degraded_shed == report.admitted > 0
+
+    def test_dynamic_metrics_and_epoch_spans(self):
+        config = _short_config()
+        plan = _interrupting_plan(config)
+        with observe(spans=True) as observation:
+            report = run_service(config, dynamics=plan)
+        metrics = observation.metrics
+        assert metrics.gauges[("repro_serve_epochs", ())] == float(report.epochs)
+        assert metrics.value("repro_serve_redispatched_total") == float(
+            report.redispatched
+        )
+        epoch_spans = [
+            span for span in observation.tracer.spans
+            if span.actor == "membership"
+        ]
+        assert len(epoch_spans) >= 1
+        assert epoch_spans[0].start == 0.0
+
+    def test_degraded_completions_counted(self):
+        config = _short_config()
+        topology = resolve_cluster(config.cluster)
+        victim = topology.machines[0].name
+        # One machine out for the whole session: its slice serves every
+        # request on the degraded variant.
+        plan = DynamicPlan(MachineLeave(victim, start=1e-9))
+        with observe() as observation:
+            report = run_service(config, dynamics=plan)
+        assert report.degraded > 0
+        assert observation.metrics.value(
+            "repro_serve_degraded_requests_total"
+        ) == float(report.degraded)
+
+    def test_report_renders_dynamics_line(self):
+        config = _short_config()
+        plan = _interrupting_plan(config)
+        report = run_service(config, dynamics=plan)
+        assert "dynamics" in report.render()
+        jsonable = report.to_jsonable()
+        assert jsonable["epochs"] == report.epochs
+        assert jsonable["redispatched"] == report.redispatched
+
+    def test_static_report_hides_dynamics_line(self):
+        report = run_service(_short_config())
+        assert "dynamics" not in report.render()
+        assert report.epochs == 1
+
+
+class TestSharedModelGuard:
+    def test_dynamic_slice_table_mismatch_rejected(self):
+        from repro.errors import ServeError
+        from repro.serve import StageCostModel, serve_slices
+
+        config = _short_config()
+        static_slices, _ = serve_slices(config)
+        model = StageCostModel(config, static_slices)
+        # A *partial* outage expands the slice table with a degraded
+        # variant the static model has never priced.
+        victim = resolve_cluster(config.cluster).machines[0].name
+        plan = DynamicPlan(MachineLeave(victim, start=1.0, duration=1.0))
+        with pytest.raises(ServeError):
+            run_service(config, dynamics=plan, costs=model)
+
+    def test_matching_dynamic_model_is_accepted(self):
+        from repro.serve import StageCostModel, serve_slices
+
+        config = _short_config()
+        victim = resolve_cluster(config.cluster).machines[0].name
+        plan = DynamicPlan(MachineLeave(victim, start=1.0, duration=1.0))
+        expanded, _ = serve_slices(config, plan)
+        model = StageCostModel(config, expanded)
+        shared = run_service(config, dynamics=plan, costs=model)
+        own = run_service(config, dynamics=plan)
+        assert shared == own

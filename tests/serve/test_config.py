@@ -89,8 +89,15 @@ class TestArrivalSpec:
 
     def test_diurnal_amplitude_bounds(self):
         assert ArrivalSpec(process="diurnal", amplitude=0.0).amplitude == 0.0
+        # The spec itself only rejects nonsense; degenerate curves are
+        # caught eagerly by ServiceConfig (trough-rate validation).
+        assert ArrivalSpec(process="diurnal", amplitude=1.5).amplitude == 1.5
         with pytest.raises(ServeError, match="amplitude"):
-            ArrivalSpec(process="diurnal", amplitude=1.0)
+            ArrivalSpec(process="diurnal", amplitude=-0.1)
+
+    def test_diurnal_trough_rate(self):
+        assert ArrivalSpec(process="diurnal", rate=4.0, amplitude=0.5).trough_rate == 2.0
+        assert ArrivalSpec(process="poisson", rate=4.0).trough_rate == 4.0
 
     def test_nonpositive_rate_rejected(self):
         with pytest.raises(ServeError, match="rate"):

@@ -125,7 +125,7 @@ class TestRunService:
     def test_unbounded_queue_never_sheds(self):
         config = _with_policy(
             _with_rate(default_config(seed=0, duration=10.0), 100.0),
-            queue_limit=0,
+            queue_limit=None,
         )
         report = run_service(config)
         assert report.shed == 0
@@ -135,8 +135,8 @@ class TestRunService:
         # Load far past saturation so the queue actually holds
         # same-kind neighbours for the dispatcher to coalesce.
         base = _with_rate(default_config(seed=0, duration=10.0), 400.0)
-        batched = run_service(_with_policy(base, max_batch=4, queue_limit=0))
-        single = run_service(_with_policy(base, max_batch=1, queue_limit=0))
+        batched = run_service(_with_policy(base, max_batch=4, queue_limit=None))
+        single = run_service(_with_policy(base, max_batch=1, queue_limit=None))
         assert batched.completed == single.completed
         assert batched.batches < single.batches
         assert batched.makespan < single.makespan

@@ -1,0 +1,88 @@
+"""Admission-control shedding edge cases (the degenerate policy limits)."""
+
+import dataclasses
+
+from repro.obs import observe
+from repro.serve import default_config, run_service
+
+
+def _with_policy(config, **kwargs):
+    return dataclasses.replace(
+        config, policy=dataclasses.replace(config.policy, **kwargs)
+    )
+
+
+def _with_rate(config, rate):
+    return dataclasses.replace(
+        config, arrival=dataclasses.replace(config.arrival, rate=rate)
+    )
+
+
+class TestQueueLimitZero:
+    def test_sheds_every_arrival(self):
+        config = _with_policy(default_config(), queue_limit=0)
+        report = run_service(config)
+        assert report.offered > 0
+        assert report.shed == report.offered
+        assert report.admitted == 0
+        assert report.completed == 0
+        assert report.goodput == 0.0
+
+    def test_distinct_from_unbounded(self):
+        base = default_config()
+        everything = run_service(_with_policy(base, queue_limit=0))
+        nothing = run_service(_with_policy(base, queue_limit=None))
+        assert everything.shed == everything.offered
+        assert nothing.shed == 0
+        assert nothing.completed == nothing.offered
+
+
+class TestSingleBatchEquivalence:
+    def test_max_batch_one_never_batches(self):
+        config = _with_policy(default_config(), max_batch=1, queue_limit=None)
+        report = run_service(config)
+        assert report.batches == report.completed
+
+    def test_equivalent_under_vanishing_load(self):
+        # At a trickle the queue never holds two requests, so the
+        # batching knob cannot matter: max_batch=1 and max_batch=4
+        # must produce bit-identical sessions.
+        base = _with_rate(
+            dataclasses.replace(default_config(), duration=10.0), 0.5
+        )
+        single = run_service(_with_policy(base, max_batch=1))
+        batched = run_service(_with_policy(base, max_batch=4))
+        assert single == batched
+        assert single.batches == single.completed
+
+
+class TestShedObservability:
+    def test_shed_counts_once_and_leaves_no_span(self):
+        config = _with_policy(default_config(), queue_limit=0)
+        with observe(spans=True) as observation:
+            report = run_service(config)
+        metrics = observation.metrics
+        # Exactly one repro_serve_shed_total increment per shed request…
+        assert metrics.value("repro_serve_shed_total") == float(report.shed)
+        assert report.shed == report.offered
+        # …every arrival still counted at the front door…
+        assert metrics.counter_sum("repro_serve_requests_total") == float(
+            report.offered
+        )
+        # …and no request span: serve spans record completions only
+        # (the cost-model prewarm's kernel runs have their own groups).
+        serve_spans = [
+            span for span in observation.tracer.spans if span.group == "serve"
+        ]
+        assert serve_spans == []
+
+    def test_partial_shedding_counts_match(self):
+        config = _with_rate(
+            _with_policy(default_config(), queue_limit=1), 64.0
+        )
+        with observe() as observation:
+            report = run_service(config)
+        assert 0 < report.shed < report.offered
+        assert observation.metrics.value("repro_serve_shed_total") == float(
+            report.shed
+        )
